@@ -1,0 +1,88 @@
+"""Benchmark of Figure 11: SQL-generation time, semantic engine vs SQAK.
+
+Figure 11 plots only the time to *generate* SQL (not execute it) for every
+evaluation query on both systems.  Each parametrized benchmark measures one
+(query, system) pair; the per-query series is printed at the end of the
+module.  The paper's qualitative claim — both in the millisecond range,
+the semantic approach slightly slower — is asserted.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.errors import UnsupportedQueryError
+from repro.experiments import ACMDL_QUERIES, TPCH_QUERIES
+
+
+@pytest.fixture(scope="module")
+def series():
+    return {"TPCH": {}, "ACMDL": {}}
+
+
+@pytest.mark.parametrize("spec", TPCH_QUERIES, ids=lambda s: f"{s.qid}-ours")
+def test_fig11a_semantic_generation(benchmark, spec, tpch_engine, series):
+    result = benchmark(lambda: tpch_engine.compile(spec.text))
+    assert result
+    series["TPCH"].setdefault(spec.qid, {})["ours"] = benchmark.stats.stats.mean
+    benchmark.extra_info["system"] = "proposed"
+    benchmark.extra_info["query"] = spec.text
+
+
+@pytest.mark.parametrize("spec", TPCH_QUERIES, ids=lambda s: f"{s.qid}-sqak")
+def test_fig11a_sqak_generation(benchmark, spec, tpch_sqak, series):
+    if spec.sqak_na:
+        pytest.skip("SQAK does not handle this query (N.A. in the paper)")
+    result = benchmark(lambda: tpch_sqak.compile(spec.text))
+    assert result
+    series["TPCH"].setdefault(spec.qid, {})["sqak"] = benchmark.stats.stats.mean
+    benchmark.extra_info["system"] = "SQAK"
+    benchmark.extra_info["query"] = spec.text
+
+
+@pytest.mark.parametrize("spec", ACMDL_QUERIES, ids=lambda s: f"{s.qid}-ours")
+def test_fig11b_semantic_generation(benchmark, spec, acmdl_engine, series):
+    result = benchmark(lambda: acmdl_engine.compile(spec.text))
+    assert result
+    series["ACMDL"].setdefault(spec.qid, {})["ours"] = benchmark.stats.stats.mean
+    benchmark.extra_info["system"] = "proposed"
+    benchmark.extra_info["query"] = spec.text
+
+
+@pytest.mark.parametrize("spec", ACMDL_QUERIES, ids=lambda s: f"{s.qid}-sqak")
+def test_fig11b_sqak_generation(benchmark, spec, acmdl_sqak, series):
+    if spec.sqak_na:
+        pytest.skip("SQAK does not handle this query (N.A. in the paper)")
+    result = benchmark(lambda: acmdl_sqak.compile(spec.text))
+    assert result
+    series["ACMDL"].setdefault(spec.qid, {})["sqak"] = benchmark.stats.stats.mean
+    benchmark.extra_info["system"] = "SQAK"
+    benchmark.extra_info["query"] = spec.text
+
+
+def _format_series(series) -> str:
+    lines = []
+    for dataset, label in (("TPCH", "Figure 11(a)"), ("ACMDL", "Figure 11(b)")):
+        rows = series[dataset]
+        lines.append(f"{label} - SQL generation time ({dataset})")
+        lines.append(f"{'#':<4}{'Proposed (ms)':>16}{'SQAK (ms)':>12}")
+        for qid in sorted(rows):
+            ours_ms = rows[qid].get("ours", 0.0) * 1000.0
+            sqak = rows[qid].get("sqak")
+            sqak_text = f"{sqak * 1000.0:.3f}" if sqak is not None else "N.A."
+            lines.append(f"{qid:<4}{ours_ms:>16.3f}{sqak_text:>12}")
+        lines.append("")
+    return "\n".join(lines)
+
+
+def test_print_figure11(benchmark, series):
+    """Print both Figure-11 series and assert the paper's shape claims."""
+    text = benchmark(_format_series, series)
+    print()
+    print(text)
+    for dataset in ("TPCH", "ACMDL"):
+        for qid, times in series[dataset].items():
+            # both systems generate SQL fast (paper: single-digit ms)
+            assert times.get("ours", 0.0) * 1000.0 < 1000.0, (dataset, qid)

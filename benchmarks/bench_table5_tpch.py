@@ -1,0 +1,52 @@
+"""Benchmark + reproduction of Table 5: normalized TPC-H queries T1-T8.
+
+Each benchmark measures the full semantic pipeline (compile + select
+interpretation + execute) for one query and attaches the paper-style answer
+summaries (ours vs SQAK) to the benchmark record; the whole comparison
+table is printed once at the end of the module.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import (
+    TPCH_QUERIES,
+    format_answer_table,
+    pick_interpretation,
+    run_query,
+)
+
+
+@pytest.fixture(scope="module")
+def collected():
+    return {}
+
+
+@pytest.mark.parametrize("spec", TPCH_QUERIES, ids=lambda s: s.qid)
+def test_table5_query(benchmark, spec, tpch_engine, tpch_sqak, collected):
+    outcome = run_query(tpch_engine, tpch_sqak, spec)
+    collected[spec.qid] = outcome
+
+    def pipeline():
+        interpretations = tpch_engine.compile(spec.text)
+        chosen = pick_interpretation(interpretations, spec)
+        # bypass the per-interpretation cache: execute the AST directly
+        return tpch_engine.executor.execute(chosen.select)
+
+    result = benchmark(pipeline)
+    assert len(result) == len(outcome.semantic_result)
+    benchmark.extra_info["query"] = spec.text
+    benchmark.extra_info["ours"] = outcome.summarize("semantic")
+    benchmark.extra_info["sqak"] = outcome.summarize("sqak")
+
+
+def test_print_table5(benchmark, collected):
+    """Render the reproduced table (visible with ``pytest -s``)."""
+    outcomes = [collected[spec.qid] for spec in TPCH_QUERIES if spec.qid in collected]
+    assert len(outcomes) == len(TPCH_QUERIES)
+    text = benchmark(
+        format_answer_table, "Table 5 - answers on normalized TPC-H", outcomes
+    )
+    print()
+    print(text)

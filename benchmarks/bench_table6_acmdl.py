@@ -1,0 +1,44 @@
+"""Benchmark + reproduction of Table 6: normalized ACMDL queries A1-A8."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import (
+    ACMDL_QUERIES,
+    format_answer_table,
+    pick_interpretation,
+    run_query,
+)
+
+
+@pytest.fixture(scope="module")
+def collected():
+    return {}
+
+
+@pytest.mark.parametrize("spec", ACMDL_QUERIES, ids=lambda s: s.qid)
+def test_table6_query(benchmark, spec, acmdl_engine, acmdl_sqak, collected):
+    outcome = run_query(acmdl_engine, acmdl_sqak, spec)
+    collected[spec.qid] = outcome
+
+    def pipeline():
+        interpretations = acmdl_engine.compile(spec.text)
+        chosen = pick_interpretation(interpretations, spec)
+        return acmdl_engine.executor.execute(chosen.select)
+
+    result = benchmark(pipeline)
+    assert len(result) == len(outcome.semantic_result)
+    benchmark.extra_info["query"] = spec.text
+    benchmark.extra_info["ours"] = outcome.summarize("semantic")
+    benchmark.extra_info["sqak"] = outcome.summarize("sqak")
+
+
+def test_print_table6(benchmark, collected):
+    outcomes = [collected[spec.qid] for spec in ACMDL_QUERIES if spec.qid in collected]
+    assert len(outcomes) == len(ACMDL_QUERIES)
+    text = benchmark(
+        format_answer_table, "Table 6 - answers on normalized ACMDL", outcomes
+    )
+    print()
+    print(text)

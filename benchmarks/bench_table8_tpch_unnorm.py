@@ -1,0 +1,48 @@
+"""Benchmark + reproduction of Table 8: unnormalized TPC-H (TPCH')."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import (
+    TPCH_QUERIES,
+    format_answer_table,
+    pick_interpretation,
+    run_query,
+)
+
+
+@pytest.fixture(scope="module")
+def collected():
+    return {}
+
+
+@pytest.mark.parametrize("spec", TPCH_QUERIES, ids=lambda s: s.qid)
+def test_table8_query(
+    benchmark, spec, tpch_unnorm_engine, tpch_unnorm_sqak, collected
+):
+    outcome = run_query(tpch_unnorm_engine, tpch_unnorm_sqak, spec)
+    collected[spec.qid] = outcome
+
+    def pipeline():
+        interpretations = tpch_unnorm_engine.compile(spec.text)
+        chosen = pick_interpretation(interpretations, spec)
+        return tpch_unnorm_engine.executor.execute(chosen.select)
+
+    result = benchmark(pipeline)
+    assert len(result) == len(outcome.semantic_result)
+    benchmark.extra_info["query"] = spec.text
+    benchmark.extra_info["ours"] = outcome.summarize("semantic")
+    benchmark.extra_info["sqak"] = outcome.summarize("sqak")
+
+
+def test_print_table8(benchmark, collected):
+    outcomes = [collected[spec.qid] for spec in TPCH_QUERIES if spec.qid in collected]
+    assert len(outcomes) == len(TPCH_QUERIES)
+    text = benchmark(
+        format_answer_table,
+        "Table 8 - answers on unnormalized TPC-H (TPCH')",
+        outcomes,
+    )
+    print()
+    print(text)

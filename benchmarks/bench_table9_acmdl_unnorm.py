@@ -1,0 +1,48 @@
+"""Benchmark + reproduction of Table 9: unnormalized ACMDL (ACMDL')."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import (
+    ACMDL_QUERIES,
+    format_answer_table,
+    pick_interpretation,
+    run_query,
+)
+
+
+@pytest.fixture(scope="module")
+def collected():
+    return {}
+
+
+@pytest.mark.parametrize("spec", ACMDL_QUERIES, ids=lambda s: s.qid)
+def test_table9_query(
+    benchmark, spec, acmdl_unnorm_engine, acmdl_unnorm_sqak, collected
+):
+    outcome = run_query(acmdl_unnorm_engine, acmdl_unnorm_sqak, spec)
+    collected[spec.qid] = outcome
+
+    def pipeline():
+        interpretations = acmdl_unnorm_engine.compile(spec.text)
+        chosen = pick_interpretation(interpretations, spec)
+        return acmdl_unnorm_engine.executor.execute(chosen.select)
+
+    result = benchmark(pipeline)
+    assert len(result) == len(outcome.semantic_result)
+    benchmark.extra_info["query"] = spec.text
+    benchmark.extra_info["ours"] = outcome.summarize("semantic")
+    benchmark.extra_info["sqak"] = outcome.summarize("sqak")
+
+
+def test_print_table9(benchmark, collected):
+    outcomes = [collected[spec.qid] for spec in ACMDL_QUERIES if spec.qid in collected]
+    assert len(outcomes) == len(ACMDL_QUERIES)
+    text = benchmark(
+        format_answer_table,
+        "Table 9 - answers on unnormalized ACMDL (ACMDL')",
+        outcomes,
+    )
+    print()
+    print(text)

@@ -1,0 +1,98 @@
+"""Benchmark fixtures: databases and engines, built once per session.
+
+Each bench module regenerates one table or figure of the paper; the
+reproduced answer rows are attached to the benchmark records via
+``benchmark.extra_info`` and printed once per module so the harness output
+contains the same rows/series the paper reports (run with ``-s`` to see
+them live, or read ``examples/reproduce_paper.py`` for a standalone
+report).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import SqakEngine
+from repro.datasets import (
+    denormalize_acmdl,
+    denormalize_tpch,
+    generate_acmdl,
+    generate_tpch,
+    university_database,
+)
+from repro.engine import KeywordSearchEngine
+
+
+@pytest.fixture(scope="session")
+def university_db():
+    return university_database()
+
+
+@pytest.fixture(scope="session")
+def tpch_db():
+    return generate_tpch()
+
+
+@pytest.fixture(scope="session")
+def acmdl_db():
+    return generate_acmdl()
+
+
+@pytest.fixture(scope="session")
+def tpch_engine(tpch_db):
+    return KeywordSearchEngine(tpch_db)
+
+
+@pytest.fixture(scope="session")
+def tpch_sqak(tpch_db):
+    return SqakEngine(tpch_db)
+
+
+@pytest.fixture(scope="session")
+def acmdl_engine(acmdl_db):
+    return KeywordSearchEngine(acmdl_db)
+
+
+@pytest.fixture(scope="session")
+def acmdl_sqak(acmdl_db):
+    return SqakEngine(acmdl_db)
+
+
+@pytest.fixture(scope="session")
+def tpch_unnorm(tpch_db):
+    return denormalize_tpch(tpch_db)
+
+
+@pytest.fixture(scope="session")
+def tpch_unnorm_engine(tpch_unnorm):
+    return KeywordSearchEngine(
+        tpch_unnorm.database,
+        fds=tpch_unnorm.fds,
+        name_hints=tpch_unnorm.name_hints,
+    )
+
+
+@pytest.fixture(scope="session")
+def tpch_unnorm_sqak(tpch_unnorm):
+    return SqakEngine(tpch_unnorm.database, extra_joins=tpch_unnorm.sqak_extra_joins)
+
+
+@pytest.fixture(scope="session")
+def acmdl_unnorm(acmdl_db):
+    return denormalize_acmdl(acmdl_db)
+
+
+@pytest.fixture(scope="session")
+def acmdl_unnorm_engine(acmdl_unnorm):
+    return KeywordSearchEngine(
+        acmdl_unnorm.database,
+        fds=acmdl_unnorm.fds,
+        name_hints=acmdl_unnorm.name_hints,
+    )
+
+
+@pytest.fixture(scope="session")
+def acmdl_unnorm_sqak(acmdl_unnorm):
+    return SqakEngine(
+        acmdl_unnorm.database, extra_joins=acmdl_unnorm.sqak_extra_joins
+    )

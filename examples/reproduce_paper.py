@@ -1,0 +1,21 @@
+#!/usr/bin/env python3
+"""Regenerate every table and figure of the paper's evaluation in one run.
+
+Prints Tables 5, 6, 8 and 9 and both Figure-11 timing series, in the same
+row/series structure as the paper.  Absolute values differ (synthetic data,
+different hardware); the qualitative shape — who is correct, who
+over-counts, what is N.A. — is the reproduction target and is also checked
+by ``tests/experiments``.
+
+Usage::
+
+    python examples/reproduce_paper.py     # equivalently: python -m repro --reproduce
+"""
+
+from __future__ import annotations
+
+from repro.experiments.report import full_report
+
+
+if __name__ == "__main__":
+    full_report()

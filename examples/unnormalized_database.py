@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""Keyword search over an unnormalized database (Section 4 end to end).
+
+Walks through everything the paper's Section 4 describes, on the Figure-8
+Enrolment relation and on the denormalized TPC-H:
+
+1. 3NF violation detection from declared functional dependencies,
+2. the synthesized normalized view and its fragment mappings (Example 8),
+3. pattern generation over the view and translation back to the stored
+   relations (Example 9),
+4. the rewrite rules collapsing fragment joins (Example 10),
+5. the answers staying identical to the normalized database (Table 8).
+
+Usage::
+
+    python examples/unnormalized_database.py
+"""
+
+from __future__ import annotations
+
+from repro import KeywordSearchEngine
+from repro.datasets import denormalize_tpch, enrolment_database, generate_tpch
+from repro.fd import attrs, parse_fds, violations_3nf
+
+
+def enrolment_walkthrough() -> None:
+    print("=" * 72)
+    print("Figure 8: the unnormalized Enrolment relation")
+    db = enrolment_database()
+    print(db.summary())
+
+    fds = parse_fds(["Sid -> Sname, Age", "Code -> Title, Credit"])
+    universe = attrs(*db.table("Enrolment").schema.column_names)
+    print("\n3NF violations under the declared FDs:")
+    for violation in violations_3nf(universe, fds):
+        print(f"  {violation}")
+
+    engine = KeywordSearchEngine(
+        db, fds={"Enrolment": ["Sid -> Sname, Age", "Code -> Title, Credit"]}
+    )
+    print("\n" + engine.view.describe())
+
+    print("\nQ4 = 'Green George COUNT Code' on the unnormalized database:")
+    chosen = engine.search("Green George COUNT Code").find(distinguishes=True)
+    print(chosen.sql)
+    print(chosen.execute().format_table())
+    print("(identical to the normalized answers: s2 -> 1, s3 -> 2)")
+
+    raw_engine = KeywordSearchEngine(
+        db,
+        fds={"Enrolment": ["Sid -> Sname, Age", "Code -> Title, Credit"]},
+        rewrite_sql=False,
+    )
+    raw = raw_engine.search("Green George COUNT Code").find(distinguishes=True)
+    print("\nWithout the Section-4.1 rewrite rules the SQL joins "
+          f"{raw.sql_compact.count('(SELECT')} fragment subqueries instead "
+          "of 2 base-table scans.")
+
+
+def tpch_walkthrough() -> None:
+    print()
+    print("=" * 72)
+    print("TPCH': the denormalized TPC-H of Table 7")
+    dataset = denormalize_tpch(generate_tpch())
+    print(dataset.database.summary())
+
+    engine = KeywordSearchEngine(
+        dataset.database, fds=dataset.fds, name_hints=dataset.name_hints
+    )
+    print("\n" + engine.view.describe())
+
+    print("\nT5 = 'COUNT supplier \"Indian black chocolate\"' on TPCH':")
+    chosen = engine.search('COUNT supplier "Indian black chocolate"').best
+    print(chosen.sql)
+    print(chosen.execute().format_table())
+    print("(the DISTINCT projections deduplicate the wide Ordering rows; "
+          "the answer is the true supplier count, as on normalized TPC-H)")
+
+
+def main() -> None:
+    enrolment_walkthrough()
+    tpch_walkthrough()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,33 @@
+"""repro — semantic keyword search with aggregates and GROUPBY.
+
+A faithful reproduction of Zeng, Lee & Ling, *Answering Keyword Queries
+involving Aggregates and GROUPBY on Relational Databases* (EDBT 2016),
+including the in-memory relational substrate, the ORM schema graph, query
+patterns, SQL generation for normalized and unnormalized databases, and the
+SQAK baseline it is evaluated against.
+
+Public entry points:
+
+* :class:`~repro.relational.Database` — the in-memory relational engine;
+* :class:`~repro.engine.KeywordSearchEngine` — the paper's system;
+* :class:`~repro.baselines.sqak.SqakEngine` — the SQAK baseline;
+* :mod:`repro.datasets` — university / TPC-H / ACMDL datasets;
+* :mod:`repro.experiments` — the paper's evaluation harness.
+"""
+
+from repro.engine import Interpretation, KeywordSearchEngine, SearchResult
+from repro.relational import Database, DatabaseSchema, DataType, ForeignKey, QueryResult
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Database",
+    "DatabaseSchema",
+    "DataType",
+    "ForeignKey",
+    "Interpretation",
+    "KeywordSearchEngine",
+    "QueryResult",
+    "SearchResult",
+    "__version__",
+]

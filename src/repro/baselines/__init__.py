@@ -1,0 +1,6 @@
+"""Baselines the paper compares against: SQAK."""
+
+from repro.baselines.schema_graph import SchemaGraph
+from repro.baselines.sqak import SqakEngine, SqakMatch, SqakStatement
+
+__all__ = ["SchemaGraph", "SqakEngine", "SqakMatch", "SqakStatement"]

@@ -1,0 +1,109 @@
+"""SQAK's schema graph: relations as nodes, FK references as edges.
+
+Unlike the ORM schema graph, there is no classification — every relation is
+just a node, which is precisely why SQAK cannot distinguish objects from
+relationships or detect duplication (the paper's central critique).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.errors import SchemaError
+from repro.relational.schema import DatabaseSchema, ForeignKey
+
+
+JoinEdge = Tuple[str, str, Tuple[str, ...], Tuple[str, ...]]
+# (child relation, parent relation, child columns, parent columns)
+
+
+class SchemaGraph:
+    """Plain undirected graph over relations, edges labelled by FKs.
+
+    ``extra_joins`` adds shared-attribute join edges that are not declared
+    foreign keys — denormalized schemas (Table 7's ACMDL') connect
+    ``PaperAuthor`` and ``EditorProceeding`` through the non-key ``procid``
+    column, which SQAK's published SQL exploits.
+    """
+
+    def __init__(
+        self, schema: DatabaseSchema, extra_joins: Sequence[JoinEdge] = ()
+    ) -> None:
+        self.schema = schema
+        self._adjacency: Dict[str, Dict[str, List[ForeignKey]]] = {
+            rel.name: {} for rel in schema
+        }
+        self._fk_child: Dict[Tuple[str, str], str] = {}
+        for rel in schema:
+            for fk in rel.foreign_keys:
+                self._adjacency[rel.name].setdefault(fk.ref_table, []).append(fk)
+                self._adjacency[fk.ref_table].setdefault(rel.name, []).append(fk)
+                self._fk_child[(rel.name, fk.ref_table)] = rel.name
+        for child, parent, child_cols, parent_cols in extra_joins:
+            pseudo = ForeignKey(tuple(child_cols), parent, tuple(parent_cols))
+            self._adjacency[child].setdefault(parent, []).append(pseudo)
+            self._adjacency[parent].setdefault(child, []).append(pseudo)
+            self._fk_child.setdefault((child, parent), child)
+
+    def neighbors(self, name: str) -> List[str]:
+        return sorted(self._adjacency.get(name, {}))
+
+    def foreign_keys_between(self, first: str, second: str) -> List[ForeignKey]:
+        return list(self._adjacency.get(first, {}).get(second, []))
+
+    def child_of_edge(self, first: str, second: str) -> str:
+        """Which endpoint holds the foreign key for the (first, second) edge."""
+        fks = self.foreign_keys_between(first, second)
+        if not fks:
+            raise SchemaError(f"no edge between {first!r} and {second!r}")
+        child = self._fk_child.get((first, second)) or self._fk_child.get(
+            (second, first)
+        )
+        assert child is not None
+        return child
+
+    def shortest_path(self, source: str, target: str) -> Optional[List[str]]:
+        if source == target:
+            return [source]
+        visited = {source}
+        parents: Dict[str, str] = {}
+        queue = deque([source])
+        while queue:
+            current = queue.popleft()
+            for neighbor in self.neighbors(current):
+                if neighbor in visited:
+                    continue
+                visited.add(neighbor)
+                parents[neighbor] = current
+                if neighbor == target:
+                    path = [target]
+                    while path[-1] != source:
+                        path.append(parents[path[-1]])
+                    return list(reversed(path))
+                queue.append(neighbor)
+        return None
+
+    def steiner_tree(self, terminals: Sequence[str]) -> Set[Tuple[str, str]]:
+        """Minimal connected subgraph over *terminals* (the relations of one
+        simple query network), via the shortest-path heuristic."""
+        unique = list(dict.fromkeys(terminals))
+        if not unique:
+            return set()
+        in_tree: Set[str] = {unique[0]}
+        edges: Set[Tuple[str, str]] = set()
+        for terminal in unique[1:]:
+            if terminal in in_tree:
+                continue
+            best: Optional[List[str]] = None
+            for anchor in sorted(in_tree):
+                path = self.shortest_path(terminal, anchor)
+                if path is not None and (best is None or len(path) < len(best)):
+                    best = path
+            if best is None:
+                raise SchemaError(f"schema graph is disconnected at {terminal!r}")
+            for first, second in zip(best, best[1:]):
+                edges.add(tuple(sorted((first, second))))  # type: ignore[arg-type]
+                in_tree.add(first)
+                in_tree.add(second)
+        return edges

@@ -1,0 +1,208 @@
+"""Command-line interface: keyword search from the shell.
+
+Examples::
+
+    python -m repro --dataset university "Green SUM Credit"
+    python -m repro --dataset tpch --top 3 "COUNT part GROUPBY supplier"
+    python -m repro --dataset tpch-unnorm 'COUNT supplier "Indian black chocolate"'
+    python -m repro --dataset acmdl --sqak "COUNT proceeding editor Smith"
+    python -m repro --db-dir ./mydb --explain "COUNT thing GROUPBY other"
+    python -m repro --dataset university --sql "SELECT Sname FROM Student"
+    python -m repro --reproduce
+
+``--dataset`` picks one of the built-in databases; ``--db-dir`` loads a
+database saved with :func:`repro.relational.io.save_database` (optionally
+with declared FDs in an ``fds.json``: ``{"Relation": ["A -> B", ...]}``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional, Tuple
+
+from repro.baselines import SqakEngine
+from repro.datasets import (
+    denormalize_acmdl,
+    denormalize_tpch,
+    enrolment_database,
+    generate_acmdl,
+    generate_tpch,
+    university_database,
+)
+from repro.engine import KeywordSearchEngine
+from repro.errors import ReproError, UnsupportedQueryError
+from repro.relational.database import Database
+from repro.relational.io import load_database
+
+_ENROLMENT_FDS = {"Enrolment": ["Sid -> Sname, Age", "Code -> Title, Credit"]}
+
+DATASETS = (
+    "university",
+    "enrolment",
+    "tpch",
+    "tpch-unnorm",
+    "acmdl",
+    "acmdl-unnorm",
+)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Semantic keyword search with aggregates and GROUPBY "
+            "(EDBT 2016 reproduction)"
+        ),
+    )
+    parser.add_argument("query", nargs="?", help="keyword query (quote phrases)")
+    source = parser.add_mutually_exclusive_group()
+    source.add_argument(
+        "--dataset",
+        choices=DATASETS,
+        default="university",
+        help="built-in dataset to query (default: university)",
+    )
+    source.add_argument(
+        "--db-dir",
+        type=Path,
+        help="directory with schema.json + CSVs (see repro.relational.io)",
+    )
+    parser.add_argument(
+        "--top",
+        type=int,
+        default=1,
+        metavar="K",
+        help="number of interpretations to show (default: 1)",
+    )
+    parser.add_argument(
+        "--explain",
+        action="store_true",
+        help="show interpretations and SQL without executing",
+    )
+    parser.add_argument(
+        "--sqak",
+        action="store_true",
+        help="use the SQAK baseline instead of the semantic engine",
+    )
+    parser.add_argument(
+        "--sql",
+        action="store_true",
+        help="treat the argument as raw SQL and execute it directly",
+    )
+    parser.add_argument(
+        "--schema",
+        action="store_true",
+        help="print the database summary and ORM schema graph, then exit",
+    )
+    parser.add_argument(
+        "--reproduce",
+        action="store_true",
+        help="regenerate every table/figure of the paper and exit",
+    )
+    return parser
+
+
+def _load_source(args: argparse.Namespace) -> Tuple[Database, dict, dict, tuple]:
+    """Return (database, fds, name_hints, sqak_extra_joins)."""
+    if args.db_dir is not None:
+        database = load_database(args.db_dir)
+        fds_path = Path(args.db_dir) / "fds.json"
+        fds = {}
+        if fds_path.exists():
+            with open(fds_path, encoding="utf-8") as handle:
+                fds = json.load(handle)
+        return database, fds, {}, ()
+    name = args.dataset
+    if name == "university":
+        return university_database(), {}, {}, ()
+    if name == "enrolment":
+        return enrolment_database(), _ENROLMENT_FDS, {}, ()
+    if name == "tpch":
+        return generate_tpch(), {}, {}, ()
+    if name == "acmdl":
+        return generate_acmdl(), {}, {}, ()
+    if name == "tpch-unnorm":
+        dataset = denormalize_tpch(generate_tpch())
+    else:
+        dataset = denormalize_acmdl(generate_acmdl())
+    return (
+        dataset.database,
+        dict(dataset.fds),
+        dict(dataset.name_hints),
+        tuple(dataset.sqak_extra_joins),
+    )
+
+
+def _run_semantic(
+    engine: KeywordSearchEngine, query: str, top: int, explain: bool, out
+) -> int:
+    result = engine.search(query, k=top)
+    for interpretation in result.interpretations:
+        print(f"-- interpretation #{interpretation.rank}: "
+              f"{interpretation.description}", file=out)
+        if explain:
+            print(interpretation.pattern.render_tree(), file=out)
+        print(interpretation.sql, file=out)
+        if not explain:
+            print(interpretation.execute().format_table(), file=out)
+        print(file=out)
+    return 0
+
+
+def _run_sqak(sqak: SqakEngine, query: str, explain: bool, out) -> int:
+    try:
+        statement = sqak.compile(query)
+    except UnsupportedQueryError as exc:
+        print(f"SQAK: N.A. ({exc})", file=out)
+        return 1
+    print(statement.sql, file=out)
+    if not explain:
+        print(sqak.executor.execute(statement.select).format_table(), file=out)
+    return 0
+
+
+def main(argv: Optional[List[str]] = None, out=None) -> int:
+    out = out or sys.stdout
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.reproduce:
+        from repro.experiments.report import full_report
+
+        full_report(out)
+        return 0
+
+    try:
+        database, fds, name_hints, extra_joins = _load_source(args)
+        if args.schema:
+            print(database.summary(), file=out)
+            engine = KeywordSearchEngine(
+                database, fds=fds or None, name_hints=name_hints or None
+            )
+            print(file=out)
+            print(engine.graph.describe(), file=out)
+            return 0
+        if not args.query:
+            parser.error("a query is required (or use --schema/--reproduce)")
+        if args.sql:
+            from repro.relational.executor import execute_sql
+
+            print(execute_sql(database, args.query).format_table(), file=out)
+            return 0
+        if args.sqak:
+            sqak = SqakEngine(database, extra_joins=extra_joins)
+            return _run_sqak(sqak, args.query, args.explain, out)
+        engine = KeywordSearchEngine(
+            database, fds=fds or None, name_hints=name_hints or None
+        )
+        return _run_semantic(engine, args.query, args.top, args.explain, out)
+    except ReproError as exc:
+        print(f"error: {exc}", file=out)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,38 @@
+"""Datasets: the paper's university examples, synthetic TPC-H and ACMDL,
+and the Table-7 denormalizers."""
+
+from repro.datasets.acmdl import AcmdlConfig, acmdl_schema
+from repro.datasets.acmdl import generate as generate_acmdl
+from repro.datasets.denormalize import (
+    UnnormalizedDataset,
+    denormalize_acmdl,
+    denormalize_tpch,
+)
+from repro.datasets.tpch import TpchConfig, tpch_schema
+from repro.datasets.tpch import generate as generate_tpch
+from repro.datasets.university import (
+    enrolment_database,
+    enrolment_schema,
+    university_database,
+    university_schema,
+    unnormalized_lecturer_database,
+    unnormalized_lecturer_schema,
+)
+
+__all__ = [
+    "AcmdlConfig",
+    "TpchConfig",
+    "UnnormalizedDataset",
+    "acmdl_schema",
+    "denormalize_acmdl",
+    "denormalize_tpch",
+    "enrolment_database",
+    "enrolment_schema",
+    "generate_acmdl",
+    "generate_tpch",
+    "tpch_schema",
+    "university_database",
+    "university_schema",
+    "unnormalized_lecturer_database",
+    "unnormalized_lecturer_schema",
+]

@@ -1,0 +1,346 @@
+"""Synthetic ACM Digital Library dataset over the paper's schema (Table 2).
+
+The real ACMDL dump is proprietary; the evaluation only needs its
+value-collision structure, which this seeded generator plants:
+
+* several editors share the last name ``Smith`` (A3) and several authors the
+  last name ``Gill`` (A4) — SQAK mixes them, the semantic engine
+  distinguishes them by identifier;
+* six papers whose titles contain ``database tuning`` but only four distinct
+  title strings (A5: SQAK groups by title and returns 4 answers, the
+  semantic engine returns 6);
+* a SIGMOD proceedings series (A2), SIGIR/CIKM series with shared editors
+  (A8), publishers whose names contain ``IEEE`` (A6);
+* authors named John and Mary with co-authored papers (A7).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Set, Tuple
+
+from repro.relational.database import Database
+from repro.relational.schema import DatabaseSchema, ForeignKey
+from repro.relational.types import DataType
+
+INT = DataType.INT
+TEXT = DataType.TEXT
+DATE = DataType.DATE
+
+_FIRST_NAMES = [
+    "Alice", "Bob", "Carol", "David", "Erin", "Frank", "Grace", "Henry",
+    "Irene", "Jack", "Karen", "Leo", "Nina", "Oscar", "Paula", "Quentin",
+]
+_LAST_NAMES = [
+    "Adams", "Baker", "Clark", "Davis", "Evans", "Foster", "Garcia",
+    "Hughes", "Irving", "Jones", "Keller", "Lopez", "Morris", "Nolan",
+]
+_TITLE_WORDS = [
+    "scalable", "adaptive", "distributed", "streaming", "probabilistic",
+    "indexing", "transactions", "graphs", "learning", "queries", "storage",
+    "privacy", "ranking", "caching", "workloads", "optimization",
+]
+_PUBLISHERS = [
+    ("ACM", "ACM Press"),
+    ("SPR", "Springer"),
+    ("ELS", "Elsevier"),
+    ("MKP", "Morgan Kaufmann"),
+    ("WIL", "Wiley"),
+    ("OUP", "Oxford University Press"),
+    ("CUP", "Cambridge University Press"),
+    ("NOW", "Now Publishers"),
+]
+_IEEE_PUBLISHERS = [
+    ("IEE", "IEEE"),
+    ("IEC", "IEEE Computer Society"),
+    ("IEP", "IEEE Press"),
+    ("IES", "IEEE Communications Society"),
+]
+
+# paper A5: six matching papers, four distinct title strings, author counts
+# 2, 2, 2, 6, 2, 2 (the paper's exact answer multiset)
+_TUNING_TITLES = [
+    "database tuning techniques",
+    "database tuning techniques",
+    "database tuning",
+    "advanced database tuning",
+    "database tuning in practice",
+    "database tuning in practice",
+]
+_TUNING_AUTHOR_COUNTS = [2, 2, 2, 6, 2, 2]
+
+
+@dataclass(frozen=True)
+class AcmdlConfig:
+    """Scale knobs and planted-shape counts."""
+
+    seed: int = 7
+    authors: int = 120
+    editors: int = 60
+    papers: int = 500
+    proceedings_per_series: int = 8
+    smith_editors: int = 7
+    gill_authors: int = 6
+    john_authors: int = 4
+    mary_authors: int = 3
+
+
+def acmdl_schema() -> DatabaseSchema:
+    """The paper's ACMDL schema (Table 2)."""
+    schema = DatabaseSchema("acmdl")
+    schema.add_relation(
+        "Publisher",
+        [("publisherid", INT), ("code", TEXT), ("name", TEXT)],
+        ["publisherid"],
+    )
+    schema.add_relation(
+        "Proceeding",
+        [
+            ("procid", INT),
+            ("acronym", TEXT),
+            ("title", TEXT),
+            ("date", DATE),
+            ("pages", INT),
+            ("publisherid", INT),
+        ],
+        ["procid"],
+        [ForeignKey(("publisherid",), "Publisher", ("publisherid",))],
+    )
+    schema.add_relation(
+        "Paper",
+        [("paperid", INT), ("procid", INT), ("date", DATE), ("ptitle", TEXT)],
+        ["paperid"],
+        [ForeignKey(("procid",), "Proceeding", ("procid",))],
+    )
+    schema.add_relation(
+        "Author",
+        [("authorid", INT), ("fname", TEXT), ("lname", TEXT)],
+        ["authorid"],
+    )
+    schema.add_relation(
+        "Editor",
+        [("editorid", INT), ("fname", TEXT), ("lname", TEXT)],
+        ["editorid"],
+    )
+    schema.add_relation(
+        "Write",
+        [("paperid", INT), ("authorid", INT)],
+        ["paperid", "authorid"],
+        [
+            ForeignKey(("paperid",), "Paper", ("paperid",)),
+            ForeignKey(("authorid",), "Author", ("authorid",)),
+        ],
+    )
+    schema.add_relation(
+        "Edit",
+        [("editorid", INT), ("procid", INT)],
+        ["editorid", "procid"],
+        [
+            ForeignKey(("editorid",), "Editor", ("editorid",)),
+            ForeignKey(("procid",), "Proceeding", ("procid",)),
+        ],
+    )
+    return schema
+
+
+def generate(config: AcmdlConfig = AcmdlConfig()) -> Database:
+    """Generate a deterministic ACMDL database with planted shapes."""
+    rng = random.Random(config.seed)
+    db = Database(acmdl_schema())
+
+    publishers = [
+        (i + 1, code, name)
+        for i, (code, name) in enumerate(_IEEE_PUBLISHERS + _PUBLISHERS)
+    ]
+    db.load("Publisher", publishers)
+    ieee_ids = list(range(1, len(_IEEE_PUBLISHERS) + 1))
+    publisher_ids = [row[0] for row in publishers]
+
+    # ------------------------------------------------------------------
+    # Proceedings: series x years
+    # ------------------------------------------------------------------
+    series = ["SIGMOD", "SIGIR", "CIKM", "VLDB", "ICDE", "EDBT"]
+    proceedings: List[Tuple[int, str, str, str, int, int]] = []
+    series_procs: Dict[str, List[int]] = {name: [] for name in series}
+    procid = 0
+    for name in series:
+        for year_index in range(config.proceedings_per_series):
+            procid += 1
+            year = 2000 + year_index
+            # IEEE publishers host ICDE; others rotate
+            if name == "ICDE":
+                publisher = ieee_ids[year_index % len(ieee_ids)]
+            else:
+                publisher = publisher_ids[(procid + year_index) % len(publisher_ids)]
+            proceedings.append(
+                (
+                    procid,
+                    f"{name} {year}",
+                    f"Proceedings of {name} {year}",
+                    f"{year}-{rng.randint(3, 11):02d}-{rng.randint(1, 28):02d}",
+                    rng.randint(200, 1400),
+                    publisher,
+                )
+            )
+            series_procs[name].append(procid)
+    db.load("Proceeding", proceedings)
+    all_procids = [row[0] for row in proceedings]
+    proc_date = {row[0]: row[3] for row in proceedings}
+
+    # ------------------------------------------------------------------
+    # Authors and editors, with planted names
+    # ------------------------------------------------------------------
+    authors: List[Tuple[int, str, str]] = []
+    authorid = 0
+
+    def add_author(fname: str, lname: str) -> int:
+        nonlocal authorid
+        authorid += 1
+        authors.append((authorid, fname, lname))
+        return authorid
+
+    gill_ids = [
+        add_author(rng.choice(_FIRST_NAMES), "Gill")
+        for _ in range(config.gill_authors)
+    ]
+    john_ids = [
+        add_author("John", rng.choice(_LAST_NAMES))
+        for _ in range(config.john_authors)
+    ]
+    mary_ids = [
+        add_author("Mary", rng.choice(_LAST_NAMES))
+        for _ in range(config.mary_authors)
+    ]
+    while len(authors) < config.authors:
+        add_author(rng.choice(_FIRST_NAMES), rng.choice(_LAST_NAMES))
+    db.load("Author", authors)
+    all_author_ids = [row[0] for row in authors]
+
+    editors: List[Tuple[int, str, str]] = []
+    editorid = 0
+
+    def add_editor(fname: str, lname: str) -> int:
+        nonlocal editorid
+        editorid += 1
+        editors.append((editorid, fname, lname))
+        return editorid
+
+    smith_ids = [
+        add_editor(rng.choice(_FIRST_NAMES), "Smith")
+        for _ in range(config.smith_editors)
+    ]
+    while len(editors) < config.editors:
+        add_editor(rng.choice(_FIRST_NAMES), rng.choice(_LAST_NAMES))
+    db.load("Editor", editors)
+    all_editor_ids = [row[0] for row in editors]
+
+    # ------------------------------------------------------------------
+    # Papers, with the planted "database tuning" titles
+    # ------------------------------------------------------------------
+    papers: List[Tuple[int, int, str, str]] = []
+    paperid = 0
+
+    def add_paper(proc: int, title: str) -> int:
+        nonlocal paperid
+        paperid += 1
+        base_date = proc_date[proc]
+        papers.append((paperid, proc, base_date, title))
+        return paperid
+
+    tuning_ids = [
+        add_paper(rng.choice(all_procids), title) for title in _TUNING_TITLES
+    ]
+    while len(papers) < config.papers:
+        words = rng.sample(_TITLE_WORDS, 3)
+        add_paper(rng.choice(all_procids), " ".join(words))
+    db.load("Paper", papers)
+    all_paper_ids = [row[0] for row in papers]
+    papers_of_proc: Dict[int, List[int]] = {}
+    for pid, proc, _, _ in papers:
+        papers_of_proc.setdefault(proc, []).append(pid)
+
+    # ------------------------------------------------------------------
+    # Write: authorship
+    # ------------------------------------------------------------------
+    write: Set[Tuple[int, int]] = set()
+
+    def add_write(paper: int, author: int) -> None:
+        write.add((paper, author))
+
+    # planted exact author counts for the tuning papers (A5: 2,2,2,6,2,2)
+    for paper, count in zip(tuning_ids, _TUNING_AUTHOR_COUNTS):
+        for author in rng.sample(all_author_ids, count):
+            add_write(paper, author)
+
+    # planted: John/Mary co-authorships (A7) and Gill papers (A4) avoid the
+    # tuning papers so A5's planted author counts stay exact
+    non_tuning_papers = [pid for pid in all_paper_ids if pid not in tuning_ids]
+    for john in john_ids:
+        for mary in rng.sample(mary_ids, rng.randint(1, len(mary_ids))):
+            for _ in range(rng.randint(1, 3)):
+                paper = rng.choice(non_tuning_papers)
+                add_write(paper, john)
+                add_write(paper, mary)
+
+    for gill in gill_ids:
+        for _ in range(rng.randint(2, 5)):
+            add_write(rng.choice(non_tuning_papers), gill)
+
+    # organic authorship: every other paper gets 1-4 authors (the tuning
+    # papers keep their planted counts 2,2,2,6,2,2 — the paper's exact A5
+    # answer multiset)
+    for paper in all_paper_ids:
+        if paper in tuning_ids:
+            continue
+        for author in rng.sample(all_author_ids, rng.randint(1, 4)):
+            add_write(paper, author)
+    db.load("Write", sorted(write))
+
+    # ------------------------------------------------------------------
+    # Edit: editorship
+    # ------------------------------------------------------------------
+    edit: Set[Tuple[int, int]] = set()
+
+    def add_edit(editor: int, proc: int) -> None:
+        edit.add((editor, proc))
+
+    # planted: each Smith edits proceedings (A3); drawn outside the
+    # SIGIR/CIKM series so A8's shared-editor count stays the planted 2
+    non_pair_procids = [
+        procid
+        for name in series
+        if name not in ("SIGIR", "CIKM")
+        for procid in series_procs[name]
+    ]
+    for smith in smith_ids:
+        for _ in range(rng.randint(1, 3)):
+            add_edit(smith, rng.choice(non_pair_procids))
+
+    # planted: two editors edit both a SIGIR and a CIKM proceeding (A8)
+    for editor, sigir, cikm in [
+        (all_editor_ids[-1], series_procs["SIGIR"][0], series_procs["CIKM"][0]),
+        (all_editor_ids[-2], series_procs["SIGIR"][1], series_procs["CIKM"][1]),
+    ]:
+        add_edit(editor, sigir)
+        add_edit(editor, cikm)
+
+    # organic editorship: every proceeding gets 1-3 editors, drawn from a
+    # per-series slice of the community so SIGIR/CIKM editors only overlap
+    # through the planted pairs (A8's answer stays the planted 2)
+    pool_size = max(4, (len(all_editor_ids) - 2) // len(series))
+    proc_pages = {row[0]: row[4] for row in proceedings}
+    for series_index, name in enumerate(series):
+        offset = (series_index * pool_size) % (len(all_editor_ids) - pool_size - 2)
+        pool = all_editor_ids[offset : offset + pool_size]
+        for proc in series_procs[name]:
+            # longer proceedings get more editors: the correlation makes
+            # AVG(pages) over the denormalized EditorProceeding visibly
+            # larger than the true average (the Table 9 effect for A1)
+            count = min(len(pool), 1 + proc_pages[proc] // 450)
+            for editor in rng.sample(pool, count):
+                add_edit(editor, proc)
+    db.load("Edit", sorted(edit))
+
+    db.check_foreign_keys()
+    return db

@@ -1,0 +1,267 @@
+"""Denormalizers producing the unnormalized schemas of Table 7.
+
+* :func:`denormalize_tpch` — TPCH': one wide ``Ordering`` relation
+  (Lineitem x Part x Supplier x Order, plus the supplier's region), and a
+  ``Customer`` widened with its nation's ``regionkey``.
+* :func:`denormalize_acmdl` — ACMDL': ``PaperAuthor`` (Write x Paper x
+  Author, with ``ptitle`` renamed ``title`` as in the paper) and
+  ``EditorProceeding`` (Edit x Editor x Proceeding).
+
+Each denormalizer also returns the declared functional dependencies of the
+wide relations and the name hints that let the normalized view recover the
+original relation names — both of which a real deployment would know, since
+denormalization starts from the normalized schema.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+from repro.relational.database import Database
+from repro.relational.schema import DatabaseSchema, ForeignKey
+from repro.relational.table import Row
+from repro.relational.types import DataType
+
+INT = DataType.INT
+FLOAT = DataType.FLOAT
+TEXT = DataType.TEXT
+DATE = DataType.DATE
+
+
+@dataclass(frozen=True)
+class UnnormalizedDataset:
+    """A denormalized database plus the metadata the engine needs."""
+
+    database: Database
+    fds: Mapping[str, Sequence[str]]
+    name_hints: Mapping[frozenset, str]
+    sqak_extra_joins: Sequence[Tuple[str, str, Tuple[str, ...], Tuple[str, ...]]]
+
+
+def _index_by_key(db: Database, table: str) -> Dict[Tuple, Row]:
+    """Primary-key -> row mapping for joins during denormalization."""
+    schema = db.table(table).schema
+    key_idx = [schema.column_index(col) for col in schema.primary_key]
+    return {
+        tuple(row[i] for i in key_idx): row for row in db.table(table).rows
+    }
+
+
+def denormalize_tpch(source: Database) -> UnnormalizedDataset:
+    """Build TPCH' (Table 7) from a normalized TPC-H database."""
+    schema = DatabaseSchema("tpch_unnorm")
+    schema.add_relation(
+        "Nation", [("nationkey", INT), ("nname", TEXT)], ["nationkey"]
+    )
+    schema.add_relation(
+        "Region", [("regionkey", INT), ("rname", TEXT)], ["regionkey"]
+    )
+    schema.add_relation(
+        "Customer",
+        [
+            ("custkey", INT),
+            ("cname", TEXT),
+            ("nationkey", INT),
+            ("regionkey", INT),
+            ("mktsegment", TEXT),
+        ],
+        ["custkey"],
+        [
+            ForeignKey(("nationkey",), "Nation", ("nationkey",)),
+            ForeignKey(("regionkey",), "Region", ("regionkey",)),
+        ],
+    )
+    schema.add_relation(
+        "Ordering",
+        [
+            ("partkey", INT),
+            ("suppkey", INT),
+            ("orderkey", INT),
+            ("pname", TEXT),
+            ("type", TEXT),
+            ("size", INT),
+            ("retailprice", FLOAT),
+            ("sname", TEXT),
+            ("nationkey", INT),
+            ("regionkey", INT),
+            ("acctbal", FLOAT),
+            ("custkey", INT),
+            ("amount", FLOAT),
+            ("date", DATE),
+            ("priority", TEXT),
+            ("quantity", INT),
+        ],
+        ["partkey", "suppkey", "orderkey"],
+        [
+            ForeignKey(("custkey",), "Customer", ("custkey",)),
+            ForeignKey(("nationkey",), "Nation", ("nationkey",)),
+            ForeignKey(("regionkey",), "Region", ("regionkey",)),
+        ],
+    )
+    db = Database(schema)
+
+    nations = _index_by_key(source, "Nation")
+    parts = _index_by_key(source, "Part")
+    suppliers = _index_by_key(source, "Supplier")
+    orders = _index_by_key(source, "Order")
+
+    db.load("Nation", [(n[0], n[1]) for n in source.table("Nation").rows])
+    db.load("Region", list(source.table("Region").rows))
+    db.load(
+        "Customer",
+        [
+            (c[0], c[1], c[2], nations[(c[2],)][2], c[3])
+            for c in source.table("Customer").rows
+        ],
+    )
+    ordering_rows = []
+    for partkey, suppkey, orderkey, quantity in source.table("Lineitem").rows:
+        part = parts[(partkey,)]
+        supplier = suppliers[(suppkey,)]
+        order = orders[(orderkey,)]
+        nation = nations[(supplier[2],)]
+        ordering_rows.append(
+            (
+                partkey,
+                suppkey,
+                orderkey,
+                part[1],  # pname
+                part[2],  # type
+                part[3],  # size
+                part[4],  # retailprice
+                supplier[1],  # sname
+                supplier[2],  # nationkey
+                nation[2],  # regionkey
+                supplier[3],  # acctbal
+                order[1],  # custkey
+                order[2],  # amount
+                order[3],  # date
+                order[4],  # priority
+                quantity,
+            )
+        )
+    db.load("Ordering", ordering_rows)
+    db.check_foreign_keys()
+
+    fds = {
+        "Ordering": [
+            "partkey -> pname, type, size, retailprice",
+            "suppkey -> sname, nationkey, acctbal",
+            "nationkey -> regionkey",
+            "orderkey -> custkey, amount, date, priority",
+        ],
+        "Customer": ["nationkey -> regionkey"],
+    }
+    name_hints = {
+        frozenset({"partkey"}): "Part",
+        frozenset({"suppkey"}): "Supplier",
+        frozenset({"orderkey"}): "Order",
+        frozenset({"custkey"}): "Customer",
+        frozenset({"nationkey"}): "Nation",
+        frozenset({"partkey", "suppkey", "orderkey"}): "Lineitem",
+    }
+    return UnnormalizedDataset(db, fds, name_hints, sqak_extra_joins=())
+
+
+def denormalize_acmdl(source: Database) -> UnnormalizedDataset:
+    """Build ACMDL' (Table 7) from a normalized ACMDL database."""
+    schema = DatabaseSchema("acmdl_unnorm")
+    schema.add_relation(
+        "Publisher",
+        [("publisherid", INT), ("code", TEXT), ("name", TEXT)],
+        ["publisherid"],
+    )
+    schema.add_relation(
+        "PaperAuthor",
+        [
+            ("paperid", INT),
+            ("authorid", INT),
+            ("procid", INT),
+            ("date", DATE),
+            ("title", TEXT),
+            ("fname", TEXT),
+            ("lname", TEXT),
+        ],
+        ["paperid", "authorid"],
+    )
+    schema.add_relation(
+        "EditorProceeding",
+        [
+            ("editorid", INT),
+            ("procid", INT),
+            ("fname", TEXT),
+            ("lname", TEXT),
+            ("acronym", TEXT),
+            ("title", TEXT),
+            ("date", DATE),
+            ("pages", INT),
+            ("publisherid", INT),
+        ],
+        ["editorid", "procid"],
+        [ForeignKey(("publisherid",), "Publisher", ("publisherid",))],
+    )
+    db = Database(schema)
+
+    papers = _index_by_key(source, "Paper")
+    authors = _index_by_key(source, "Author")
+    editors = _index_by_key(source, "Editor")
+    proceedings = _index_by_key(source, "Proceeding")
+
+    db.load("Publisher", list(source.table("Publisher").rows))
+    db.load(
+        "PaperAuthor",
+        [
+            (
+                paperid,
+                authorid,
+                papers[(paperid,)][1],  # procid
+                papers[(paperid,)][2],  # date
+                papers[(paperid,)][3],  # ptitle -> title
+                authors[(authorid,)][1],
+                authors[(authorid,)][2],
+            )
+            for paperid, authorid in source.table("Write").rows
+        ],
+    )
+    db.load(
+        "EditorProceeding",
+        [
+            (
+                editorid,
+                procid,
+                editors[(editorid,)][1],
+                editors[(editorid,)][2],
+                proceedings[(procid,)][1],  # acronym
+                proceedings[(procid,)][2],  # title
+                proceedings[(procid,)][3],  # date
+                proceedings[(procid,)][4],  # pages
+                proceedings[(procid,)][5],  # publisherid
+            )
+            for editorid, procid in source.table("Edit").rows
+        ],
+    )
+    db.check_foreign_keys()
+
+    fds = {
+        "PaperAuthor": [
+            "paperid -> procid, date, title",
+            "authorid -> fname, lname",
+        ],
+        "EditorProceeding": [
+            "editorid -> fname, lname",
+            "procid -> acronym, title, date, pages, publisherid",
+        ],
+    }
+    name_hints = {
+        frozenset({"paperid"}): "Paper",
+        frozenset({"authorid"}): "Author",
+        frozenset({"editorid"}): "Editor",
+        frozenset({"procid"}): "Proceeding",
+        frozenset({"paperid", "authorid"}): "Write",
+        frozenset({"editorid", "procid"}): "Edit",
+    }
+    extra_joins = [
+        ("PaperAuthor", "EditorProceeding", ("procid",), ("procid",)),
+    ]
+    return UnnormalizedDataset(db, fds, name_hints, sqak_extra_joins=extra_joins)

@@ -1,0 +1,312 @@
+"""Synthetic TPC-H dataset over the paper's simplified schema (Table 2).
+
+The official TPC-H generator is unavailable offline, and the paper's
+evaluation does not depend on TPC-H magnitudes — it depends on specific
+*value-collision shapes* in the data.  This generator is seeded and
+deterministic, and plants exactly those shapes:
+
+* several distinct parts named ``royal olive`` (query T3: SQAK mixes them,
+  the semantic engine returns one count per part);
+* several distinct parts named ``yellow tomato`` (T4);
+* one part ``Indian black chocolate`` supplied by few suppliers across many
+  orders (T5: SQAK counts supplier-order pairs, not suppliers);
+* ``pink rose`` / ``white rose`` part pairs sharing suppliers (T8:
+  self-joins, which SQAK cannot generate);
+* every supplier supplies each of its parts in several orders (T6: SQAK
+  counts line items instead of distinct parts).
+
+Scale is configurable; defaults keep the full evaluation under a second.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Set, Tuple
+
+from repro.relational.database import Database
+from repro.relational.schema import DatabaseSchema, ForeignKey
+from repro.relational.types import DataType
+
+INT = DataType.INT
+FLOAT = DataType.FLOAT
+TEXT = DataType.TEXT
+DATE = DataType.DATE
+
+REGIONS = ["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"]
+SEGMENTS = ["AUTOMOBILE", "BUILDING", "FURNITURE", "HOUSEHOLD", "MACHINERY"]
+PRIORITIES = ["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"]
+PART_TYPES = ["STANDARD", "SMALL", "MEDIUM", "LARGE", "ECONOMY", "PROMO"]
+
+# vocabulary chosen so no random combination contains a planted phrase
+_ADJECTIVES = [
+    "misty", "golden", "amber", "copper", "ivory", "scarlet", "cobalt",
+    "emerald", "crimson", "silver", "sandy", "dusty", "pale", "deep",
+]
+_NOUNS = [
+    "almond", "walnut", "pepper", "ginger", "saffron", "basil", "cedar",
+    "maple", "willow", "orchid", "tulip", "daisy", "clover", "hazel",
+]
+
+
+@dataclass(frozen=True)
+class TpchConfig:
+    """Scale knobs and planted-shape counts for the generator."""
+
+    seed: int = 42
+    parts: int = 160
+    suppliers: int = 60
+    customers: int = 120
+    orders: int = 900
+    lineitems_per_order: Tuple[int, int] = (2, 5)
+    royal_olive_parts: int = 8
+    yellow_tomato_parts: int = 13
+    chocolate_suppliers: int = 4
+    chocolate_lineitems: int = 22
+
+
+def tpch_schema() -> DatabaseSchema:
+    """The paper's simplified TPC-H schema (Table 2)."""
+    schema = DatabaseSchema("tpch")
+    schema.add_relation("Region", [("regionkey", INT), ("rname", TEXT)], ["regionkey"])
+    schema.add_relation(
+        "Nation",
+        [("nationkey", INT), ("nname", TEXT), ("regionkey", INT)],
+        ["nationkey"],
+        [ForeignKey(("regionkey",), "Region", ("regionkey",))],
+    )
+    schema.add_relation(
+        "Part",
+        [
+            ("partkey", INT),
+            ("pname", TEXT),
+            ("type", TEXT),
+            ("size", INT),
+            ("retailprice", FLOAT),
+        ],
+        ["partkey"],
+    )
+    schema.add_relation(
+        "Supplier",
+        [
+            ("suppkey", INT),
+            ("sname", TEXT),
+            ("nationkey", INT),
+            ("acctbal", FLOAT),
+        ],
+        ["suppkey"],
+        [ForeignKey(("nationkey",), "Nation", ("nationkey",))],
+    )
+    schema.add_relation(
+        "Customer",
+        [
+            ("custkey", INT),
+            ("cname", TEXT),
+            ("nationkey", INT),
+            ("mktsegment", TEXT),
+        ],
+        ["custkey"],
+        [ForeignKey(("nationkey",), "Nation", ("nationkey",))],
+    )
+    schema.add_relation(
+        "Order",
+        [
+            ("orderkey", INT),
+            ("custkey", INT),
+            ("amount", FLOAT),
+            ("date", DATE),
+            ("priority", TEXT),
+        ],
+        ["orderkey"],
+        [ForeignKey(("custkey",), "Customer", ("custkey",))],
+    )
+    schema.add_relation(
+        "Lineitem",
+        [
+            ("partkey", INT),
+            ("suppkey", INT),
+            ("orderkey", INT),
+            ("quantity", INT),
+        ],
+        ["partkey", "suppkey", "orderkey"],
+        [
+            ForeignKey(("partkey",), "Part", ("partkey",)),
+            ForeignKey(("suppkey",), "Supplier", ("suppkey",)),
+            ForeignKey(("orderkey",), "Order", ("orderkey",)),
+        ],
+    )
+    return schema
+
+
+def generate(config: TpchConfig = TpchConfig()) -> Database:
+    """Generate a deterministic TPC-H database with planted shapes."""
+    rng = random.Random(config.seed)
+    db = Database(tpch_schema())
+
+    db.load("Region", [(i, name) for i, name in enumerate(REGIONS)])
+    nations = []
+    for i in range(25):
+        nations.append((i, f"NATION{i:02d}", i % len(REGIONS)))
+    db.load("Nation", nations)
+
+    # ------------------------------------------------------------------
+    # Parts, with planted names
+    # ------------------------------------------------------------------
+    parts: List[Tuple[int, str, str, int, float]] = []
+    partkey = 0
+
+    def add_part(name: str) -> int:
+        nonlocal partkey
+        partkey += 1
+        parts.append(
+            (
+                partkey,
+                name,
+                rng.choice(PART_TYPES),
+                rng.randint(1, 50),
+                round(rng.uniform(5.0, 200.0), 2),
+            )
+        )
+        return partkey
+
+    royal_olive = [add_part("royal olive") for _ in range(config.royal_olive_parts)]
+    yellow_tomato = [
+        add_part("yellow tomato") for _ in range(config.yellow_tomato_parts)
+    ]
+    chocolate = add_part("Indian black chocolate")
+    pink_roses = [add_part("pink rose") for _ in range(2)]
+    white_roses = [add_part("white rose") for _ in range(2)]
+    while len(parts) < config.parts:
+        add_part(f"{rng.choice(_ADJECTIVES)} {rng.choice(_NOUNS)}")
+    db.load("Part", parts)
+    all_partkeys = [row[0] for row in parts]
+
+    # ------------------------------------------------------------------
+    # Suppliers, customers, orders
+    # ------------------------------------------------------------------
+    suppliers = [
+        (
+            i + 1,
+            f"Supplier#{i + 1:04d}",
+            rng.randrange(25),
+            round(rng.uniform(-500.0, 10000.0), 2),
+        )
+        for i in range(config.suppliers)
+    ]
+    db.load("Supplier", suppliers)
+    supplier_keys = [row[0] for row in suppliers]
+
+    customers = [
+        (
+            i + 1,
+            f"Customer#{i + 1:04d}",
+            rng.randrange(25),
+            rng.choice(SEGMENTS),
+        )
+        for i in range(config.customers)
+    ]
+    db.load("Customer", customers)
+
+    # order amounts correlate with their line-item count (bigger orders
+    # cost more), so averaging the denormalized Ordering relation — which
+    # repeats an order once per line item — visibly inflates AVG(amount),
+    # the Table 8 effect for T1
+    item_counts = [
+        rng.randint(*config.lineitems_per_order) for _ in range(config.orders)
+    ]
+    orders = [
+        (
+            i + 1,
+            rng.randint(1, config.customers),
+            round(item_counts[i] * rng.uniform(8000.0, 60000.0), 2),
+            f"199{rng.randint(2, 8)}-{rng.randint(1, 12):02d}-{rng.randint(1, 28):02d}",
+            rng.choice(PRIORITIES),
+        )
+        for i in range(config.orders)
+    ]
+    db.load("Order", orders)
+
+    # ------------------------------------------------------------------
+    # Line items
+    # ------------------------------------------------------------------
+    # each supplier supplies a stable set of parts; line items repeatedly
+    # draw from that set so (part, supplier) pairs recur across orders.
+    # Parts with a planted supplier shape (the chocolate part and the rose
+    # pairs) are excluded from the organic pools so their supplier counts
+    # stay exactly as planted.
+    controlled = {chocolate, *pink_roses, *white_roses}
+    organic_parts = [key for key in all_partkeys if key not in controlled]
+    parts_of_supplier: Dict[int, List[int]] = {
+        key: rng.sample(
+            organic_parts, k=min(len(organic_parts), rng.randint(10, 20))
+        )
+        for key in supplier_keys
+    }
+    lineitems: Set[Tuple[int, int, int]] = set()
+    rows: List[Tuple[int, int, int, int]] = []
+
+    def add_lineitem(part: int, supplier: int, order: int) -> bool:
+        key = (part, supplier, order)
+        if key in lineitems:
+            return False
+        lineitems.add(key)
+        rows.append((part, supplier, order, rng.randint(1, 50)))
+        return True
+
+    for orderkey in range(1, config.orders + 1):
+        count = item_counts[orderkey - 1]
+        for _ in range(count):
+            supplier = rng.choice(supplier_keys)
+            part = rng.choice(parts_of_supplier[supplier])
+            add_lineitem(part, supplier, orderkey)
+
+    # planted: the chocolate part, few suppliers x many orders
+    chocolate_suppliers = rng.sample(supplier_keys, config.chocolate_suppliers)
+    planted = 0
+    order_cycle = rng.sample(range(1, config.orders + 1), config.orders)
+    for orderkey in order_cycle:
+        if planted >= config.chocolate_lineitems:
+            break
+        supplier = chocolate_suppliers[planted % len(chocolate_suppliers)]
+        if add_lineitem(chocolate, supplier, orderkey):
+            planted += 1
+
+    # planted: make sure every royal-olive / yellow-tomato part has orders
+    for special in royal_olive + yellow_tomato:
+        for _ in range(rng.randint(3, 8)):
+            add_lineitem(
+                special,
+                rng.choice(supplier_keys),
+                rng.randint(1, config.orders),
+            )
+
+    # planted: rose part pairs share suppliers (3 pairs with overlap)
+    rose_suppliers = rng.sample(supplier_keys, 3)
+    shared = {
+        pink_roses[0]: [rose_suppliers[0], rose_suppliers[1]],
+        pink_roses[1]: [rose_suppliers[1]],
+        white_roses[0]: [rose_suppliers[0], rose_suppliers[1]],
+        white_roses[1]: [rose_suppliers[2]],
+    }
+    # the second pink rose also shares supplier 2 with the second white rose
+    shared[pink_roses[1]].append(rose_suppliers[2])
+    for part, part_suppliers in shared.items():
+        for supplier in part_suppliers:
+            for _ in range(2):
+                add_lineitem(part, supplier, rng.randint(1, config.orders))
+
+    # every order keeps at least one line item so the denormalized Ordering
+    # relation preserves the full order set (Table 8 requires our answers to
+    # be identical on TPCH and TPCH')
+    orders_covered = {order for _, _, order in lineitems}
+    for orderkey in range(1, config.orders + 1):
+        while orderkey not in orders_covered:
+            supplier = rng.choice(supplier_keys)
+            if add_lineitem(
+                rng.choice(parts_of_supplier[supplier]), supplier, orderkey
+            ):
+                orders_covered.add(orderkey)
+
+    db.load("Lineitem", sorted(rows))
+    db.check_foreign_keys()
+    return db

@@ -1,0 +1,215 @@
+"""The running-example university databases from the paper.
+
+Three variants are provided:
+
+* :func:`university_database` — the normalized database of Figure 1
+  (Student, Course, Enrol, Lecturer, Teach, Textbook, Department, Faculty).
+* :func:`unnormalized_lecturer_database` — Figure 2: Lecturer denormalized
+  with a redundant ``Fid`` foreign key to Faculty.
+* :func:`enrolment_database` — Figure 8: the single unnormalized
+  ``Enrolment`` relation (Student x Enrol x Course), violating 2NF.
+
+These exact tuples back every worked example in the paper (Q1-Q5,
+Examples 1-10), so the integration tests assert the paper's numbers
+literally: total credits 5 and 8 for the two Greens, textbook total 25 for
+Java, one CS department in Engineering, etc.
+"""
+
+from __future__ import annotations
+
+from repro.relational.database import Database
+from repro.relational.schema import DatabaseSchema, ForeignKey
+from repro.relational.types import DataType
+
+INT = DataType.INT
+FLOAT = DataType.FLOAT
+TEXT = DataType.TEXT
+
+
+def university_schema() -> DatabaseSchema:
+    """Schema of the normalized university database (Figure 1)."""
+    schema = DatabaseSchema("university")
+    schema.add_relation(
+        "Student",
+        [("Sid", TEXT), ("Sname", TEXT), ("Age", INT)],
+        ["Sid"],
+    )
+    schema.add_relation(
+        "Course",
+        [("Code", TEXT), ("Title", TEXT), ("Credit", FLOAT)],
+        ["Code"],
+    )
+    schema.add_relation(
+        "Enrol",
+        [("Sid", TEXT), ("Code", TEXT), ("Grade", TEXT)],
+        ["Sid", "Code"],
+        [
+            ForeignKey(("Sid",), "Student", ("Sid",)),
+            ForeignKey(("Code",), "Course", ("Code",)),
+        ],
+    )
+    schema.add_relation(
+        "Textbook",
+        [("Bid", TEXT), ("Tname", TEXT), ("Price", FLOAT)],
+        ["Bid"],
+    )
+    schema.add_relation(
+        "Faculty",
+        [("Fid", TEXT), ("Fname", TEXT)],
+        ["Fid"],
+    )
+    schema.add_relation(
+        "Department",
+        [("Did", TEXT), ("Dname", TEXT), ("Fid", TEXT)],
+        ["Did"],
+        [ForeignKey(("Fid",), "Faculty", ("Fid",))],
+    )
+    schema.add_relation(
+        "Lecturer",
+        [("Lid", TEXT), ("Lname", TEXT), ("Did", TEXT)],
+        ["Lid"],
+        [ForeignKey(("Did",), "Department", ("Did",))],
+    )
+    schema.add_relation(
+        "Teach",
+        [("Code", TEXT), ("Lid", TEXT), ("Bid", TEXT)],
+        ["Code", "Lid", "Bid"],
+        [
+            ForeignKey(("Code",), "Course", ("Code",)),
+            ForeignKey(("Lid",), "Lecturer", ("Lid",)),
+            ForeignKey(("Bid",), "Textbook", ("Bid",)),
+        ],
+    )
+    return schema
+
+
+_STUDENTS = [
+    ("s1", "George", 22),
+    ("s2", "Green", 24),
+    ("s3", "Green", 21),
+]
+
+_COURSES = [
+    ("c1", "Java", 5.0),
+    ("c2", "Database", 4.0),
+    ("c3", "Multimedia", 3.0),
+]
+
+_ENROLS = [
+    ("s1", "c1", "A"),
+    ("s1", "c2", "B"),
+    ("s1", "c3", "B"),
+    ("s2", "c1", "A"),
+    ("s3", "c1", "A"),
+    ("s3", "c3", "B"),
+]
+
+_TEXTBOOKS = [
+    ("b1", "Programming Language", 10.0),
+    ("b2", "Discrete Mathematics", 15.0),
+    ("b3", "Database Management", 12.0),
+    ("b4", "Multimedia Technologies", 20.0),
+]
+
+_FACULTIES = [("f1", "Engineering")]
+
+_DEPARTMENTS = [("d1", "CS", "f1")]
+
+_LECTURERS = [
+    ("l1", "Steven", "d1"),
+    ("l2", "George", "d1"),
+]
+
+_TEACHES = [
+    ("c1", "l1", "b1"),
+    ("c1", "l1", "b2"),
+    ("c1", "l2", "b1"),
+    ("c2", "l1", "b2"),
+    ("c2", "l1", "b3"),
+    ("c3", "l2", "b4"),
+]
+
+
+def university_database() -> Database:
+    """The normalized university database of Figure 1, fully populated."""
+    db = Database(university_schema())
+    db.load("Student", _STUDENTS)
+    db.load("Course", _COURSES)
+    db.load("Enrol", _ENROLS)
+    db.load("Textbook", _TEXTBOOKS)
+    db.load("Faculty", _FACULTIES)
+    db.load("Department", _DEPARTMENTS)
+    db.load("Lecturer", _LECTURERS)
+    db.load("Teach", _TEACHES)
+    db.check_foreign_keys()
+    return db
+
+
+def unnormalized_lecturer_schema() -> DatabaseSchema:
+    """Figure 2: Lecturer carries a redundant FK to Faculty."""
+    schema = DatabaseSchema("university_fig2")
+    schema.add_relation("Faculty", [("Fid", TEXT), ("Fname", TEXT)], ["Fid"])
+    schema.add_relation(
+        "Department",
+        [("Did", TEXT), ("Dname", TEXT)],
+        ["Did"],
+    )
+    schema.add_relation(
+        "Lecturer",
+        [("Lid", TEXT), ("Lname", TEXT), ("Did", TEXT), ("Fid", TEXT)],
+        ["Lid"],
+        [
+            ForeignKey(("Did",), "Department", ("Did",)),
+            ForeignKey(("Fid",), "Faculty", ("Fid",)),
+        ],
+    )
+    return schema
+
+
+def unnormalized_lecturer_database() -> Database:
+    """The unnormalized database of Figure 2."""
+    db = Database(unnormalized_lecturer_schema())
+    db.load("Faculty", [("f1", "Engineering")])
+    db.load("Department", [("d1", "CS")])
+    db.load(
+        "Lecturer",
+        [("l1", "Steven", "d1", "f1"), ("l2", "George", "d1", "f1")],
+    )
+    db.check_foreign_keys()
+    return db
+
+
+def enrolment_schema() -> DatabaseSchema:
+    """Figure 8: the single unnormalized Enrolment relation."""
+    schema = DatabaseSchema("university_fig8")
+    schema.add_relation(
+        "Enrolment",
+        [
+            ("Sid", TEXT),
+            ("Sname", TEXT),
+            ("Age", INT),
+            ("Code", TEXT),
+            ("Title", TEXT),
+            ("Credit", FLOAT),
+            ("Grade", TEXT),
+        ],
+        ["Sid", "Code"],
+    )
+    return schema
+
+
+def enrolment_database() -> Database:
+    """The unnormalized Enrolment database of Figure 8."""
+    db = Database(enrolment_schema())
+    db.load(
+        "Enrolment",
+        [
+            ("s1", "George", 22, "c1", "Java", 5.0, "A"),
+            ("s1", "George", 22, "c2", "Database", 4.0, "B"),
+            ("s1", "George", 22, "c3", "Multimedia", 3.0, "B"),
+            ("s2", "Green", 24, "c1", "Java", 5.0, "A"),
+            ("s3", "Green", 21, "c1", "Java", 5.0, "A"),
+            ("s3", "Green", 21, "c3", "Multimedia", 3.0, "B"),
+        ],
+    )
+    return db

@@ -1,0 +1,256 @@
+"""The semantic keyword-search engine (Algorithm 2).
+
+:class:`KeywordSearchEngine` ties everything together: it classifies the
+database as normalized or unnormalized (via the declared functional
+dependencies), builds the ORM schema graph — over the stored schema or over
+the normalized 3NF view — matches query terms, generates, disambiguates and
+ranks annotated query patterns, translates the top-k into SQL (rewriting
+fragment joins for unnormalized databases), and can execute the SQL against
+the in-memory database.
+
+Typical use::
+
+    engine = KeywordSearchEngine(db)
+    result = engine.search("COUNT Lecturer GROUPBY Course")
+    best = result.best
+    print(best.sql)          # the generated SQL text
+    print(best.rows())       # executed answer rows
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.errors import KeywordQueryError
+from repro.keywords.matcher import Catalog, NormalizedCatalog, TermMatcher
+from repro.keywords.query import KeywordQuery
+from repro.patterns.disambiguator import disambiguate_all
+from repro.patterns.generator import PatternGenerator
+from repro.patterns.pattern import QueryPattern
+from repro.patterns.ranker import rank_patterns
+from repro.patterns.translator import (
+    NormalizedSourceProvider,
+    PatternTranslator,
+)
+from repro.relational.database import Database
+from repro.relational.executor import Executor, QueryResult
+from repro.sql.ast import Select
+from repro.sql.render import render, render_pretty
+from repro.unnormalized.provider import UnnormalizedSourceProvider
+from repro.unnormalized.rewriter import rewrite
+from repro.unnormalized.view import (
+    FdSpec,
+    NameHints,
+    NormalizedView,
+    ViewCatalog,
+    database_is_normalized,
+)
+
+
+@dataclass
+class Interpretation:
+    """One interpretation of a keyword query: an annotated pattern, its SQL
+    and a human-readable description."""
+
+    rank: int
+    pattern: QueryPattern
+    select: Select
+    description: str
+    _executor: Executor = field(repr=False, compare=False, default=None)  # type: ignore[assignment]
+    _result: Optional[QueryResult] = field(default=None, repr=False, compare=False)
+
+    @property
+    def sql(self) -> str:
+        return render_pretty(self.select)
+
+    @property
+    def sql_compact(self) -> str:
+        return render(self.select)
+
+    @property
+    def distinguishes(self) -> bool:
+        return self.pattern.distinguishes
+
+    def execute(self) -> QueryResult:
+        """Run the SQL (cached)."""
+        if self._result is None:
+            self._result = self._executor.execute(self.select)
+        return self._result
+
+    def rows(self) -> List[Tuple]:
+        return self.execute().rows
+
+
+@dataclass
+class SearchResult:
+    """Ranked interpretations of one keyword query."""
+
+    query: KeywordQuery
+    interpretations: List[Interpretation]
+
+    @property
+    def best(self) -> Interpretation:
+        return self.interpretations[0]
+
+    def __len__(self) -> int:
+        return len(self.interpretations)
+
+    def __iter__(self):
+        return iter(self.interpretations)
+
+    def find(self, distinguishes: Optional[bool] = None) -> Optional[Interpretation]:
+        """First interpretation matching the filter (rank order)."""
+        for interpretation in self.interpretations:
+            if distinguishes is not None and interpretation.distinguishes != distinguishes:
+                continue
+            return interpretation
+        return None
+
+
+class KeywordSearchEngine:
+    """Semantic keyword search with aggregates and GROUPBY."""
+
+    def __init__(
+        self,
+        database: Database,
+        fds: Optional[FdSpec] = None,
+        name_hints: Optional[NameHints] = None,
+        top_k: int = 10,
+        max_patterns: int = 32,
+        dedup_relationships: bool = True,
+        disambiguate: bool = True,
+        rewrite_sql: bool = True,
+        check_fds: bool = False,
+    ) -> None:
+        self.database = database
+        self.top_k = top_k
+        # ablation knobs (see DESIGN.md section 5)
+        self.dedup_relationships = dedup_relationships
+        self.disambiguate = disambiguate
+        self.rewrite_sql = rewrite_sql
+        self.executor = Executor(database)
+        self.is_normalized = database_is_normalized(database, fds)
+        self.view: Optional[NormalizedView] = None
+        if self.is_normalized:
+            self.catalog: Catalog = NormalizedCatalog(database)
+        else:
+            self.view = NormalizedView.build(
+                database, fds, name_hints, check_fds=check_fds
+            )
+            self.catalog = ViewCatalog(self.view)
+        self.graph = self.catalog.graph
+        self.generator = PatternGenerator(self.catalog, max_patterns=max_patterns)
+        # compile cache: query text -> ranked patterns.  Patterns are
+        # immutable after ranking, and translation copies nothing the
+        # caller may mutate, so caching per query text is safe.
+        self._pattern_cache: Dict[str, List[QueryPattern]] = {}
+        self.cache_size = 128
+
+    # ------------------------------------------------------------------
+    # Pipeline
+    # ------------------------------------------------------------------
+    def parse(self, query_text: str) -> KeywordQuery:
+        return KeywordQuery(query_text)
+
+    def patterns(self, query_text: str) -> List[QueryPattern]:
+        """Ranked, disambiguated query patterns for a query (cached)."""
+        cached = self._pattern_cache.get(query_text)
+        if cached is not None:
+            return cached
+        query = self.parse(query_text)
+        matcher = TermMatcher(self.catalog)
+        tags = matcher.match_query(query)
+        generated = self.generator.generate(query, tags)
+        if self.disambiguate:
+            generated = disambiguate_all(generated, self.catalog)
+        ranked = rank_patterns(generated)
+        if len(self._pattern_cache) >= self.cache_size:
+            self._pattern_cache.pop(next(iter(self._pattern_cache)))
+        self._pattern_cache[query_text] = ranked
+        return ranked
+
+    def clear_cache(self) -> None:
+        """Drop cached patterns (after mutating the underlying data)."""
+        self._pattern_cache.clear()
+
+    def compile(self, query_text: str, k: Optional[int] = None) -> List[Interpretation]:
+        """Generate SQL for the top-k interpretations of a query."""
+        ranked = self.patterns(query_text)[: (k or self.top_k)]
+        interpretations: List[Interpretation] = []
+        for rank, pattern in enumerate(ranked, start=1):
+            select = self.translate(pattern)
+            interpretations.append(
+                Interpretation(
+                    rank=rank,
+                    pattern=pattern,
+                    select=select,
+                    description=describe_pattern(pattern),
+                    _executor=self.executor,
+                )
+            )
+        return interpretations
+
+    def translate(self, pattern: QueryPattern) -> Select:
+        """Translate one pattern to SQL (with rewriting when unnormalized)."""
+        if self.is_normalized:
+            translator = PatternTranslator(
+                self.graph,
+                NormalizedSourceProvider(),
+                dedup_relationships=self.dedup_relationships,
+            )
+            return translator.translate(pattern)
+        assert self.view is not None
+        provider = UnnormalizedSourceProvider(self.view)
+        translator = PatternTranslator(
+            self.graph, provider, dedup_relationships=self.dedup_relationships
+        )
+        select = translator.translate(pattern)
+        if not self.rewrite_sql:
+            return select
+        return rewrite(select, provider.fragment_uses, self.database.schema)
+
+    def search(self, query_text: str, k: Optional[int] = None) -> SearchResult:
+        """Compile a query and return its ranked interpretations."""
+        return SearchResult(
+            query=self.parse(query_text),
+            interpretations=self.compile(query_text, k),
+        )
+
+    def execute(self, query_text: str) -> QueryResult:
+        """Execute the top-ranked interpretation."""
+        return self.search(query_text, k=1).best.execute()
+
+
+def describe_pattern(pattern: QueryPattern) -> str:
+    """Human-readable summary of a query pattern's interpretation."""
+    parts: List[str] = []
+    for node in pattern.nodes:
+        fragments: List[str] = []
+        for aggregate in node.aggregates:
+            text = f"{aggregate.func}({node.orm_node}.{aggregate.attribute})"
+            for func in reversed(aggregate.outer_chain):
+                text = f"{func}({text})"
+            fragments.append(f"find {text}")
+        for condition in node.conditions:
+            fragments.append(
+                f"where {node.orm_node}.{condition.attribute} contains "
+                f"'{condition.phrase}'"
+            )
+        for groupby in node.groupbys:
+            if groupby.from_disambiguation:
+                fragments.append(
+                    f"for each distinct {node.orm_node} "
+                    f"(by {', '.join(groupby.attributes)})"
+                )
+            else:
+                fragments.append(
+                    f"grouped by {node.orm_node}.{', '.join(groupby.attributes)}"
+                )
+        if fragments:
+            parts.append("; ".join(fragments))
+    joined = " / ".join(parts) if parts else "retrieve matching objects"
+    route = " - ".join(
+        dict.fromkeys(node.orm_node for node in pattern.nodes)
+    )
+    return f"{joined} [via {route}]"

@@ -1,0 +1,77 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by the library derives from :class:`ReproError`, so callers
+can catch one base class.  Sub-hierarchies mirror the package layout: schema
+and storage errors, SQL language errors, execution errors, and keyword-query
+errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class SchemaError(ReproError):
+    """Invalid schema definition (duplicate columns, bad key, dangling FK)."""
+
+
+class IntegrityError(ReproError):
+    """A data modification violated a schema constraint."""
+
+
+class DuplicateKeyError(IntegrityError):
+    """A row insertion violated a primary-key or unique constraint."""
+
+
+class ForeignKeyError(IntegrityError):
+    """A row insertion referenced a non-existent parent key."""
+
+
+class TypeMismatchError(IntegrityError):
+    """A value could not be coerced to its column's declared type."""
+
+
+class UnknownTableError(SchemaError):
+    """A referenced table does not exist in the database."""
+
+
+class UnknownColumnError(SchemaError):
+    """A referenced column does not exist in its table."""
+
+
+class SqlError(ReproError):
+    """Base class for SQL language errors."""
+
+
+class SqlSyntaxError(SqlError):
+    """The SQL text could not be tokenized or parsed."""
+
+
+class SqlExecutionError(SqlError):
+    """The SQL statement is well-formed but cannot be executed."""
+
+
+class KeywordQueryError(ReproError):
+    """Base class for keyword-query errors."""
+
+
+class InvalidQueryError(KeywordQueryError):
+    """The keyword query violates the term constraints of Definition 1."""
+
+
+class NoMatchError(KeywordQueryError):
+    """A basic term matched nothing in the database."""
+
+
+class NoPatternError(KeywordQueryError):
+    """No connected query pattern exists for the query's tags."""
+
+
+class UnsupportedQueryError(KeywordQueryError):
+    """Raised by the SQAK baseline for queries it cannot handle (N.A.)."""
+
+
+class NormalizationError(ReproError):
+    """Functional-dependency or normalization failure."""

@@ -1,0 +1,157 @@
+"""The paper's evaluation queries (Tables 3 and 4) as executable specs.
+
+Each :class:`QuerySpec` carries the keyword query, the paper's description
+(search intention) and *selection constraints* identifying which generated
+interpretation matches that description — the paper likewise uses "the
+generated SQL statements that best match the query descriptions" (§6.1.1).
+
+``distinguish`` selects the interpretation whose multi-object value
+conditions are disambiguated with GROUPBY(identifier); ``require_aggs``
+pins aggregate annotations to specific ORM nodes (``"MAX(date)@Paper"``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+
+@dataclass(frozen=True)
+class QuerySpec:
+    """One evaluation query with its interpretation-selection constraints."""
+
+    qid: str
+    text: str
+    description: str
+    distinguish: bool = False
+    require_aggs: Tuple[str, ...] = ()
+    sqak_na: bool = False  # SQAK cannot handle it (even on normalized data)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.qid}: {self.text}"
+
+
+TPCH_QUERIES: Tuple[QuerySpec, ...] = (
+    QuerySpec(
+        "T1",
+        "order AVG amount",
+        "Find the average amount of orders",
+        require_aggs=("AVG(amount)@Order",),
+    ),
+    QuerySpec(
+        "T2",
+        "MAX COUNT order GROUPBY nation",
+        "Find the maximum number of orders among nations",
+        require_aggs=("COUNT@Order",),
+    ),
+    QuerySpec(
+        "T3",
+        'COUNT order "royal olive"',
+        'Find the number of orders that contains the "royal olive"',
+        distinguish=True,
+        require_aggs=("COUNT@Order",),
+    ),
+    QuerySpec(
+        "T4",
+        'supplier MAX acctbal "yellow tomato"',
+        'Find the maximum balance of suppliers that supply the "yellow tomato"',
+        distinguish=True,
+        require_aggs=("MAX(acctbal)@Supplier",),
+    ),
+    QuerySpec(
+        "T5",
+        'COUNT supplier "Indian black chocolate"',
+        'Find the number of suppliers for "Indian black chocolate"',
+        require_aggs=("COUNT@Supplier",),
+    ),
+    QuerySpec(
+        "T6",
+        "COUNT part GROUPBY supplier",
+        "Find the number of parts supplied by each supplier",
+        require_aggs=("COUNT@Part",),
+    ),
+    QuerySpec(
+        "T7",
+        "COUNT order SUM amount GROUPBY mktsegment",
+        "Find the number of orders and their total amount for each market segment",
+        require_aggs=("COUNT@Order", "SUM(amount)@Order"),
+        sqak_na=True,  # more than one aggregate in the SELECT clause
+    ),
+    QuerySpec(
+        "T8",
+        'COUNT supplier "pink rose" "white rose"',
+        'Find the number of suppliers for "pink rose" and "white rose"',
+        distinguish=True,
+        require_aggs=("COUNT@Supplier",),
+        sqak_na=True,  # requires a self join of the Part relation
+    ),
+)
+
+
+ACMDL_QUERIES: Tuple[QuerySpec, ...] = (
+    QuerySpec(
+        "A1",
+        "proceeding AVG pages",
+        "Find the average pages of proceedings",
+        require_aggs=("AVG(pages)@Proceeding",),
+    ),
+    QuerySpec(
+        "A2",
+        "COUNT paper GROUPBY proceeding SIGMOD",
+        "Find the number of papers in each 'SIGMOD' proceeding",
+        require_aggs=("COUNT@Paper",),
+    ),
+    QuerySpec(
+        "A3",
+        "COUNT proceeding editor Smith",
+        "Find the number of proceedings edited by 'Smith'",
+        distinguish=True,
+        require_aggs=("COUNT@Proceeding",),
+    ),
+    QuerySpec(
+        "A4",
+        "paper MAX date Gill",
+        "Find the date of the latest papers written by 'Gill'",
+        distinguish=True,
+        require_aggs=("MAX(date)@Paper",),
+    ),
+    QuerySpec(
+        "A5",
+        'COUNT author "database tuning"',
+        'Find the number of authors for each "database tuning" paper',
+        distinguish=True,
+        require_aggs=("COUNT@Author",),
+    ),
+    QuerySpec(
+        "A6",
+        "COUNT paper MAX date IEEE",
+        "Find the number of papers published by 'IEEE' and most recent date",
+        distinguish=True,
+        require_aggs=("COUNT@Paper", "MAX(date)@Paper"),
+        sqak_na=True,  # more than one aggregate in the SELECT clause
+    ),
+    QuerySpec(
+        "A7",
+        "COUNT paper author John Mary",
+        "Find the number of papers co-authored by 'John' and 'Mary'",
+        distinguish=True,
+        require_aggs=("COUNT@Paper",),
+        sqak_na=True,  # requires a self join of the Author relation
+    ),
+    QuerySpec(
+        "A8",
+        "COUNT editor SIGIR CIKM",
+        "Find the number of editors that edit proceedings 'SIGIR' and 'CIKM'",
+        distinguish=True,
+        require_aggs=("COUNT@Editor",),
+        sqak_na=True,  # requires a self join of the Proceeding relation
+    ),
+)
+
+
+def spec_by_id(qid: str) -> QuerySpec:
+    """Look up a query spec by its id (T1-T8, A1-A8)."""
+    for spec in TPCH_QUERIES + ACMDL_QUERIES:
+        if spec.qid == qid:
+            return spec
+    raise KeyError(qid)

@@ -1,0 +1,90 @@
+"""Extension experiment: ranking quality of the interpretation list.
+
+The paper translates "the top-k ranked annotated query patterns" and its
+experiments pick "the SQL that best matches the query description"
+(Section 6.1.1), but never reports *where* in the ranking that
+interpretation sits.  This module measures it: for every evaluation query,
+the 1-based rank of the first interpretation satisfying the query's
+description constraints, plus hit@k and the mean reciprocal rank — the
+standard way to quantify whether top-k translation is enough.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.engine import KeywordSearchEngine
+from repro.experiments.queries import QuerySpec
+from repro.experiments.runner import _pattern_satisfies
+
+
+@dataclass(frozen=True)
+class RankingOutcome:
+    """Rank of the intended interpretation for one query (None = miss)."""
+
+    spec: QuerySpec
+    intended_rank: Optional[int]
+    interpretations: int
+
+
+def intended_rank(
+    engine: KeywordSearchEngine, spec: QuerySpec, k: int = 10
+) -> RankingOutcome:
+    """Rank (1-based) of the first interpretation matching the query's
+    description constraints within the engine's top-k."""
+    interpretations = engine.compile(spec.text, k=k)
+    for interpretation in interpretations:
+        if _pattern_satisfies(interpretation.pattern, spec):
+            return RankingOutcome(
+                spec, interpretation.rank, len(interpretations)
+            )
+    return RankingOutcome(spec, None, len(interpretations))
+
+
+@dataclass(frozen=True)
+class RankingReport:
+    """Aggregate ranking quality over a query suite."""
+
+    outcomes: tuple
+    hits_at_1: int
+    hits_at_3: int
+    hits_at_k: int
+    mean_reciprocal_rank: float
+
+    def format_table(self) -> str:
+        lines = [
+            f"{'#':<4}{'intended rank':>14}{'interpretations':>17}",
+        ]
+        for outcome in self.outcomes:
+            rank = outcome.intended_rank
+            lines.append(
+                f"{outcome.spec.qid:<4}"
+                f"{(str(rank) if rank else 'miss'):>14}"
+                f"{outcome.interpretations:>17}"
+            )
+        total = len(self.outcomes)
+        lines.append(
+            f"hit@1 {self.hits_at_1}/{total}  hit@3 {self.hits_at_3}/{total}  "
+            f"hit@k {self.hits_at_k}/{total}  MRR {self.mean_reciprocal_rank:.3f}"
+        )
+        return "\n".join(lines)
+
+
+def ranking_report(
+    engine: KeywordSearchEngine, specs: Sequence[QuerySpec], k: int = 10
+) -> RankingReport:
+    outcomes: List[RankingOutcome] = [
+        intended_rank(engine, spec, k=k) for spec in specs
+    ]
+    ranks = [outcome.intended_rank for outcome in outcomes]
+    reciprocal = [1.0 / rank for rank in ranks if rank is not None]
+    return RankingReport(
+        outcomes=tuple(outcomes),
+        hits_at_1=sum(1 for rank in ranks if rank == 1),
+        hits_at_3=sum(1 for rank in ranks if rank is not None and rank <= 3),
+        hits_at_k=sum(1 for rank in ranks if rank is not None),
+        mean_reciprocal_rank=(
+            sum(reciprocal) / len(outcomes) if outcomes else 0.0
+        ),
+    )

@@ -1,0 +1,103 @@
+"""One-call reproduction report: every table and figure of the paper.
+
+Shared by ``examples/reproduce_paper.py`` and ``python -m repro
+--reproduce``.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Optional, TextIO
+
+from repro.baselines import SqakEngine
+from repro.datasets import (
+    denormalize_acmdl,
+    denormalize_tpch,
+    generate_acmdl,
+    generate_tpch,
+)
+from repro.engine import KeywordSearchEngine
+from repro.experiments.queries import ACMDL_QUERIES, TPCH_QUERIES
+from repro.experiments.reporting import format_answer_table, format_timing_series
+from repro.experiments.runner import run_suite
+
+
+def full_report(out: Optional[TextIO] = None) -> None:
+    """Print Tables 5, 6, 8, 9 and both Figure-11 series."""
+    out = out or sys.stdout
+    tpch = generate_tpch()
+    acmdl = generate_acmdl()
+
+    tpch_outcomes = run_suite(
+        KeywordSearchEngine(tpch), SqakEngine(tpch), TPCH_QUERIES
+    )
+    print(
+        format_answer_table(
+            "Table 5 - answers of queries for normalized TPCH", tpch_outcomes
+        ),
+        file=out,
+    )
+    print(file=out)
+
+    acmdl_outcomes = run_suite(
+        KeywordSearchEngine(acmdl), SqakEngine(acmdl), ACMDL_QUERIES
+    )
+    print(
+        format_answer_table(
+            "Table 6 - answers of queries for normalized ACMDL", acmdl_outcomes
+        ),
+        file=out,
+    )
+    print(file=out)
+
+    tpch_unnorm = denormalize_tpch(tpch)
+    outcomes_8 = run_suite(
+        KeywordSearchEngine(
+            tpch_unnorm.database,
+            fds=tpch_unnorm.fds,
+            name_hints=tpch_unnorm.name_hints,
+        ),
+        SqakEngine(tpch_unnorm.database, extra_joins=tpch_unnorm.sqak_extra_joins),
+        TPCH_QUERIES,
+    )
+    print(
+        format_answer_table(
+            "Table 8 - query answers on unnormalized TPCH (TPCH')", outcomes_8
+        ),
+        file=out,
+    )
+    print(file=out)
+
+    acmdl_unnorm = denormalize_acmdl(acmdl)
+    outcomes_9 = run_suite(
+        KeywordSearchEngine(
+            acmdl_unnorm.database,
+            fds=acmdl_unnorm.fds,
+            name_hints=acmdl_unnorm.name_hints,
+        ),
+        SqakEngine(
+            acmdl_unnorm.database, extra_joins=acmdl_unnorm.sqak_extra_joins
+        ),
+        ACMDL_QUERIES,
+    )
+    print(
+        format_answer_table(
+            "Table 9 - query answers on unnormalized ACMDL (ACMDL')", outcomes_9
+        ),
+        file=out,
+    )
+    print(file=out)
+
+    print(
+        format_timing_series(
+            "Figure 11(a) - SQL generation time, TPCH queries", tpch_outcomes
+        ),
+        file=out,
+    )
+    print(file=out)
+    print(
+        format_timing_series(
+            "Figure 11(b) - SQL generation time, ACMDL queries", acmdl_outcomes
+        ),
+        file=out,
+    )

@@ -1,0 +1,176 @@
+"""Experiment runner: semantic engine vs SQAK on one database.
+
+For every :class:`~repro.experiments.queries.QuerySpec` the runner compiles
+both systems' SQL, selects the semantic interpretation matching the query
+description (the paper's §6.1.1 protocol), executes the statements against
+the in-memory database, and records answers plus SQL-generation times (the
+quantity Figure 11 plots).
+"""
+
+from __future__ import annotations
+
+import re
+import time
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.baselines.sqak import SqakEngine
+from repro.engine import Interpretation, KeywordSearchEngine
+from repro.errors import UnsupportedQueryError
+from repro.experiments.queries import QuerySpec
+from repro.patterns.pattern import QueryPattern
+from repro.relational.executor import QueryResult
+
+_AGG_SPEC_RE = re.compile(r"^([A-Z]+)(?:\(([^)]*)\))?@(\w+)$")
+
+
+def _pattern_satisfies(pattern: QueryPattern, spec: QuerySpec) -> bool:
+    """Does this pattern match the query description constraints?"""
+    if spec.distinguish:
+        # every multi-object value condition must be distinguished
+        for node in pattern.nodes:
+            if not node.is_object_like:
+                continue
+            has_multi = any(c.distinct_objects > 1 for c in node.conditions)
+            distinguished = any(g.from_disambiguation for g in node.groupbys)
+            if has_multi and not distinguished:
+                return False
+    else:
+        if pattern.distinguishes:
+            return False
+    for requirement in spec.require_aggs:
+        match = _AGG_SPEC_RE.match(requirement)
+        if not match:
+            raise ValueError(f"bad aggregate requirement {requirement!r}")
+        func, attr, node_name = match.groups()
+        found = False
+        for node in pattern.nodes:
+            if not node.orm_node.startswith(node_name):
+                continue
+            for aggregate in node.aggregates:
+                if aggregate.func != func:
+                    continue
+                if attr and aggregate.attribute != attr:
+                    continue
+                found = True
+        if not found:
+            return False
+    return True
+
+
+def pick_interpretation(
+    interpretations: Sequence[Interpretation], spec: QuerySpec
+) -> Interpretation:
+    """The ranked interpretation that best matches the query description."""
+    for interpretation in interpretations:
+        if _pattern_satisfies(interpretation.pattern, spec):
+            return interpretation
+    return interpretations[0]
+
+
+@dataclass
+class QueryOutcome:
+    """Both systems' results for one evaluation query."""
+
+    spec: QuerySpec
+    semantic_sql: str
+    semantic_result: QueryResult
+    semantic_compile_ms: float
+    sqak_sql: Optional[str]
+    sqak_result: Optional[QueryResult]
+    sqak_compile_ms: Optional[float]
+    sqak_error: Optional[str] = None
+
+    # ------------------------------------------------------------------
+    @property
+    def sqak_is_na(self) -> bool:
+        return self.sqak_result is None
+
+    def semantic_answers(self) -> List[Tuple]:
+        return self.semantic_result.sorted_rows()
+
+    def sqak_answers(self) -> Optional[List[Tuple]]:
+        if self.sqak_result is None:
+            return None
+        return self.sqak_result.sorted_rows()
+
+    def summarize(self, side: str, max_values: int = 6) -> str:
+        """Paper-style answer summary: '8 answers: 23, 22, ...'."""
+        result = self.semantic_result if side == "semantic" else self.sqak_result
+        if result is None:
+            return "N.A."
+        rows = result.sorted_rows()
+        if not rows:
+            return "0 answers"
+
+        def fmt(row: Tuple) -> str:
+            values = [_fmt_value(v) for v in row[-max(1, len(row)) :]]
+            # show only the aggregate columns (skip leading group keys when
+            # the row has several columns)
+            if len(row) > 1:
+                values = [_fmt_value(v) for v in row[1:]] or values
+            if len(values) == 1:
+                return values[0]
+            return "(" + ", ".join(values) + ")"
+
+        shown = ", ".join(fmt(row) for row in rows[:max_values])
+        suffix = ", ..." if len(rows) > max_values else ""
+        if len(rows) == 1:
+            return f"1 answer: {shown}"
+        return f"{len(rows)} answers: {shown}{suffix}"
+
+
+def _fmt_value(value) -> str:
+    if isinstance(value, float):
+        if abs(value) >= 1e5:
+            return f"{value:.3g}"
+        return f"{value:.2f}".rstrip("0").rstrip(".")
+    return str(value)
+
+
+def run_query(
+    engine: KeywordSearchEngine,
+    sqak: SqakEngine,
+    spec: QuerySpec,
+    k: int = 10,
+) -> QueryOutcome:
+    """Run one query on both systems."""
+    start = time.perf_counter()
+    interpretations = engine.compile(spec.text, k=k)
+    semantic_ms = (time.perf_counter() - start) * 1000.0
+    chosen = pick_interpretation(interpretations, spec)
+    semantic_result = chosen.execute()
+
+    sqak_sql: Optional[str] = None
+    sqak_result: Optional[QueryResult] = None
+    sqak_ms: Optional[float] = None
+    sqak_error: Optional[str] = None
+    try:
+        start = time.perf_counter()
+        statement = sqak.compile(spec.text)
+        sqak_ms = (time.perf_counter() - start) * 1000.0
+        sqak_sql = statement.sql_compact
+        sqak_result = sqak.executor.execute(statement.select)
+    except UnsupportedQueryError as exc:
+        sqak_error = str(exc)
+
+    return QueryOutcome(
+        spec=spec,
+        semantic_sql=chosen.sql_compact,
+        semantic_result=semantic_result,
+        semantic_compile_ms=semantic_ms,
+        sqak_sql=sqak_sql,
+        sqak_result=sqak_result,
+        sqak_compile_ms=sqak_ms,
+        sqak_error=sqak_error,
+    )
+
+
+def run_suite(
+    engine: KeywordSearchEngine,
+    sqak: SqakEngine,
+    specs: Sequence[QuerySpec],
+    k: int = 10,
+) -> List[QueryOutcome]:
+    """Run a whole query suite (one of the paper's tables)."""
+    return [run_query(engine, sqak, spec, k=k) for spec in specs]

@@ -1,0 +1,54 @@
+"""Functional dependencies: closure, keys, normal forms, 3NF synthesis."""
+
+from repro.fd.closure import closure, equivalent, implies, minimal_cover
+from repro.fd.discovery import discover_fds, discover_key_fds, holds
+from repro.fd.functional_dependency import (
+    FunctionalDependency,
+    attrs,
+    parse_fds,
+    project_fds,
+    project_fds_exact,
+)
+from repro.fd.keys import candidate_keys, is_superkey, prime_attributes
+from repro.fd.normal_forms import (
+    NormalFormViolation,
+    is_2nf,
+    is_3nf,
+    is_bcnf,
+    violations_2nf,
+    violations_3nf,
+)
+from repro.fd.synthesis import (
+    DecomposedRelation,
+    is_lossless_pair,
+    merge_same_key,
+    synthesize_3nf,
+)
+
+__all__ = [
+    "DecomposedRelation",
+    "FunctionalDependency",
+    "NormalFormViolation",
+    "attrs",
+    "candidate_keys",
+    "closure",
+    "discover_fds",
+    "discover_key_fds",
+    "equivalent",
+    "holds",
+    "implies",
+    "is_2nf",
+    "is_3nf",
+    "is_bcnf",
+    "is_lossless_pair",
+    "is_superkey",
+    "merge_same_key",
+    "minimal_cover",
+    "parse_fds",
+    "prime_attributes",
+    "project_fds",
+    "project_fds_exact",
+    "synthesize_3nf",
+    "violations_2nf",
+    "violations_3nf",
+]

@@ -1,0 +1,94 @@
+"""Attribute closure, implication and minimal cover.
+
+These are the classical algorithms (Armstrong closure, membership test,
+canonical cover) that power the key finder and the 3NF synthesis of
+Algorithm 1.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Iterable, List, Sequence, Set
+
+from repro.fd.functional_dependency import AttributeSet, FunctionalDependency
+
+
+def closure(
+    attributes: Iterable[str], fds: Sequence[FunctionalDependency]
+) -> AttributeSet:
+    """Attribute closure X+ of *attributes* under *fds*.
+
+    Standard fixpoint iteration; O(|fds|^2) worst case, fine at schema scale.
+    """
+    result: Set[str] = set(attributes)
+    changed = True
+    while changed:
+        changed = False
+        for fd in fds:
+            if fd.lhs <= result and not fd.rhs <= result:
+                result |= fd.rhs
+                changed = True
+    return frozenset(result)
+
+
+def implies(
+    fds: Sequence[FunctionalDependency], candidate: FunctionalDependency
+) -> bool:
+    """True when *fds* logically imply *candidate* (membership test)."""
+    return candidate.rhs <= closure(candidate.lhs, fds)
+
+
+def equivalent(
+    first: Sequence[FunctionalDependency], second: Sequence[FunctionalDependency]
+) -> bool:
+    """True when two FD sets imply each other."""
+    return all(implies(second, fd) for fd in first) and all(
+        implies(first, fd) for fd in second
+    )
+
+
+def minimal_cover(fds: Sequence[FunctionalDependency]) -> List[FunctionalDependency]:
+    """Canonical (minimal) cover of *fds*.
+
+    1. Split every FD into singleton right-hand sides.
+    2. Remove extraneous left-hand-side attributes.
+    3. Remove redundant FDs.
+
+    The result is deterministic for a given input order (attributes are
+    processed sorted), which keeps the 3NF synthesis and hence the normalized
+    view stable across runs.
+    """
+    # step 1: singleton rhs, drop trivial
+    work: List[FunctionalDependency] = []
+    for fd in fds:
+        for part in fd.decompose():
+            if not part.is_trivial and part not in work:
+                work.append(part)
+
+    # step 2: remove extraneous lhs attributes
+    reduced: List[FunctionalDependency] = []
+    for index, fd in enumerate(work):
+        lhs = set(fd.lhs)
+        for attr in sorted(fd.lhs):
+            if len(lhs) == 1:
+                break
+            trial = lhs - {attr}
+            # attr is extraneous if trial -> rhs already follows
+            if fd.rhs <= closure(trial, work):
+                lhs = trial
+        reduced.append(FunctionalDependency(lhs, fd.rhs))
+    work = reduced
+
+    # step 3: remove redundant FDs
+    result: List[FunctionalDependency] = list(work)
+    for fd in list(work):
+        remaining = [other for other in result if other is not fd]
+        if remaining and implies(remaining, fd):
+            result = remaining
+    # dedupe while preserving order
+    seen: Set[FunctionalDependency] = set()
+    unique: List[FunctionalDependency] = []
+    for fd in result:
+        if fd not in seen:
+            seen.add(fd)
+            unique.append(fd)
+    return unique

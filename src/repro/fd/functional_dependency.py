@@ -1,0 +1,115 @@
+"""Functional dependencies.
+
+A functional dependency ``X -> Y`` over a relation states that any two
+tuples agreeing on the attributes X also agree on Y.  The paper uses FDs in
+Section 4 to detect unnormalized relations and synthesize the normalized 3NF
+view; this module provides the value type, the rest of ``repro.fd`` builds
+closure/key/normal-form machinery on top of it.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Iterable, List, Sequence, Tuple
+
+from repro.errors import NormalizationError
+
+AttributeSet = FrozenSet[str]
+
+
+def attrs(*names: str) -> AttributeSet:
+    """Convenience constructor for attribute sets."""
+    return frozenset(names)
+
+
+class FunctionalDependency:
+    """An FD ``lhs -> rhs`` with non-empty determinant."""
+
+    __slots__ = ("lhs", "rhs")
+
+    def __init__(self, lhs: Iterable[str], rhs: Iterable[str]) -> None:
+        self.lhs: AttributeSet = frozenset(lhs)
+        self.rhs: AttributeSet = frozenset(rhs)
+        if not self.lhs:
+            raise NormalizationError("FD determinant must be non-empty")
+        if not self.rhs:
+            raise NormalizationError("FD dependent must be non-empty")
+
+    @classmethod
+    def parse(cls, text: str) -> "FunctionalDependency":
+        """Parse ``"A, B -> C, D"`` notation."""
+        if "->" not in text:
+            raise NormalizationError(f"FD text {text!r} must contain '->'")
+        left, right = text.split("->", 1)
+        lhs = [part.strip() for part in left.split(",") if part.strip()]
+        rhs = [part.strip() for part in right.split(",") if part.strip()]
+        return cls(lhs, rhs)
+
+    @property
+    def is_trivial(self) -> bool:
+        """True when rhs is contained in lhs (implied by reflexivity)."""
+        return self.rhs <= self.lhs
+
+    def attributes(self) -> AttributeSet:
+        return self.lhs | self.rhs
+
+    def decompose(self) -> List["FunctionalDependency"]:
+        """Split into singleton-rhs FDs (used by minimal-cover computation)."""
+        return [FunctionalDependency(self.lhs, {attr}) for attr in sorted(self.rhs)]
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, FunctionalDependency):
+            return NotImplemented
+        return self.lhs == other.lhs and self.rhs == other.rhs
+
+    def __hash__(self) -> int:
+        return hash((self.lhs, self.rhs))
+
+    def __repr__(self) -> str:
+        left = ", ".join(sorted(self.lhs))
+        right = ", ".join(sorted(self.rhs))
+        return f"{left} -> {right}"
+
+
+def parse_fds(texts: Sequence[str]) -> List[FunctionalDependency]:
+    """Parse several FDs in ``"A -> B"`` notation."""
+    return [FunctionalDependency.parse(text) for text in texts]
+
+
+def project_fds(
+    fds: Sequence[FunctionalDependency], attributes: AttributeSet
+) -> List[FunctionalDependency]:
+    """FDs whose attributes all fall within *attributes*.
+
+    This is the syntactic projection (sufficient for the synthesis pipeline,
+    which always projects onto attribute sets produced from the FDs
+    themselves); :func:`project_fds_exact` computes the fully general
+    projection via closure enumeration.
+    """
+    return [fd for fd in fds if fd.attributes() <= attributes]
+
+
+def project_fds_exact(
+    fds: Sequence[FunctionalDependency], attributes: AttributeSet
+) -> List[FunctionalDependency]:
+    """The exact projection of *fds* onto *attributes*.
+
+    Enumerates every subset X of *attributes* and emits
+    ``X -> (X+ ∩ attributes) - X`` — the textbook algorithm, exponential in
+    |attributes| and therefore only for small attribute sets (it exists to
+    catch transitive dependencies the syntactic projection misses, e.g.
+    projecting {A->B, B->C} onto {A, C} yields A->C).  The result is
+    reduced to a minimal cover.
+    """
+    from itertools import combinations
+
+    from repro.fd.closure import closure, minimal_cover
+
+    universe = sorted(attributes)
+    projected: List[FunctionalDependency] = []
+    for size in range(1, len(universe)):
+        for combo in combinations(universe, size):
+            lhs = frozenset(combo)
+            implied = (closure(lhs, fds) & attributes) - lhs
+            if implied:
+                projected.append(FunctionalDependency(lhs, implied))
+    return minimal_cover(projected)

@@ -1,0 +1,72 @@
+"""Candidate-key discovery from functional dependencies."""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import FrozenSet, List, Sequence, Set
+
+from repro.fd.closure import closure
+from repro.fd.functional_dependency import AttributeSet, FunctionalDependency
+
+
+def is_superkey(
+    attributes: AttributeSet,
+    all_attributes: AttributeSet,
+    fds: Sequence[FunctionalDependency],
+) -> bool:
+    """True when *attributes* functionally determine every attribute."""
+    return closure(attributes, fds) >= all_attributes
+
+
+def candidate_keys(
+    all_attributes: AttributeSet,
+    fds: Sequence[FunctionalDependency],
+    limit: int = 64,
+) -> List[AttributeSet]:
+    """All candidate keys (minimal superkeys) of a relation.
+
+    Uses the classical necessary/possible partition: attributes never on any
+    FD right-hand side must be in every key; attributes on neither side must
+    be too.  The remaining attributes are searched by increasing subset size.
+    *limit* caps the number of keys returned (schema-scale relations have
+    few).
+    """
+    fds = [fd for fd in fds if fd.attributes() <= all_attributes]
+    rhs_attrs: Set[str] = set()
+    lhs_attrs: Set[str] = set()
+    for fd in fds:
+        rhs_attrs |= fd.rhs
+        lhs_attrs |= fd.lhs
+    # attributes that can never be derived -> must be in every key
+    core = frozenset(all_attributes - rhs_attrs)
+    optional = sorted(all_attributes - core)
+
+    keys: List[AttributeSet] = []
+    if is_superkey(core, all_attributes, fds):
+        return [core]
+    for size in range(1, len(optional) + 1):
+        for combo in combinations(optional, size):
+            candidate = core | frozenset(combo)
+            if any(existing <= candidate for existing in keys):
+                continue  # not minimal
+            if is_superkey(candidate, all_attributes, fds):
+                keys.append(candidate)
+                if len(keys) >= limit:
+                    return keys
+        if keys and all(
+            any(existing <= core | frozenset(combo) for existing in keys)
+            for combo in combinations(optional, size)
+        ):
+            # every candidate of the next sizes would be a superset
+            break
+    return keys
+
+
+def prime_attributes(
+    all_attributes: AttributeSet, fds: Sequence[FunctionalDependency]
+) -> AttributeSet:
+    """Attributes appearing in at least one candidate key."""
+    result: Set[str] = set()
+    for key in candidate_keys(all_attributes, fds):
+        result |= key
+    return frozenset(result)

@@ -1,0 +1,104 @@
+"""Second and third normal form tests.
+
+The paper (Section 4) detects unnormalized relations by checking whether
+each relation is in 3NF under its declared functional dependencies — the
+Enrolment relation of Figure 8 fails 2NF because ``Sname`` and ``Age``
+depend on ``Sid`` alone, a proper subset of the key ``{Sid, Code}``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.fd.closure import closure
+from repro.fd.functional_dependency import AttributeSet, FunctionalDependency
+from repro.fd.keys import candidate_keys, is_superkey, prime_attributes
+
+
+@dataclass(frozen=True)
+class NormalFormViolation:
+    """One FD that breaks a normal form, with a human-readable reason."""
+
+    fd: FunctionalDependency
+    normal_form: str
+    reason: str
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.normal_form} violation by {self.fd}: {self.reason}"
+
+
+def violations_2nf(
+    attributes: AttributeSet, fds: Sequence[FunctionalDependency]
+) -> List[NormalFormViolation]:
+    """FDs violating 2NF: a non-prime attribute depending on a proper
+    subset of some candidate key (partial dependency)."""
+    keys = candidate_keys(attributes, fds)
+    prime = prime_attributes(attributes, fds)
+    result: List[NormalFormViolation] = []
+    for fd in fds:
+        if fd.attributes() - attributes:
+            continue
+        non_prime_rhs = fd.rhs - prime - fd.lhs
+        if not non_prime_rhs:
+            continue
+        for key in keys:
+            if fd.lhs < key:  # proper subset of a key
+                result.append(
+                    NormalFormViolation(
+                        fd,
+                        "2NF",
+                        f"non-prime {sorted(non_prime_rhs)} depends on proper "
+                        f"key subset {sorted(fd.lhs)} of key {sorted(key)}",
+                    )
+                )
+                break
+    return result
+
+
+def violations_3nf(
+    attributes: AttributeSet, fds: Sequence[FunctionalDependency]
+) -> List[NormalFormViolation]:
+    """FDs violating 3NF: for each non-trivial ``X -> A`` either X is a
+    superkey or A is prime; otherwise it is a violation (this also covers
+    every 2NF violation)."""
+    prime = prime_attributes(attributes, fds)
+    result: List[NormalFormViolation] = []
+    for fd in fds:
+        if fd.attributes() - attributes:
+            continue
+        if fd.is_trivial:
+            continue
+        if is_superkey(fd.lhs, attributes, fds):
+            continue
+        offending = fd.rhs - fd.lhs - prime
+        if offending:
+            result.append(
+                NormalFormViolation(
+                    fd,
+                    "3NF",
+                    f"determinant {sorted(fd.lhs)} is not a superkey and "
+                    f"{sorted(offending)} is not prime",
+                )
+            )
+    return result
+
+
+def is_2nf(attributes: AttributeSet, fds: Sequence[FunctionalDependency]) -> bool:
+    return not violations_2nf(attributes, fds)
+
+
+def is_3nf(attributes: AttributeSet, fds: Sequence[FunctionalDependency]) -> bool:
+    return not violations_3nf(attributes, fds)
+
+
+def is_bcnf(attributes: AttributeSet, fds: Sequence[FunctionalDependency]) -> bool:
+    """BCNF test (stricter than the paper needs; provided for completeness)."""
+    for fd in fds:
+        if fd.attributes() - attributes:
+            continue
+        if fd.is_trivial:
+            continue
+        if not is_superkey(fd.lhs, attributes, fds):
+            return False
+    return True

@@ -1,0 +1,132 @@
+"""Bernstein 3NF synthesis.
+
+Decomposes a relation (attribute set + FDs) into a lossless,
+dependency-preserving set of 3NF sub-relations — the ``Normalize R into a
+set of 3NF relations`` step of the paper's Algorithm 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Sequence, Tuple
+
+from repro.fd.closure import closure, minimal_cover
+from repro.fd.functional_dependency import AttributeSet, FunctionalDependency
+from repro.fd.keys import candidate_keys
+
+
+@dataclass(frozen=True)
+class DecomposedRelation:
+    """One synthesized 3NF sub-relation: its attributes and its key."""
+
+    attributes: AttributeSet
+    key: AttributeSet
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"R({', '.join(sorted(self.attributes))}) key={sorted(self.key)}"
+
+
+def synthesize_3nf(
+    attributes: AttributeSet, fds: Sequence[FunctionalDependency]
+) -> List[DecomposedRelation]:
+    """3NF synthesis of (attributes, fds).
+
+    Classical Bernstein synthesis:
+
+    1. compute a minimal cover;
+    2. group FDs whose determinants are equivalent (same closure) into one
+       sub-relation `lhs U rhs...` keyed by the determinant;
+    3. ensure some sub-relation contains a candidate key of the whole
+       relation, else add one;
+    4. drop sub-relations subsumed by others;
+    5. attributes not mentioned by any FD are appended to the key relation
+       (they depend on the full key only).
+    """
+    cover = minimal_cover(fds)
+    mentioned = frozenset().union(*(fd.attributes() for fd in cover)) if cover else frozenset()
+    free_attributes = attributes - mentioned
+
+    # group by determinant-equivalence (X ~ Y iff X+ == Y+)
+    groups: Dict[FrozenSet[str], List[FunctionalDependency]] = {}
+    closures: Dict[FrozenSet[str], AttributeSet] = {}
+    for fd in cover:
+        fd_closure = closure(fd.lhs, cover)
+        placed = False
+        for representative in list(groups):
+            if closures[representative] == fd_closure:
+                groups[representative].append(fd)
+                placed = True
+                break
+        if not placed:
+            groups[fd.lhs] = [fd]
+            closures[fd.lhs] = fd_closure
+
+    relations: List[DecomposedRelation] = []
+    for representative, group in groups.items():
+        rel_attrs = frozenset(representative)
+        for fd in group:
+            rel_attrs |= fd.lhs | fd.rhs
+        relations.append(DecomposedRelation(rel_attrs, frozenset(representative)))
+
+    # step 3: a candidate key of the original relation must appear somewhere
+    keys = candidate_keys(attributes, cover)
+    global_key = keys[0] if keys else attributes
+    key_holder = None
+    for relation in relations:
+        for key in keys:
+            if key <= relation.attributes:
+                key_holder = relation
+                global_key = key
+                break
+        if key_holder:
+            break
+    if key_holder is None:
+        key_holder = DecomposedRelation(global_key, global_key)
+        relations.append(key_holder)
+
+    # step 5: attach FD-free attributes to the key relation
+    if free_attributes:
+        upgraded = DecomposedRelation(
+            key_holder.attributes | free_attributes, key_holder.key
+        )
+        relations = [upgraded if rel is key_holder else rel for rel in relations]
+
+    # step 4: remove subsumed sub-relations
+    relations.sort(key=lambda rel: (-len(rel.attributes), sorted(rel.attributes)))
+    kept: List[DecomposedRelation] = []
+    for relation in relations:
+        if any(relation.attributes <= other.attributes for other in kept):
+            continue
+        kept.append(relation)
+
+    # deterministic output order: by sorted attribute names
+    kept.sort(key=lambda rel: sorted(rel.attributes))
+    return kept
+
+
+def merge_same_key(
+    relations: Sequence[DecomposedRelation],
+) -> List[DecomposedRelation]:
+    """Merge sub-relations sharing the same key (Algorithm 1, lines 9-11)."""
+    merged: Dict[AttributeSet, AttributeSet] = {}
+    order: List[AttributeSet] = []
+    for relation in relations:
+        if relation.key in merged:
+            merged[relation.key] = merged[relation.key] | relation.attributes
+        else:
+            merged[relation.key] = relation.attributes
+            order.append(relation.key)
+    return [DecomposedRelation(merged[key], key) for key in order]
+
+
+def is_lossless_pair(
+    attributes: AttributeSet,
+    fds: Sequence[FunctionalDependency],
+    left: AttributeSet,
+    right: AttributeSet,
+) -> bool:
+    """Binary lossless-join test: the shared attributes must determine one
+    side (used by property tests over the synthesis output)."""
+    common = left & right
+    closed = closure(common, fds)
+    return left <= closed or right <= closed

@@ -1,0 +1,41 @@
+"""Keyword query language: tokenizer, term classification, matching."""
+
+from repro.keywords.matcher import Catalog, NormalizedCatalog, TermMatcher, ValueHit, name_match_score
+from repro.keywords.query import (
+    AGGREGATE_OPERATORS,
+    GROUPBY_OPERATOR,
+    KeywordQuery,
+    OperatorApplication,
+    Term,
+    TermKind,
+)
+from repro.keywords.suggest import (
+    Suggestion,
+    complete_term,
+    next_term_kinds,
+    suggest_queries,
+)
+from repro.keywords.tags import Tag, TagKind
+from repro.keywords.tokenizer import RawTerm, tokenize_query
+
+__all__ = [
+    "AGGREGATE_OPERATORS",
+    "Catalog",
+    "GROUPBY_OPERATOR",
+    "KeywordQuery",
+    "NormalizedCatalog",
+    "OperatorApplication",
+    "RawTerm",
+    "Suggestion",
+    "Tag",
+    "TagKind",
+    "Term",
+    "TermKind",
+    "TermMatcher",
+    "ValueHit",
+    "complete_term",
+    "name_match_score",
+    "next_term_kinds",
+    "suggest_queries",
+    "tokenize_query",
+]

@@ -1,0 +1,163 @@
+"""The extended keyword query language (Definition 1).
+
+A query is a sequence of terms; each term is either a *basic term* (matching
+a relation name, attribute name or tuple value) or an *operator*
+(``MIN``/``MAX``/``AVG``/``SUM``/``COUNT``/``GROUPBY``).  The structural
+constraints of Section 2 (plus the Section 3.2 relaxation allowing nested
+aggregates) are enforced here; the match-dependent constraints — an
+aggregate's operand must match an attribute name, COUNT/GROUPBY's operand a
+relation or attribute name — are enforced during pattern annotation, where
+match information exists.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.errors import InvalidQueryError
+from repro.keywords.tokenizer import RawTerm, tokenize_query
+
+AGGREGATE_OPERATORS = ("MIN", "MAX", "AVG", "SUM", "COUNT")
+GROUPBY_OPERATOR = "GROUPBY"
+ALL_OPERATORS = AGGREGATE_OPERATORS + (GROUPBY_OPERATOR,)
+
+
+class TermKind(enum.Enum):
+    BASIC = "basic"
+    AGGREGATE = "aggregate"
+    GROUPBY = "groupby"
+
+
+@dataclass(frozen=True)
+class Term:
+    """One classified query term."""
+
+    text: str
+    kind: TermKind
+    quoted: bool
+    position: int
+
+    @property
+    def is_operator(self) -> bool:
+        return self.kind is not TermKind.BASIC
+
+    @property
+    def operator(self) -> str:
+        """Canonical operator name (only valid for operator terms)."""
+        if not self.is_operator:
+            raise InvalidQueryError(f"term {self.text!r} is not an operator")
+        return self.text.upper()
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f'"{self.text}"' if self.quoted else self.text
+
+
+@dataclass(frozen=True)
+class OperatorApplication:
+    """A (possibly nested) operator chain applied to one basic term.
+
+    ``chain`` lists the aggregate operators outermost-first; ``groupby`` is
+    True when the innermost operator is GROUPBY.  For
+    ``{MAX COUNT order GROUPBY nation}`` the term ``order`` carries
+    ``chain=("MAX", "COUNT")`` and the term ``nation`` carries
+    ``chain=(), groupby=True``.
+    """
+
+    target_position: int  # the basic term the chain applies to
+    chain: Tuple[str, ...]
+    groupby: bool
+
+
+class KeywordQuery:
+    """A parsed, structurally validated keyword query."""
+
+    def __init__(self, raw: str) -> None:
+        self.raw = raw
+        self.terms: List[Term] = [self._classify(term) for term in tokenize_query(raw)]
+        self._validate()
+        self.applications: List[OperatorApplication] = self._bind_operators()
+
+    @staticmethod
+    def _classify(raw: RawTerm) -> Term:
+        upper = raw.text.upper()
+        if not raw.quoted and upper in AGGREGATE_OPERATORS:
+            return Term(raw.text, TermKind.AGGREGATE, raw.quoted, raw.position)
+        if not raw.quoted and upper == GROUPBY_OPERATOR:
+            return Term(raw.text, TermKind.GROUPBY, raw.quoted, raw.position)
+        return Term(raw.text, TermKind.BASIC, raw.quoted, raw.position)
+
+    def _validate(self) -> None:
+        last = self.terms[-1]
+        if last.is_operator:
+            raise InvalidQueryError(
+                f"the last term {last.text!r} cannot be an aggregate or GROUPBY"
+            )
+        for term, successor in zip(self.terms, self.terms[1:]):
+            if term.kind is TermKind.GROUPBY and successor.is_operator:
+                raise InvalidQueryError(
+                    "GROUPBY must be followed by a relation or attribute name, "
+                    f"not the operator {successor.text!r}"
+                )
+            if (
+                term.kind is TermKind.AGGREGATE
+                and successor.kind is TermKind.GROUPBY
+            ):
+                raise InvalidQueryError(
+                    f"aggregate {term.text!r} cannot be applied to GROUPBY"
+                )
+
+    def _bind_operators(self) -> List[OperatorApplication]:
+        """Attach each operator (chain) to its operand basic term."""
+        applications: List[OperatorApplication] = []
+        i = 0
+        terms = self.terms
+        while i < len(terms):
+            term = terms[i]
+            if term.kind is TermKind.AGGREGATE:
+                chain: List[str] = []
+                while terms[i].kind is TermKind.AGGREGATE:
+                    chain.append(terms[i].operator)
+                    i += 1
+                # _validate guarantees an aggregate chain never ends at the
+                # query end nor runs into GROUPBY
+                target = terms[i]
+                applications.append(
+                    OperatorApplication(target.position, tuple(chain), groupby=False)
+                )
+                i += 1
+            elif term.kind is TermKind.GROUPBY:
+                target = terms[i + 1]
+                applications.append(
+                    OperatorApplication(target.position, (), groupby=True)
+                )
+                i += 2
+            else:
+                i += 1
+        return applications
+
+    # ------------------------------------------------------------------
+    # Convenience views
+    # ------------------------------------------------------------------
+    @property
+    def basic_terms(self) -> List[Term]:
+        return [term for term in self.terms if not term.is_operator]
+
+    @property
+    def operators(self) -> List[Term]:
+        return [term for term in self.terms if term.is_operator]
+
+    @property
+    def has_aggregates(self) -> bool:
+        return any(term.kind is TermKind.AGGREGATE for term in self.terms)
+
+    def application_for(self, position: int) -> Optional[OperatorApplication]:
+        """The operator application targeting the term at *position*."""
+        for application in self.applications:
+            if application.target_position == position:
+                return application
+        return None
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"KeywordQuery({self.raw!r})"

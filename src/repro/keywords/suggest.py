@@ -1,0 +1,146 @@
+"""Query suggestions: help users who do not know the schema.
+
+The paper's motivation is that users cannot write SQL because they do not
+know the schema; a practical engine therefore needs completion.  Two
+helpers:
+
+* :func:`complete_term` — completions of a partial term from relation
+  names, attribute names and (optionally) indexed values;
+* :func:`next_term_kinds` — which kinds of term may legally follow the
+  current query prefix under the Definition-1 constraints (drives UI
+  hinting: after ``SUM`` only attribute names or aggregates make sense).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.errors import InvalidQueryError
+from repro.keywords.matcher import Catalog
+from repro.keywords.query import (
+    AGGREGATE_OPERATORS,
+    GROUPBY_OPERATOR,
+    KeywordQuery,
+    TermKind,
+)
+from repro.keywords.tokenizer import tokenize_query
+
+
+@dataclass(frozen=True)
+class Suggestion:
+    """One completion candidate."""
+
+    text: str
+    kind: str  # 'relation' | 'attribute' | 'value' | 'operator'
+    detail: str = ""
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.text} ({self.kind}{': ' + self.detail if self.detail else ''})"
+
+
+def complete_term(
+    catalog: Catalog,
+    prefix: str,
+    limit: int = 10,
+    include_values: bool = True,
+) -> List[Suggestion]:
+    """Completions of *prefix*, metadata before values, shortest first."""
+    lowered = prefix.lower()
+    if not lowered:
+        return []
+    relations: List[Suggestion] = []
+    attributes: List[Suggestion] = []
+    for relation in catalog.relations():
+        if relation.name.lower().startswith(lowered):
+            relations.append(Suggestion(relation.name, "relation"))
+        for column in relation.columns:
+            if column.name.lower().startswith(lowered):
+                attributes.append(
+                    Suggestion(column.name, "attribute", detail=relation.name)
+                )
+    values: List[Suggestion] = []
+    if include_values and len(lowered) >= 2:
+        for token in catalog.value_completions(prefix, limit):
+            for hit in catalog.value_matches(token):
+                values.append(
+                    Suggestion(
+                        token,
+                        "value",
+                        detail=f"{hit.relation}.{hit.attribute} "
+                        f"({hit.distinct_objects} objects)",
+                    )
+                )
+    ordered = (
+        sorted(relations, key=lambda s: (len(s.text), s.text))
+        + sorted(attributes, key=lambda s: (len(s.text), s.text, s.detail))
+        + values
+    )
+    seen = set()
+    unique: List[Suggestion] = []
+    for suggestion in ordered:
+        key = (suggestion.text.lower(), suggestion.kind, suggestion.detail)
+        if key in seen:
+            continue
+        seen.add(key)
+        unique.append(suggestion)
+    return unique[:limit]
+
+
+def next_term_kinds(query_prefix: str) -> List[str]:
+    """Which term kinds may follow *query_prefix* without violating the
+    Definition-1 constraints.
+
+    Returns a subset of ``['basic', 'aggregate', 'groupby', 'attribute',
+    'relation-or-attribute']`` — the last two narrow 'basic' when the
+    previous term is an operator.
+    """
+    prefix = query_prefix.strip()
+    if not prefix:
+        return ["basic", "aggregate", "groupby"]
+    try:
+        terms = tokenize_query(prefix)
+    except InvalidQueryError:
+        return []
+    last = terms[-1]
+    upper = last.text.upper()
+    if not last.quoted and upper in AGGREGATE_OPERATORS:
+        if upper == "COUNT":
+            # COUNT's operand may be a relation or attribute name, or a
+            # nested aggregate
+            return ["relation-or-attribute", "aggregate"]
+        return ["attribute", "aggregate"]
+    if not last.quoted and upper == GROUPBY_OPERATOR:
+        return ["relation-or-attribute"]
+    return ["basic", "aggregate", "groupby"]
+
+
+def suggest_queries(
+    catalog: Catalog, limit: int = 8
+) -> List[str]:
+    """Example aggregate queries synthesized from the schema: one COUNT per
+    relationship's participant pair and one aggregate per numeric
+    attribute — a starting point for schema exploration."""
+    from repro.orm.classify import RelationType
+    from repro.relational.types import is_numeric
+
+    suggestions: List[str] = []
+    graph = catalog.graph
+    for name in sorted(graph.nodes):
+        node = graph.nodes[name]
+        if node.type is RelationType.RELATIONSHIP:
+            participants = graph.object_like_neighbors(name)
+            if len(participants) >= 2:
+                suggestions.append(
+                    f"COUNT {participants[0]} GROUPBY {participants[1]}"
+                )
+    for relation in catalog.relations():
+        for column in relation.columns:
+            if column.name in relation.primary_key:
+                continue
+            if column.name in relation.fk_columns():
+                continue
+            if is_numeric(column.dtype):
+                suggestions.append(f"{relation.name} AVG {column.name}")
+                break
+    return suggestions[:limit]

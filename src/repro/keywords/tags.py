@@ -1,0 +1,51 @@
+"""Interpretation tags: what one basic term may refer to.
+
+A tag records one possible interpretation of a basic term against the ORM
+schema graph: the ORM node it refers to, whether it names the relation, one
+of its attributes, or a tuple value, and — for value matches — how many
+distinct objects carry that value (which drives pattern disambiguation).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Any, Optional
+
+
+class TagKind(enum.Enum):
+    RELATION = "relation"  # term matches the relation's name
+    ATTRIBUTE = "attribute"  # term matches an attribute name
+    VALUE = "value"  # term matches tuple values of an attribute
+
+
+@dataclass(frozen=True)
+class Tag:
+    """One interpretation of a basic term.
+
+    ``node`` is the ORM node name; ``relation`` the concrete relation within
+    the node that matched (differs from the node's main relation for
+    component relations); ``attribute`` is set for attribute and value tags;
+    ``distinct_objects`` counts, for value tags, the distinct identifiers of
+    objects/relationships whose attribute contains the term.
+    """
+
+    term_position: int
+    term_text: str
+    kind: TagKind
+    node: str
+    relation: str
+    attribute: Optional[str] = None
+    distinct_objects: int = 0
+    exactness: float = 1.0  # 1.0 exact name match, lower for fuzzy matches
+    value: Any = None  # the matched numeric value for exact-value tags
+
+    def describe(self) -> str:
+        if self.kind is TagKind.RELATION:
+            return f"{self.term_text!r} ~ relation {self.relation}"
+        if self.kind is TagKind.ATTRIBUTE:
+            return f"{self.term_text!r} ~ attribute {self.relation}.{self.attribute}"
+        return (
+            f"{self.term_text!r} ~ value of {self.relation}.{self.attribute} "
+            f"({self.distinct_objects} objects)"
+        )

@@ -1,0 +1,57 @@
+"""Tokenizer for keyword queries.
+
+Splits a query string into terms on whitespace, honouring double-quoted
+phrases: ``COUNT supplier "Indian black chocolate"`` yields three terms, the
+last one a phrase.  Phrases are always basic terms (they can never be
+operators), which lets users quote an operator word to search for it as
+data (``"count"``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.errors import InvalidQueryError
+
+
+@dataclass(frozen=True)
+class RawTerm:
+    """One query term before classification."""
+
+    text: str
+    quoted: bool
+    position: int  # 0-based index in the query
+
+
+def tokenize_query(query: str) -> List[RawTerm]:
+    """Split *query* into raw terms; raises on unbalanced quotes."""
+    terms: List[RawTerm] = []
+    i = 0
+    length = len(query)
+    position = 0
+    while i < length:
+        ch = query[i]
+        if ch.isspace():
+            i += 1
+            continue
+        if ch == '"':
+            j = query.find('"', i + 1)
+            if j < 0:
+                raise InvalidQueryError(f"unbalanced quote at offset {i}")
+            phrase = query[i + 1 : j].strip()
+            if not phrase:
+                raise InvalidQueryError(f"empty phrase at offset {i}")
+            terms.append(RawTerm(phrase, quoted=True, position=position))
+            position += 1
+            i = j + 1
+            continue
+        j = i
+        while j < length and not query[j].isspace() and query[j] != '"':
+            j += 1
+        terms.append(RawTerm(query[i:j], quoted=False, position=position))
+        position += 1
+        i = j
+    if not terms:
+        raise InvalidQueryError("empty keyword query")
+    return terms

@@ -1,0 +1,21 @@
+"""ORA semantics: relation classification and the ORM schema graph."""
+
+from repro.orm.classify import (
+    Classification,
+    RelationType,
+    classify_database,
+    classify_relation,
+    object_like,
+)
+from repro.orm.graph import OrmEdge, OrmNode, OrmSchemaGraph
+
+__all__ = [
+    "Classification",
+    "OrmEdge",
+    "OrmNode",
+    "OrmSchemaGraph",
+    "RelationType",
+    "classify_database",
+    "classify_relation",
+    "object_like",
+]

@@ -1,0 +1,84 @@
+"""Relation classification into the ORA taxonomy of [16].
+
+* **object relation** — stores the single-valued attributes of an object
+  class (``Student``, ``Course``, ``Part``).  Its key is its own identifier,
+  and it has no foreign keys.
+* **relationship relation** — stores a relationship type; its key is
+  composed of (two or more) foreign keys to the participating object/mixed
+  relations (``Enrol``, ``Teach``, ``Lineitem``, ``Write``).
+* **mixed relation** — an object relation that also embeds a many-to-one
+  relationship via a foreign key outside its key (``Lecturer`` references
+  ``Department``; ``Order`` references ``Customer``).
+* **component relation** — stores a multivalued attribute of an object or
+  relationship; its key contains exactly one foreign key (to the parent)
+  plus the attribute itself.
+
+The classification is purely structural: it reads primary keys and foreign
+keys from the schema catalog, which is why the paper requires the schema (or
+the normalized view of an unnormalized schema) to be in 3NF.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.relational.schema import DatabaseSchema, RelationSchema
+
+
+class RelationType(enum.Enum):
+    OBJECT = "object"
+    RELATIONSHIP = "relationship"
+    MIXED = "mixed"
+    COMPONENT = "component"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(frozen=True)
+class Classification:
+    """Classification of one relation, with the parent for components."""
+
+    relation: str
+    type: RelationType
+    parent: Optional[str] = None  # for COMPONENT: the relation it augments
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        if self.parent:
+            return f"{self.relation}: {self.type} of {self.parent}"
+        return f"{self.relation}: {self.type}"
+
+
+def classify_relation(schema: RelationSchema) -> Classification:
+    """Classify one relation from its key/foreign-key structure."""
+    fks_in_key = schema.fks_within_key()
+    key = set(schema.primary_key)
+    fk_key_columns = set()
+    for fk in fks_in_key:
+        fk_key_columns |= set(fk.columns)
+
+    if len(fks_in_key) >= 2 and key <= fk_key_columns:
+        # key is made of >= 2 foreign keys -> n-ary relationship
+        return Classification(schema.name, RelationType.RELATIONSHIP)
+    if len(fks_in_key) == 1:
+        # key contains one FK (to the parent); remaining key columns are the
+        # multivalued attribute -> component relation
+        return Classification(
+            schema.name, RelationType.COMPONENT, parent=fks_in_key[0].ref_table
+        )
+    if schema.fks_outside_key():
+        # own identifier plus embedded many-to-one relationship(s)
+        return Classification(schema.name, RelationType.MIXED)
+    return Classification(schema.name, RelationType.OBJECT)
+
+
+def classify_database(schema: DatabaseSchema) -> Dict[str, Classification]:
+    """Classify every relation of a database schema."""
+    return {rel.name: classify_relation(rel) for rel in schema}
+
+
+def object_like(classification: Classification) -> bool:
+    """Object or mixed relations represent objects with their own identity."""
+    return classification.type in (RelationType.OBJECT, RelationType.MIXED)

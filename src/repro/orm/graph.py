@@ -1,0 +1,269 @@
+"""The ORM schema graph (Object-Relationship-Mixed) of [15].
+
+Each node bundles one object/relationship/mixed relation together with its
+component relations; two nodes are connected when a foreign key - key
+reference links their relations.  The graph is the backbone of query-pattern
+generation: tagged nodes are connected along graph paths, and the translator
+consults a relationship node's graph neighbours to decide whether a
+duplicate-eliminating projection is required (Section 3.1.3).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.errors import SchemaError
+from repro.orm.classify import Classification, RelationType, classify_database
+from repro.relational.schema import DatabaseSchema, ForeignKey, RelationSchema
+
+
+@dataclass(frozen=True)
+class OrmEdge:
+    """One FK-key reference between two ORM nodes.
+
+    ``child_relation`` holds the foreign key; ``parent_relation`` is the
+    referenced relation.  ``child_node``/``parent_node`` name the ORM nodes
+    the relations belong to (differs from the relations only for component
+    relations, which are folded into their parent node).
+    """
+
+    child_node: str
+    parent_node: str
+    child_relation: str
+    parent_relation: str
+    foreign_key: ForeignKey
+
+
+class OrmNode:
+    """An ORM schema graph node: a main relation plus its components."""
+
+    def __init__(
+        self,
+        name: str,
+        node_type: RelationType,
+        main_relation: RelationSchema,
+    ) -> None:
+        self.name = name
+        self.type = node_type
+        self.main_relation = main_relation
+        self.component_relations: List[RelationSchema] = []
+
+    @property
+    def identifier(self) -> Tuple[str, ...]:
+        """The object/relationship identifier: the main relation's key."""
+        return self.main_relation.primary_key
+
+    def relations(self) -> List[RelationSchema]:
+        return [self.main_relation] + self.component_relations
+
+    def owns_attribute(self, attribute: str) -> Optional[RelationSchema]:
+        """The relation of this node holding *attribute* (None if none)."""
+        for relation in self.relations():
+            if relation.has_column(attribute):
+                return relation
+        return None
+
+    @property
+    def is_object_like(self) -> bool:
+        return self.type in (RelationType.OBJECT, RelationType.MIXED)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"OrmNode({self.name!r}, {self.type})"
+
+
+class OrmSchemaGraph:
+    """Undirected graph over ORM nodes with FK-labelled edges."""
+
+    def __init__(self, schema: DatabaseSchema) -> None:
+        self.schema = schema
+        self.classifications: Dict[str, Classification] = classify_database(schema)
+        self.nodes: Dict[str, OrmNode] = {}
+        self._relation_to_node: Dict[str, str] = {}
+        self._adjacency: Dict[str, Dict[str, List[OrmEdge]]] = {}
+        self._build()
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def _build(self) -> None:
+        # first pass: one node per non-component relation
+        for relation in self.schema:
+            classification = self.classifications[relation.name]
+            if classification.type is RelationType.COMPONENT:
+                continue
+            node = OrmNode(relation.name, classification.type, relation)
+            self.nodes[node.name] = node
+            self._relation_to_node[relation.name] = node.name
+            self._adjacency[node.name] = {}
+        # second pass: fold component relations into their parents
+        for relation in self.schema:
+            classification = self.classifications[relation.name]
+            if classification.type is not RelationType.COMPONENT:
+                continue
+            parent = classification.parent
+            if parent is None or parent not in self.nodes:
+                raise SchemaError(
+                    f"component relation {relation.name!r} has no parent node"
+                )
+            self.nodes[parent].component_relations.append(relation)
+            self._relation_to_node[relation.name] = parent
+        # third pass: edges from foreign keys between distinct nodes
+        for relation in self.schema:
+            child_node = self._relation_to_node[relation.name]
+            for fk in relation.foreign_keys:
+                parent_node = self._relation_to_node[fk.ref_table]
+                if parent_node == child_node:
+                    continue
+                edge = OrmEdge(
+                    child_node=child_node,
+                    parent_node=parent_node,
+                    child_relation=relation.name,
+                    parent_relation=fk.ref_table,
+                    foreign_key=fk,
+                )
+                self._adjacency[child_node].setdefault(parent_node, []).append(edge)
+                self._adjacency[parent_node].setdefault(child_node, []).append(edge)
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    def node(self, name: str) -> OrmNode:
+        try:
+            return self.nodes[name]
+        except KeyError:
+            raise SchemaError(f"no ORM node {name!r}") from None
+
+    def node_of_relation(self, relation_name: str) -> OrmNode:
+        try:
+            return self.nodes[self._relation_to_node[relation_name]]
+        except KeyError:
+            raise SchemaError(f"relation {relation_name!r} is not in the ORM graph") from None
+
+    def neighbors(self, name: str) -> List[str]:
+        return sorted(self._adjacency.get(name, {}))
+
+    def edges_between(self, first: str, second: str) -> List[OrmEdge]:
+        return list(self._adjacency.get(first, {}).get(second, []))
+
+    def object_like_neighbors(self, name: str) -> List[str]:
+        """Object/mixed nodes adjacent to *name* — the participants of a
+        relationship node (the set ``Nv`` of Section 3.1.3)."""
+        return [
+            neighbor
+            for neighbor in self.neighbors(name)
+            if self.nodes[neighbor].is_object_like
+        ]
+
+    # ------------------------------------------------------------------
+    # Paths
+    # ------------------------------------------------------------------
+    def shortest_path(self, source: str, target: str) -> Optional[List[str]]:
+        """A shortest node path from *source* to *target* (BFS, ties broken
+        by node name for determinism); None when disconnected."""
+        if source == target:
+            return [source]
+        visited = {source}
+        parents: Dict[str, str] = {}
+        queue = deque([source])
+        while queue:
+            current = queue.popleft()
+            for neighbor in self.neighbors(current):
+                if neighbor in visited:
+                    continue
+                visited.add(neighbor)
+                parents[neighbor] = current
+                if neighbor == target:
+                    path = [target]
+                    while path[-1] != source:
+                        path.append(parents[path[-1]])
+                    return list(reversed(path))
+                queue.append(neighbor)
+        return None
+
+    def all_shortest_paths(
+        self, source: str, target: str, limit: int = 16
+    ) -> List[List[str]]:
+        """Every shortest node path between two nodes (up to *limit*)."""
+        best = self.shortest_path(source, target)
+        if best is None:
+            return []
+        max_len = len(best)
+        results: List[List[str]] = []
+        queue: deque = deque([[source]])
+        while queue and len(results) < limit:
+            path = queue.popleft()
+            if len(path) > max_len:
+                continue
+            last = path[-1]
+            if last == target:
+                results.append(path)
+                continue
+            for neighbor in self.neighbors(last):
+                if neighbor in path:
+                    continue
+                queue.append(path + [neighbor])
+        return results
+
+    def distance(self, source: str, target: str) -> Optional[int]:
+        path = self.shortest_path(source, target)
+        if path is None:
+            return None
+        return len(path) - 1
+
+    def steiner_tree(self, terminals: Sequence[str]) -> Set[Tuple[str, str]]:
+        """Approximate minimal connected subgraph spanning *terminals*.
+
+        Deterministic shortest-path heuristic: grow from the first terminal,
+        repeatedly attaching the closest remaining terminal along a shortest
+        path.  Returns the edge set as sorted node-name pairs.
+        """
+        unique = list(dict.fromkeys(terminals))
+        if not unique:
+            return set()
+        in_tree: Set[str] = {unique[0]}
+        edges: Set[Tuple[str, str]] = set()
+        remaining = unique[1:]
+        while remaining:
+            best_path: Optional[List[str]] = None
+            best_terminal: Optional[str] = None
+            for terminal in remaining:
+                candidate: Optional[List[str]] = None
+                for anchor in sorted(in_tree):
+                    path = self.shortest_path(terminal, anchor)
+                    if path is None:
+                        continue
+                    if candidate is None or len(path) < len(candidate):
+                        candidate = path
+                if candidate is None:
+                    raise SchemaError(
+                        f"ORM graph is disconnected: cannot reach {terminal!r}"
+                    )
+                if best_path is None or len(candidate) < len(best_path):
+                    best_path = candidate
+                    best_terminal = terminal
+            assert best_path is not None and best_terminal is not None
+            for first, second in zip(best_path, best_path[1:]):
+                edges.add(tuple(sorted((first, second))))  # type: ignore[arg-type]
+                in_tree.add(first)
+                in_tree.add(second)
+            remaining.remove(best_terminal)
+        return edges
+
+    # ------------------------------------------------------------------
+    # Rendering
+    # ------------------------------------------------------------------
+    def describe(self) -> str:
+        """Human-readable dump used by examples (mirrors Figure 3)."""
+        lines = ["ORM schema graph:"]
+        for name in sorted(self.nodes):
+            node = self.nodes[name]
+            components = (
+                " + components " + ", ".join(c.name for c in node.component_relations)
+                if node.component_relations
+                else ""
+            )
+            neighbors = ", ".join(self.neighbors(name)) or "-"
+            lines.append(f"  [{node.type}] {name}{components} -- {neighbors}")
+        return "\n".join(lines)

@@ -1,0 +1,38 @@
+"""Query patterns: model, generation, disambiguation, ranking, translation."""
+
+from repro.patterns.disambiguator import disambiguate_all, disambiguate_pattern
+from repro.patterns.generator import PatternGenerator, TerminalSpec, aggregate_alias
+from repro.patterns.pattern import (
+    AggregateAnnotation,
+    Condition,
+    GroupByAnnotation,
+    PatternEdge,
+    PatternNode,
+    QueryPattern,
+)
+from repro.patterns.ranker import pattern_score, rank_patterns, top_k
+from repro.patterns.translator import (
+    NormalizedSourceProvider,
+    PatternTranslator,
+    SourceProvider,
+)
+
+__all__ = [
+    "AggregateAnnotation",
+    "Condition",
+    "GroupByAnnotation",
+    "NormalizedSourceProvider",
+    "PatternEdge",
+    "PatternGenerator",
+    "PatternNode",
+    "PatternTranslator",
+    "QueryPattern",
+    "SourceProvider",
+    "TerminalSpec",
+    "aggregate_alias",
+    "disambiguate_all",
+    "disambiguate_pattern",
+    "pattern_score",
+    "rank_patterns",
+    "top_k",
+]

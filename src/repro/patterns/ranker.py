@@ -1,0 +1,47 @@
+"""Query-pattern ranking (Section 3.1.2).
+
+Following [15], a pattern is ranked by (1) its number of object/mixed nodes
+and (2) the average pattern-graph distance between target nodes (aggregate
+annotations) and condition nodes (conditions or GROUPBY annotations) —
+fewer object nodes and shorter distances rank higher.  Ties are broken by
+tag exactness (exact metadata matches beat fuzzy ones), total node count,
+and finally a deterministic signature, so ranking is stable across runs.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.patterns.pattern import QueryPattern
+
+
+def pattern_score(pattern: QueryPattern) -> Tuple:
+    """Sort key: smaller is better."""
+    targets = pattern.target_nodes()
+    conditions = [node for node in pattern.nodes if node.is_condition]
+    distances: List[int] = []
+    for target in targets:
+        for condition in conditions:
+            if condition.id == target.id:
+                continue
+            distance = pattern.distance(target.id, condition.id)
+            if distance is not None:
+                distances.append(distance)
+    average_distance = sum(distances) / len(distances) if distances else 0.0
+    return (
+        pattern.object_like_count(),
+        average_distance,
+        -pattern.tag_exactness,
+        len(pattern.nodes),
+        repr(pattern.signature()),
+    )
+
+
+def rank_patterns(patterns: Sequence[QueryPattern]) -> List[QueryPattern]:
+    """Patterns sorted best-first; disambiguation variants stay adjacent to
+    their base pattern because they share every score component."""
+    return sorted(patterns, key=pattern_score)
+
+
+def top_k(patterns: Sequence[QueryPattern], k: int) -> List[QueryPattern]:
+    return rank_patterns(patterns)[:k]

@@ -1,0 +1,390 @@
+"""Pattern translation into SQL (Section 3.1.3).
+
+The translator walks an annotated query pattern and produces a
+:class:`~repro.sql.ast.Select`:
+
+* **SELECT** — GROUPBY-annotated attributes (for readability of the result)
+  followed by the aggregate functions;
+* **FROM** — one entry per pattern node.  A relationship node connected to
+  fewer object/mixed nodes than its ORM-graph counterpart is replaced by a
+  duplicate-eliminating ``SELECT DISTINCT`` projection of the foreign keys
+  that reference the connected participants (Example 6) — the step SQAK
+  misses;
+* **WHERE** — foreign-key joins along pattern edges plus ``contains``
+  conditions;
+* **GROUP BY** — all GROUPBY annotations, including the identifier
+  annotations added by disambiguation;
+* nested aggregates wrap the statement in outer queries (Example 7).
+
+Where each node's rows come from is delegated to a *source provider*: the
+normalized provider reads base tables directly, while the unnormalized
+provider (``repro.unnormalized``) materializes normalized-view fragments as
+subqueries over the stored denormalized relations.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import SchemaError
+from repro.orm.classify import RelationType
+from repro.orm.graph import OrmSchemaGraph
+from repro.patterns.pattern import PatternNode, QueryPattern
+from repro.sql.ast import (
+    BinaryOp,
+    ColumnRef,
+    Contains,
+    DerivedTable,
+    Expr,
+    FromItem,
+    FuncCall,
+    Literal,
+    Select,
+    SelectItem,
+    TableRef,
+    eq,
+)
+
+
+class SourceProvider:
+    """Maps a pattern node to a FROM item given the attributes it must
+    expose.  ``force_distinct`` requests duplicate elimination over exactly
+    *needed_attrs* (the relationship-projection rule)."""
+
+    def from_item(
+        self,
+        node: PatternNode,
+        needed_attrs: Sequence[str],
+        force_distinct: bool,
+        alias: str,
+    ) -> FromItem:
+        raise NotImplementedError
+
+
+class NormalizedSourceProvider(SourceProvider):
+    """Provider for normalized databases: base tables, with a DISTINCT
+    foreign-key projection when the translator requests one."""
+
+    def from_item(
+        self,
+        node: PatternNode,
+        needed_attrs: Sequence[str],
+        force_distinct: bool,
+        alias: str,
+    ) -> FromItem:
+        if not force_distinct:
+            return TableRef(node.relation, alias)
+        projection = Select(
+            items=tuple(SelectItem(ColumnRef(attr)) for attr in needed_attrs),
+            from_items=(TableRef.of(node.relation),),
+            distinct=True,
+        )
+        return DerivedTable(projection, alias)
+
+
+class PatternTranslator:
+    """Translates annotated query patterns into SQL ASTs."""
+
+    def __init__(
+        self,
+        graph: OrmSchemaGraph,
+        provider: Optional[SourceProvider] = None,
+        dedup_relationships: bool = True,
+    ) -> None:
+        self.graph = graph
+        self.provider = provider or NormalizedSourceProvider()
+        # ablation knob: disabling relationship dedup reproduces SQAK's
+        # over-counting through n-ary relationships (DESIGN.md ablation 1)
+        self.dedup_relationships = dedup_relationships
+
+    # ------------------------------------------------------------------
+    # Entry point
+    # ------------------------------------------------------------------
+    def translate(self, pattern: QueryPattern) -> Select:
+        aliases = self._assign_aliases(pattern)
+        component_aliases: Dict[Tuple[int, str], str] = {}
+
+        from_items: List[FromItem] = []
+        predicates: List[Expr] = []
+
+        # FROM entries per node (with relationship dedup projections)
+        for node in pattern.nodes:
+            needed, force_distinct = self._needed_attributes(pattern, node)
+            from_items.append(
+                self.provider.from_item(node, needed, force_distinct, aliases[node.id])
+            )
+
+        # component relations referenced by annotations
+        self._add_component_relations(
+            pattern, aliases, component_aliases, from_items, predicates
+        )
+
+        # joins along pattern edges
+        for edge in pattern.edges:
+            child_id, parent_id = self._edge_direction(pattern, edge)
+            fk = edge.orm_edge.foreign_key
+            for child_col, parent_col in zip(fk.columns, fk.ref_columns):
+                predicates.append(
+                    eq(
+                        ColumnRef(child_col, aliases[child_id]),
+                        ColumnRef(parent_col, aliases[parent_id]),
+                    )
+                )
+
+        # conditions: exact equality for numeric matches, contains otherwise
+        for node in pattern.nodes:
+            for condition in node.conditions:
+                qualifier = self._attribute_qualifier(
+                    node, condition.relation, aliases, component_aliases
+                )
+                ref = ColumnRef(condition.attribute, qualifier)
+                if condition.value is not None:
+                    predicates.append(eq(ref, Literal(condition.value)))
+                else:
+                    predicates.append(Contains(ref, condition.phrase))
+
+        # SELECT and GROUP BY
+        select_items, group_by = self._projection(
+            pattern, aliases, component_aliases
+        )
+
+        plain_query = not any(node.aggregates for node in pattern.nodes) and not group_by
+        select = Select(
+            items=tuple(select_items),
+            from_items=tuple(from_items),
+            where=Select.conjunction(predicates),
+            group_by=tuple(group_by),
+            distinct=plain_query,
+        )
+        return self._wrap_nested(pattern, select)
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _assign_aliases(pattern: QueryPattern) -> Dict[int, str]:
+        counters: Dict[str, int] = {}
+        aliases: Dict[int, str] = {}
+        for node in pattern.nodes:
+            prefix = node.relation[0].upper()
+            counters[prefix] = counters.get(prefix, 0) + 1
+            aliases[node.id] = f"{prefix}{counters[prefix]}"
+        return aliases
+
+    def _needed_attributes(
+        self, pattern: QueryPattern, node: PatternNode
+    ) -> Tuple[List[str], bool]:
+        """The attributes a node's FROM item must expose, plus whether a
+        duplicate-eliminating projection is required."""
+        needed: List[str] = []
+
+        def add(attr: str) -> None:
+            if attr not in needed:
+                needed.append(attr)
+
+        for edge in pattern.edges_of(node.id):
+            child_id, parent_id = self._edge_direction(pattern, edge)
+            fk = edge.orm_edge.foreign_key
+            if child_id == node.id:
+                for col in fk.columns:
+                    add(col)
+            else:
+                for col in fk.ref_columns:
+                    add(col)
+        relation_name = node.relation
+        for condition in node.conditions:
+            if condition.relation == relation_name:
+                add(condition.attribute)
+        for aggregate in node.aggregates:
+            if aggregate.relation == relation_name:
+                add(aggregate.attribute)
+        for groupby in node.groupbys:
+            if groupby.relation == relation_name:
+                for attr in groupby.attributes:
+                    add(attr)
+        for proj_relation, proj_attr in node.projections:
+            if proj_relation == relation_name:
+                add(proj_attr)
+
+        force_distinct = False
+        if self.dedup_relationships and node.type is RelationType.RELATIONSHIP:
+            connected = len(pattern.adjacent_object_like(node.id))
+            participants = len(self.graph.object_like_neighbors(node.orm_node))
+            force_distinct = connected < participants
+            if force_distinct and node.aggregates:
+                # an aggregate on the relationship node denotes the
+                # relationship instances themselves: keep its full
+                # identifier so the DISTINCT projection never collapses
+                # distinct instances ({Java COUNT Enrol} counts enrolments,
+                # not courses).  GROUPBY/condition annotations keep the
+                # object-deduplicating projection ({COUNT Student GROUPBY
+                # Grade} counts distinct students per grade).
+                schema = self.graph.schema.relation(node.relation)
+                for col in schema.primary_key:
+                    add(col)
+        return needed, force_distinct
+
+    def _edge_direction(self, pattern: QueryPattern, edge) -> Tuple[int, int]:
+        """(child node id, parent node id) for a pattern edge: the child
+        side holds the foreign key."""
+        child_orm = self.graph.node_of_relation(edge.orm_edge.child_relation).name
+        first = pattern.node(edge.first)
+        if first.orm_node == child_orm:
+            return edge.first, edge.second
+        return edge.second, edge.first
+
+    def _attribute_qualifier(
+        self,
+        node: PatternNode,
+        relation: str,
+        aliases: Dict[int, str],
+        component_aliases: Dict[Tuple[int, str], str],
+    ) -> str:
+        if relation == node.relation:
+            return aliases[node.id]
+        return component_aliases[(node.id, relation)]
+
+    def _add_component_relations(
+        self,
+        pattern: QueryPattern,
+        aliases: Dict[int, str],
+        component_aliases: Dict[Tuple[int, str], str],
+        from_items: List[FromItem],
+        predicates: List[Expr],
+    ) -> None:
+        """Join component relations whose attributes are referenced."""
+        for node in pattern.nodes:
+            referenced: List[str] = []
+            for condition in node.conditions:
+                if condition.relation != node.relation:
+                    referenced.append(condition.relation)
+            for aggregate in node.aggregates:
+                if aggregate.relation != node.relation:
+                    referenced.append(aggregate.relation)
+            for groupby in node.groupbys:
+                if groupby.relation != node.relation:
+                    referenced.append(groupby.relation)
+            for relation in dict.fromkeys(referenced):
+                if (node.id, relation) in component_aliases:
+                    continue
+                alias = f"{relation[0].upper()}c{node.id}"
+                component_aliases[(node.id, relation)] = alias
+                from_items.append(TableRef(relation, alias))
+                component_schema = self.graph.schema.relation(relation)
+                fks = [
+                    fk
+                    for fk in component_schema.foreign_keys
+                    if fk.ref_table == node.relation
+                ]
+                if not fks:
+                    raise SchemaError(
+                        f"component relation {relation!r} has no foreign key to "
+                        f"{node.relation!r}"
+                    )
+                for child_col, parent_col in zip(fks[0].columns, fks[0].ref_columns):
+                    predicates.append(
+                        eq(
+                            ColumnRef(child_col, alias),
+                            ColumnRef(parent_col, aliases[node.id]),
+                        )
+                    )
+
+    def _projection(
+        self,
+        pattern: QueryPattern,
+        aliases: Dict[int, str],
+        component_aliases: Dict[Tuple[int, str], str],
+    ) -> Tuple[List[SelectItem], List[Expr]]:
+        select_items: List[SelectItem] = []
+        group_by: List[Expr] = []
+        used_aliases: Dict[str, int] = {}
+
+        for node in pattern.nodes:
+            for groupby in node.groupbys:
+                qualifier = self._attribute_qualifier(
+                    node, groupby.relation, aliases, component_aliases
+                )
+                for attr in groupby.attributes:
+                    ref = ColumnRef(attr, qualifier)
+                    group_by.append(ref)
+                    select_items.append(SelectItem(ref))
+
+        for node in pattern.nodes:
+            for aggregate in node.aggregates:
+                qualifier = self._attribute_qualifier(
+                    node, aggregate.relation, aliases, component_aliases
+                )
+                alias = aggregate.alias
+                if alias in used_aliases:
+                    used_aliases[alias] += 1
+                    alias = f"{alias}_{used_aliases[alias]}"
+                else:
+                    used_aliases[alias] = 1
+                select_items.append(
+                    SelectItem(
+                        FuncCall(
+                            aggregate.func,
+                            (ColumnRef(aggregate.attribute, qualifier),),
+                        ),
+                        alias=alias,
+                    )
+                )
+        if not select_items:
+            # plain query (no operators): project the search targets — the
+            # attributes named by bare metadata terms — and, when none were
+            # named, the condition attributes ([15]'s target nodes).
+            # {Green George Code} becomes SELECT DISTINCT C1.Code ...
+            for node in pattern.nodes:
+                for proj_relation, proj_attr in node.projections:
+                    qualifier = self._attribute_qualifier(
+                        node, proj_relation, aliases, component_aliases
+                    )
+                    select_items.append(
+                        SelectItem(ColumnRef(proj_attr, qualifier))
+                    )
+            if not select_items:
+                for node in pattern.nodes:
+                    for condition in node.conditions:
+                        qualifier = self._attribute_qualifier(
+                            node, condition.relation, aliases, component_aliases
+                        )
+                        select_items.append(
+                            SelectItem(ColumnRef(condition.attribute, qualifier))
+                        )
+        return select_items, group_by
+
+    def _wrap_nested(self, pattern: QueryPattern, select: Select) -> Select:
+        """Wrap nested aggregate chains in outer queries (Section 3.2)."""
+        chains: List[Tuple[Tuple[str, ...], str]] = []
+        used_aliases: Dict[str, int] = {}
+        for node in pattern.nodes:
+            for aggregate in node.aggregates:
+                alias = aggregate.alias
+                if alias in used_aliases:
+                    used_aliases[alias] += 1
+                    alias = f"{alias}_{used_aliases[alias]}"
+                else:
+                    used_aliases[alias] = 1
+                if aggregate.outer_chain:
+                    chains.append((aggregate.outer_chain, alias))
+        depth = max((len(chain) for chain, _ in chains), default=0)
+        current = select
+        for level in range(depth):
+            items: List[SelectItem] = []
+            next_chains: List[Tuple[Tuple[str, ...], str]] = []
+            for chain, alias in chains:
+                if len(chain) <= level:
+                    continue
+                func = chain[len(chain) - 1 - level]
+                new_alias = f"{func.lower()}{alias}"
+                items.append(
+                    SelectItem(FuncCall(func, (ColumnRef(alias),)), alias=new_alias)
+                )
+                next_chains.append((chain, new_alias))
+            derived_alias = f"R{level + 1}"
+            current = Select(
+                items=tuple(items),
+                from_items=(DerivedTable(current, derived_alias),),
+            )
+            chains = next_chains
+        return current

@@ -1,0 +1,47 @@
+"""In-memory relational engine: schema catalog, storage, indexes, executor."""
+
+from repro.relational.database import Database
+from repro.relational.executor import Executor, QueryResult, execute_sql
+from repro.relational.index import HashIndex, InvertedIndex
+from repro.relational.io import (
+    export_result_csv,
+    load_database,
+    save_database,
+    schema_from_dict,
+    schema_to_dict,
+)
+from repro.relational.schema import Column, DatabaseSchema, ForeignKey, RelationSchema
+from repro.relational.statistics import (
+    ColumnStatistics,
+    TableStatistics,
+    analyze_database,
+    analyze_table,
+    estimated_join_selectivity,
+)
+from repro.relational.table import Table
+from repro.relational.types import DataType
+
+__all__ = [
+    "Column",
+    "ColumnStatistics",
+    "DataType",
+    "Database",
+    "DatabaseSchema",
+    "Executor",
+    "ForeignKey",
+    "HashIndex",
+    "InvertedIndex",
+    "QueryResult",
+    "RelationSchema",
+    "Table",
+    "TableStatistics",
+    "analyze_database",
+    "analyze_table",
+    "estimated_join_selectivity",
+    "execute_sql",
+    "export_result_csv",
+    "load_database",
+    "save_database",
+    "schema_from_dict",
+    "schema_to_dict",
+]

@@ -1,0 +1,128 @@
+"""Relational-algebra operators over labelled rowsets.
+
+A :class:`Rowset` is the executor's intermediate representation: a list of
+tuples plus a :class:`~repro.relational.expressions.Binding` describing each
+position as ``(alias, column)``.  The operators here are pure functions used
+by the hash-join planner in :mod:`repro.relational.executor`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, List, Optional, Sequence, Tuple
+
+from repro.relational.expressions import Binding, ColumnLabel, evaluate
+from repro.sql.ast import Expr
+
+
+class Rowset:
+    """Rows plus their column binding."""
+
+    __slots__ = ("binding", "rows")
+
+    def __init__(self, binding: Binding, rows: List[Tuple[Any, ...]]) -> None:
+        self.binding = binding
+        self.rows = rows
+
+    @classmethod
+    def from_labels(
+        cls, labels: Sequence[ColumnLabel], rows: Iterable[Sequence[Any]]
+    ) -> "Rowset":
+        return cls(Binding(labels), [tuple(row) for row in rows])
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def relabel(self, qualifier: str) -> "Rowset":
+        """Re-qualify every column with *qualifier* (used for FROM aliases)."""
+        labels = [(qualifier, name) for _, name in self.binding.labels]
+        return Rowset(Binding(labels), self.rows)
+
+
+def select_rows(rowset: Rowset, predicate: Expr) -> Rowset:
+    """sigma: keep rows satisfying *predicate*."""
+    binding = rowset.binding
+    kept = [row for row in rowset.rows if evaluate(predicate, row, binding)]
+    return Rowset(binding, kept)
+
+
+def project(rowset: Rowset, positions: Sequence[int], labels: Sequence[ColumnLabel]) -> Rowset:
+    """pi: keep the columns at *positions*, relabelled as *labels*."""
+    rows = [tuple(row[i] for i in positions) for row in rowset.rows]
+    return Rowset(Binding(labels), rows)
+
+
+def distinct(rowset: Rowset) -> Rowset:
+    """delta: remove duplicate rows, preserving first-seen order."""
+    seen = set()
+    unique: List[Tuple[Any, ...]] = []
+    for row in rowset.rows:
+        if row not in seen:
+            seen.add(row)
+            unique.append(row)
+    return Rowset(rowset.binding, unique)
+
+
+def cross_join(left: Rowset, right: Rowset) -> Rowset:
+    """Cartesian product."""
+    binding = left.binding.merge(right.binding)
+    rows = [l + r for l in left.rows for r in right.rows]
+    return Rowset(binding, rows)
+
+
+def hash_join(
+    left: Rowset,
+    right: Rowset,
+    left_positions: Sequence[int],
+    right_positions: Sequence[int],
+) -> Rowset:
+    """Equi-join on the given column positions using a hash table.
+
+    NULL join keys never match (SQL semantics).  The smaller side is used as
+    the build input.
+    """
+    if len(left_positions) != len(right_positions):
+        raise ValueError("join key arity mismatch")
+    build, probe = left, right
+    build_positions, probe_positions = list(left_positions), list(right_positions)
+    swapped = False
+    if len(right) < len(left):
+        build, probe = right, left
+        build_positions, probe_positions = list(right_positions), list(left_positions)
+        swapped = True
+    table: dict = {}
+    for row in build.rows:
+        key = tuple(row[i] for i in build_positions)
+        if any(part is None for part in key):
+            continue
+        table.setdefault(key, []).append(row)
+    binding = left.binding.merge(right.binding)
+    out: List[Tuple[Any, ...]] = []
+    for probe_row in probe.rows:
+        key = tuple(probe_row[i] for i in probe_positions)
+        if any(part is None for part in key):
+            continue
+        for build_row in table.get(key, ()):
+            if swapped:
+                out.append(probe_row + build_row)
+            else:
+                out.append(build_row + probe_row)
+    return Rowset(binding, out)
+
+
+def sort_rows(
+    rowset: Rowset,
+    key: Callable[[Tuple[Any, ...]], Any],
+    descending: bool = False,
+) -> Rowset:
+    return Rowset(rowset.binding, sorted(rowset.rows, key=key, reverse=descending))
+
+
+def null_safe_sort_key(value: Any) -> Tuple[int, Any]:
+    """Sort key placing NULLs first and keeping mixed types comparable."""
+    if value is None:
+        return (0, 0, "")
+    if isinstance(value, bool):
+        return (1, 0, int(value))
+    if isinstance(value, (int, float)):
+        return (1, 1, value)
+    return (1, 2, str(value))

@@ -1,0 +1,398 @@
+"""SQL executor: runs a :class:`~repro.sql.ast.Select` against a
+:class:`~repro.relational.database.Database`.
+
+The planner is deliberately simple but not naive: single-table predicates
+are pushed down before joins, equality predicates drive hash joins, and
+remaining components fall back to cartesian products.  This is enough to run
+every SQL statement the semantic engine and the SQAK baseline generate —
+including derived tables, self-joins, DISTINCT projections, GROUP BY and
+nested aggregates — at the dataset scales of the evaluation.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence, Set, Tuple, Union
+
+from repro.errors import SqlExecutionError
+from repro.relational.algebra import (
+    Rowset,
+    cross_join,
+    distinct,
+    hash_join,
+    null_safe_sort_key,
+    select_rows,
+)
+from repro.relational.database import Database
+from repro.relational.expressions import (
+    Binding,
+    evaluate,
+    evaluate_with_aggregates,
+)
+from repro.sql.ast import (
+    BinaryOp,
+    ColumnRef,
+    DerivedTable,
+    Expr,
+    Select,
+    TableRef,
+)
+from repro.sql.parser import parse
+
+
+class QueryResult:
+    """Materialized result of a query: column names plus row tuples."""
+
+    def __init__(self, columns: Sequence[str], rows: List[Tuple[Any, ...]]) -> None:
+        self.columns: Tuple[str, ...] = tuple(columns)
+        self.rows = rows
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self):
+        return iter(self.rows)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, QueryResult):
+            return NotImplemented
+        return self.columns == other.columns and sorted(
+            self.rows, key=lambda r: tuple(map(null_safe_sort_key, r))
+        ) == sorted(other.rows, key=lambda r: tuple(map(null_safe_sort_key, r)))
+
+    def to_dicts(self) -> List[Dict[str, Any]]:
+        return [dict(zip(self.columns, row)) for row in self.rows]
+
+    def scalar(self) -> Any:
+        """The single value of a single-row, single-column result."""
+        if len(self.rows) != 1 or len(self.columns) != 1:
+            raise SqlExecutionError(
+                f"scalar() needs a 1x1 result, got {len(self.rows)}x{len(self.columns)}"
+            )
+        return self.rows[0][0]
+
+    def column(self, name: str) -> List[Any]:
+        try:
+            index = self.columns.index(name)
+        except ValueError:
+            raise SqlExecutionError(f"no result column {name!r}") from None
+        return [row[index] for row in self.rows]
+
+    def sorted_rows(self) -> List[Tuple[Any, ...]]:
+        """Rows in a deterministic order, for comparisons in tests."""
+        return sorted(self.rows, key=lambda r: tuple(map(null_safe_sort_key, r)))
+
+    def format_table(self, max_rows: int = 20) -> str:
+        """ASCII rendering for examples and experiment reports."""
+        shown = self.rows[:max_rows]
+        cells = [[str(col) for col in self.columns]] + [
+            ["NULL" if v is None else str(v) for v in row] for row in shown
+        ]
+        widths = [max(len(row[i]) for row in cells) for i in range(len(self.columns))]
+        lines = []
+        header, *body = cells
+        lines.append(" | ".join(h.ljust(w) for h, w in zip(header, widths)))
+        lines.append("-+-".join("-" * w for w in widths))
+        for row in body:
+            lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+        if len(self.rows) > max_rows:
+            lines.append(f"... ({len(self.rows) - max_rows} more rows)")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"QueryResult(columns={self.columns}, rows={len(self.rows)})"
+
+
+class _Component:
+    """A connected group of FROM items during join planning."""
+
+    __slots__ = ("aliases", "rowset")
+
+    def __init__(self, aliases: Set[str], rowset: Rowset) -> None:
+        self.aliases = aliases
+        self.rowset = rowset
+
+
+class Executor:
+    """Executes SELECT statements against one database.
+
+    ``use_hash_joins=False`` disables the equi-join planner: components are
+    combined with cartesian products and filtered afterwards.  Semantically
+    identical, asymptotically worse — kept for the planner ablation
+    benchmark (DESIGN.md section 5).
+    """
+
+    def __init__(self, database: Database, use_hash_joins: bool = True) -> None:
+        self.database = database
+        self.use_hash_joins = use_hash_joins
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def execute(self, query: Union[Select, str]) -> QueryResult:
+        """Execute a :class:`Select` AST or SQL text."""
+        select = parse(query) if isinstance(query, str) else query
+        return self._execute_select(select)
+
+    # ------------------------------------------------------------------
+    # Planning
+    # ------------------------------------------------------------------
+    def _execute_select(self, select: Select) -> QueryResult:
+        components = self._load_from_items(select)
+        pending = select.where_conjuncts()
+        pending = self._apply_local_predicates(components, pending)
+        merged = self._join_components(components, pending)
+        return self._project(select, merged.rowset)
+
+    def _load_from_items(self, select: Select) -> List[_Component]:
+        if not select.from_items:
+            raise SqlExecutionError("FROM clause is empty")
+        components: List[_Component] = []
+        seen_aliases: Set[str] = set()
+        for item in select.from_items:
+            if item.alias in seen_aliases:
+                raise SqlExecutionError(f"duplicate alias {item.alias!r} in FROM")
+            seen_aliases.add(item.alias)
+            if isinstance(item, TableRef):
+                table = self.database.table(item.table)
+                labels = [(item.alias, name) for name in table.schema.column_names]
+                rowset = Rowset(Binding(labels), list(table.rows))
+            elif isinstance(item, DerivedTable):
+                inner = self._execute_select(item.select)
+                labels = [(item.alias, name) for name in inner.columns]
+                rowset = Rowset(Binding(labels), inner.rows)
+            else:  # pragma: no cover - defensive
+                raise SqlExecutionError(f"unknown FROM item {item!r}")
+            components.append(_Component({item.alias}, rowset))
+        return components
+
+    def _aliases_of(self, expr: Expr, components: Sequence[_Component]) -> Set[str]:
+        """The set of FROM aliases an expression references."""
+        aliases: Set[str] = set()
+        for node in expr.walk():
+            if not isinstance(node, ColumnRef):
+                continue
+            if node.qualifier is not None:
+                aliases.add(node.qualifier)
+                continue
+            owners = [
+                component
+                for component in components
+                for q, name in component.rowset.binding.labels
+                if name.lower() == node.name.lower()
+            ]
+            if not owners:
+                raise SqlExecutionError(f"unknown column {node}")
+            owner_aliases = {
+                q
+                for component in components
+                for q, name in component.rowset.binding.labels
+                if name.lower() == node.name.lower()
+            }
+            if len(owner_aliases) > 1:
+                raise SqlExecutionError(f"ambiguous column {node}")
+            aliases.add(next(iter(owner_aliases)))
+        return aliases
+
+    def _apply_local_predicates(
+        self, components: List[_Component], conjuncts: List[Expr]
+    ) -> List[Expr]:
+        """Push single-component predicates down; return the remainder."""
+        remaining: List[Expr] = []
+        for conjunct in conjuncts:
+            aliases = self._aliases_of(conjunct, components)
+            owner = None
+            for component in components:
+                if aliases <= component.aliases:
+                    owner = component
+                    break
+            if owner is not None:
+                owner.rowset = select_rows(owner.rowset, conjunct)
+            else:
+                remaining.append(conjunct)
+        return remaining
+
+    def _join_components(
+        self, components: List[_Component], pending: List[Expr]
+    ) -> _Component:
+        """Merge components with hash joins until one remains."""
+        while len(components) > 1:
+            pair = (
+                self._pick_join_pair(components, pending)
+                if self.use_hash_joins
+                else None
+            )
+            if pair is None:
+                # no connecting predicate: cartesian product of two smallest
+                components.sort(key=lambda component: len(component.rowset))
+                left, right = components[0], components[1]
+                merged_rowset = cross_join(left.rowset, right.rowset)
+                merged = _Component(left.aliases | right.aliases, merged_rowset)
+                components = [merged] + components[2:]
+            else:
+                left, right = pair
+                merged = self._hash_join_pair(left, right, pending, components)
+                components = [
+                    component
+                    for component in components
+                    if component is not left and component is not right
+                ]
+                components.append(merged)
+            pending = self._apply_local_predicates(components, pending)
+        if pending:
+            # every alias is now in one component; apply what is left
+            only = components[0]
+            for conjunct in pending:
+                only.rowset = select_rows(only.rowset, conjunct)
+        return components[0]
+
+    def _pick_join_pair(
+        self, components: List[_Component], pending: List[Expr]
+    ) -> Optional[Tuple[_Component, _Component]]:
+        """The joinable component pair with the smallest size product —
+        a cheap greedy join order that keeps intermediate results small."""
+        best: Optional[Tuple[_Component, _Component]] = None
+        best_cost: Optional[int] = None
+        for conjunct in pending:
+            if not self._is_equi_join(conjunct):
+                continue
+            aliases = self._aliases_of(conjunct, components)
+            touched = [
+                component
+                for component in components
+                if aliases & component.aliases
+            ]
+            if len(touched) != 2:
+                continue
+            cost = len(touched[0].rowset) * len(touched[1].rowset)
+            if best_cost is None or cost < best_cost:
+                best = (touched[0], touched[1])
+                best_cost = cost
+        return best
+
+    @staticmethod
+    def _is_equi_join(expr: Expr) -> bool:
+        return (
+            isinstance(expr, BinaryOp)
+            and expr.op == "="
+            and isinstance(expr.left, ColumnRef)
+            and isinstance(expr.right, ColumnRef)
+        )
+
+    def _hash_join_pair(
+        self,
+        left: _Component,
+        right: _Component,
+        pending: List[Expr],
+        components: List[_Component],
+    ) -> _Component:
+        """Join two components on every equi-predicate linking them."""
+        left_positions: List[int] = []
+        right_positions: List[int] = []
+        used: List[Expr] = []
+        for conjunct in pending:
+            if not self._is_equi_join(conjunct):
+                continue
+            aliases = self._aliases_of(conjunct, components)
+            if not (aliases & left.aliases and aliases & right.aliases):
+                continue
+            if not aliases <= (left.aliases | right.aliases):
+                continue
+            assert isinstance(conjunct, BinaryOp)
+            lhs, rhs = conjunct.left, conjunct.right
+            assert isinstance(lhs, ColumnRef) and isinstance(rhs, ColumnRef)
+            lhs_aliases = self._aliases_of(lhs, components)
+            if lhs_aliases <= left.aliases:
+                left_positions.append(left.rowset.binding.resolve(lhs))
+                right_positions.append(right.rowset.binding.resolve(rhs))
+            else:
+                left_positions.append(left.rowset.binding.resolve(rhs))
+                right_positions.append(right.rowset.binding.resolve(lhs))
+            used.append(conjunct)
+        for conjunct in used:
+            pending.remove(conjunct)
+        joined = hash_join(left.rowset, right.rowset, left_positions, right_positions)
+        return _Component(left.aliases | right.aliases, joined)
+
+    # ------------------------------------------------------------------
+    # Projection / grouping
+    # ------------------------------------------------------------------
+    def _project(self, select: Select, rowset: Rowset) -> QueryResult:
+        binding = rowset.binding
+        columns = [
+            item.output_name(default=f"col{i + 1}")
+            for i, item in enumerate(select.items)
+        ]
+        aggregated = select.has_aggregates() or bool(select.group_by)
+        if aggregated:
+            groups = self._group_rows(select, rowset)
+            out_rows = [
+                tuple(
+                    evaluate_with_aggregates(item.expr, group_rows, binding)
+                    for item in select.items
+                )
+                for group_rows in groups
+            ]
+        else:
+            out_rows = [
+                tuple(evaluate(item.expr, row, binding) for item in select.items)
+                for row in rowset.rows
+            ]
+        result = Rowset(Binding([(None, name) for name in columns]), out_rows)
+        if select.distinct:
+            result = distinct(result)
+        if select.order_by:
+            # stable multi-key sort honouring each key's direction: sort by
+            # the least-significant key first, most-significant last
+            rows = list(result.rows)
+            for item in reversed(select.order_by):
+                rows.sort(
+                    key=lambda row, item=item: null_safe_sort_key(
+                        self._order_value(item.expr, row, result, rowset, select)
+                    ),
+                    reverse=item.descending,
+                )
+            result = Rowset(result.binding, rows)
+        rows = result.rows
+        if select.limit is not None:
+            rows = rows[: select.limit]
+        return QueryResult(columns, rows)
+
+    def _order_value(
+        self,
+        expr: Expr,
+        out_row: Tuple[Any, ...],
+        out_rowset: Rowset,
+        in_rowset: Rowset,
+        select: Select,
+    ) -> Any:
+        if isinstance(expr, ColumnRef) and expr.qualifier is None:
+            try:
+                return out_row[out_rowset.binding.resolve(expr)]
+            except SqlExecutionError:
+                pass
+        # fall back: expression must match a select item
+        for index, item in enumerate(select.items):
+            if item.expr == expr:
+                return out_row[index]
+        raise SqlExecutionError(
+            f"ORDER BY expression {expr!r} must reference an output column"
+        )
+
+    def _group_rows(self, select: Select, rowset: Rowset) -> List[List[Tuple[Any, ...]]]:
+        if not select.group_by:
+            return [rowset.rows]
+        binding = rowset.binding
+        groups: Dict[Tuple[Any, ...], List[Tuple[Any, ...]]] = {}
+        order: List[Tuple[Any, ...]] = []
+        for row in rowset.rows:
+            key = tuple(evaluate(expr, row, binding) for expr in select.group_by)
+            if key not in groups:
+                groups[key] = []
+                order.append(key)
+            groups[key].append(row)
+        return [groups[key] for key in order]
+
+
+def execute_sql(database: Database, sql: Union[Select, str]) -> QueryResult:
+    """One-shot convenience wrapper around :class:`Executor`."""
+    return Executor(database).execute(sql)

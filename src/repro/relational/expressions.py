@@ -1,0 +1,228 @@
+"""Scalar and aggregate expression evaluation for the executor.
+
+A :class:`Binding` maps column references (qualified or not) to positions in
+a working row.  NULL semantics follow SQL where it matters for the paper's
+queries: comparisons involving NULL are not satisfied, aggregates ignore
+NULLs, and ``SUM``/``MIN``/``MAX``/``AVG`` over an empty or all-NULL input
+yield NULL.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import SqlExecutionError
+from repro.sql.ast import (
+    BinaryOp,
+    ColumnRef,
+    Contains,
+    Expr,
+    FuncCall,
+    IsNull,
+    Literal,
+    Star,
+)
+
+ColumnLabel = Tuple[Optional[str], str]  # (qualifier, column name)
+
+
+class Binding:
+    """Resolves column references against an ordered list of column labels."""
+
+    def __init__(self, labels: Sequence[ColumnLabel]) -> None:
+        self.labels: Tuple[ColumnLabel, ...] = tuple(labels)
+        self._exact: Dict[ColumnLabel, int] = {}
+        self._by_name: Dict[str, List[int]] = {}
+        for index, (qualifier, name) in enumerate(self.labels):
+            self._exact[(qualifier, name.lower())] = index
+            self._by_name.setdefault(name.lower(), []).append(index)
+
+    def resolve(self, ref: ColumnRef) -> int:
+        """Position of *ref* in the row; raises on unknown or ambiguous."""
+        name = ref.name.lower()
+        if ref.qualifier is not None:
+            index = self._exact.get((ref.qualifier, name))
+            if index is None:
+                raise SqlExecutionError(f"unknown column {ref}")
+            return index
+        candidates = self._by_name.get(name, [])
+        if not candidates:
+            raise SqlExecutionError(f"unknown column {ref}")
+        if len(candidates) > 1:
+            raise SqlExecutionError(f"ambiguous column {ref}")
+        return candidates[0]
+
+    def can_resolve(self, ref: ColumnRef) -> bool:
+        try:
+            self.resolve(ref)
+        except SqlExecutionError:
+            return False
+        return True
+
+    def merge(self, other: "Binding") -> "Binding":
+        return Binding(self.labels + other.labels)
+
+    def __len__(self) -> int:
+        return len(self.labels)
+
+
+def evaluate(expr: Expr, row: Sequence[Any], binding: Binding) -> Any:
+    """Evaluate a scalar expression on one row.
+
+    Aggregate calls are rejected here; they are evaluated per-group by
+    :func:`evaluate_aggregate`.
+    """
+    if isinstance(expr, Literal):
+        return expr.value
+    if isinstance(expr, ColumnRef):
+        return row[binding.resolve(expr)]
+    if isinstance(expr, Contains):
+        value = evaluate(expr.column, row, binding)
+        if value is None:
+            return False
+        return expr.phrase.lower() in str(value).lower()
+    if isinstance(expr, IsNull):
+        value = evaluate(expr.operand, row, binding)
+        return (value is not None) if expr.negated else (value is None)
+    if isinstance(expr, BinaryOp):
+        return _evaluate_binary(expr, row, binding)
+    if isinstance(expr, FuncCall):
+        if expr.is_aggregate:
+            raise SqlExecutionError(
+                f"aggregate {expr.name} used outside GROUP BY evaluation"
+            )
+        raise SqlExecutionError(f"unknown function {expr.name!r}")
+    if isinstance(expr, Star):
+        raise SqlExecutionError("'*' is only valid inside COUNT(*)")
+    raise SqlExecutionError(f"cannot evaluate expression {expr!r}")
+
+
+def _evaluate_binary(expr: BinaryOp, row: Sequence[Any], binding: Binding) -> Any:
+    op = expr.op.upper()
+    if op == "AND":
+        return bool(evaluate(expr.left, row, binding)) and bool(
+            evaluate(expr.right, row, binding)
+        )
+    if op == "OR":
+        return bool(evaluate(expr.left, row, binding)) or bool(
+            evaluate(expr.right, row, binding)
+        )
+    left = evaluate(expr.left, row, binding)
+    right = evaluate(expr.right, row, binding)
+    if op in ("=", "<>", "<", "<=", ">", ">="):
+        if left is None or right is None:
+            return False  # SQL UNKNOWN, treated as not-satisfied
+        left, right = _align_comparable(left, right)
+        if op == "=":
+            return left == right
+        if op == "<>":
+            return left != right
+        if op == "<":
+            return left < right
+        if op == "<=":
+            return left <= right
+        if op == ">":
+            return left > right
+        return left >= right
+    if op in ("+", "-", "*", "/"):
+        if left is None or right is None:
+            return None
+        if not isinstance(left, (int, float)) or not isinstance(right, (int, float)):
+            raise SqlExecutionError(
+                f"arithmetic on non-numeric values {left!r}, {right!r}"
+            )
+        if op == "+":
+            return left + right
+        if op == "-":
+            return left - right
+        if op == "*":
+            return left * right
+        if right == 0:
+            raise SqlExecutionError("division by zero")
+        return left / right
+    raise SqlExecutionError(f"unknown operator {expr.op!r}")
+
+
+def _align_comparable(left: Any, right: Any) -> Tuple[Any, Any]:
+    """Allow int/float comparisons; otherwise require matching types."""
+    if isinstance(left, bool) or isinstance(right, bool):
+        if type(left) is not type(right):
+            raise SqlExecutionError(f"cannot compare {left!r} with {right!r}")
+        return left, right
+    if isinstance(left, (int, float)) and isinstance(right, (int, float)):
+        return left, right
+    if isinstance(left, str) and isinstance(right, str):
+        return left, right
+    raise SqlExecutionError(f"cannot compare {left!r} with {right!r}")
+
+
+def evaluate_aggregate(
+    call: FuncCall, rows: Sequence[Sequence[Any]], binding: Binding
+) -> Any:
+    """Evaluate one aggregate call over the rows of a group."""
+    name = call.name.upper()
+    if name == "COUNT":
+        if len(call.args) == 1 and isinstance(call.args[0], Star):
+            return len(rows)
+        values = [
+            value
+            for value in (evaluate(call.args[0], row, binding) for row in rows)
+            if value is not None
+        ]
+        if call.distinct:
+            return len(set(values))
+        return len(values)
+    if len(call.args) != 1:
+        raise SqlExecutionError(f"{name} takes exactly one argument")
+    values = [
+        value
+        for value in (evaluate(call.args[0], row, binding) for row in rows)
+        if value is not None
+    ]
+    if call.distinct:
+        values = list(set(values))
+    if not values:
+        return None
+    if name == "SUM":
+        _require_numeric(values, name)
+        return sum(values)
+    if name == "AVG":
+        _require_numeric(values, name)
+        return sum(values) / len(values)
+    if name == "MIN":
+        return min(values)
+    if name == "MAX":
+        return max(values)
+    raise SqlExecutionError(f"unknown aggregate {name!r}")
+
+
+def _require_numeric(values: Sequence[Any], func: str) -> None:
+    for value in values:
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            raise SqlExecutionError(f"{func} over non-numeric value {value!r}")
+
+
+def evaluate_with_aggregates(
+    expr: Expr,
+    group_rows: Sequence[Sequence[Any]],
+    binding: Binding,
+) -> Any:
+    """Evaluate an expression that may mix aggregates and scalars.
+
+    Scalar sub-expressions are evaluated on the group's first row (legal
+    because translators only put group-by expressions outside aggregates).
+    """
+    if isinstance(expr, FuncCall) and expr.is_aggregate:
+        return evaluate_aggregate(expr, group_rows, binding)
+    if isinstance(expr, BinaryOp) and expr.contains_aggregate():
+        op = expr.op.upper()
+        if op in ("AND", "OR"):
+            raise SqlExecutionError("boolean aggregates are not supported")
+        left = evaluate_with_aggregates(expr.left, group_rows, binding)
+        right = evaluate_with_aggregates(expr.right, group_rows, binding)
+        return _evaluate_binary(
+            BinaryOp(expr.op, Literal(left), Literal(right)), (), binding
+        )
+    if not group_rows:
+        return None
+    return evaluate(expr, group_rows[0], binding)

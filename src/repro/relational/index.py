@@ -1,0 +1,218 @@
+"""Indexes over table data.
+
+Two index kinds are provided:
+
+* :class:`HashIndex` — equi-join / point-lookup acceleration used by the
+  executor's hash-join planner.
+* :class:`InvertedIndex` — a token -> (relation, attribute) full-text index
+  over all text columns of a database, used by the keyword matcher to find
+  which relations a query term can refer to, and by the ``contains``
+  predicate semantics of generated SQL.
+"""
+
+from __future__ import annotations
+
+import re
+from collections import defaultdict
+from typing import Any, Dict, Iterable, List, Sequence, Set, Tuple
+
+from repro.relational.schema import RelationSchema
+from repro.relational.table import Row, Table
+from repro.relational.types import DataType
+
+_TOKEN_RE = re.compile(r"[a-z0-9]+")
+
+
+def tokenize_text(text: str) -> List[str]:
+    """Lower-case word tokens of a text value."""
+    return _TOKEN_RE.findall(text.lower())
+
+
+class HashIndex:
+    """Hash index mapping a column-tuple value to row positions of a table."""
+
+    def __init__(self, table: Table, columns: Sequence[str]) -> None:
+        self.table = table
+        self.columns = tuple(columns)
+        indices = [table.schema.column_index(col) for col in self.columns]
+        self._buckets: Dict[Tuple[Any, ...], List[int]] = defaultdict(list)
+        for pos, row in enumerate(table.rows):
+            key = tuple(row[i] for i in indices)
+            self._buckets[key].append(pos)
+
+    def lookup(self, key: Tuple[Any, ...]) -> List[Row]:
+        positions = self._buckets.get(tuple(key), [])
+        rows = self.table.rows
+        return [rows[pos] for pos in positions]
+
+    def __len__(self) -> int:
+        return len(self._buckets)
+
+
+class NumericIndex:
+    """Exact-value index over the numeric columns of a set of tables.
+
+    Lets keyword terms that parse as numbers match tuple values (``24``
+    matching ``Student.Age``), complementing the text-oriented
+    :class:`InvertedIndex`.
+    """
+
+    def __init__(self) -> None:
+        self._postings: Dict[Any, Dict[Tuple[str, str], Set[int]]] = defaultdict(dict)
+        self._tables: Dict[str, Table] = {}
+
+    def add_table(self, table: Table) -> None:
+        schema = table.schema
+        self._tables[schema.name] = table
+        numeric_columns = [
+            (i, col.name)
+            for i, col in enumerate(schema.columns)
+            if col.dtype in (DataType.INT, DataType.FLOAT)
+        ]
+        if not numeric_columns:
+            return
+        for pos, row in enumerate(table.rows):
+            for col_idx, col_name in numeric_columns:
+                value = row[col_idx]
+                if value is None:
+                    continue
+                slot = self._postings[float(value)].setdefault(
+                    (schema.name, col_name), set()
+                )
+                slot.add(pos)
+
+    def add_tables(self, tables: Iterable[Table]) -> None:
+        for table in tables:
+            self.add_table(table)
+
+    def match_number(self, text: str) -> List[ValueMatch]:
+        """Matches for a term that parses as a number; [] otherwise."""
+        try:
+            needle = float(text)
+        except ValueError:
+            return []
+        slots = self._postings.get(needle, {})
+        results = [
+            ValueMatch(relation, attribute, set(positions))
+            for (relation, attribute), positions in slots.items()
+        ]
+        results.sort(key=lambda match: (match.relation, match.attribute))
+        return results
+
+
+class ValueMatch:
+    """One occurrence set of a phrase inside a (relation, attribute)."""
+
+    __slots__ = ("relation", "attribute", "row_positions")
+
+    def __init__(self, relation: str, attribute: str, row_positions: Set[int]) -> None:
+        self.relation = relation
+        self.attribute = attribute
+        self.row_positions = row_positions
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ValueMatch({self.relation}.{self.attribute}, "
+            f"rows={len(self.row_positions)})"
+        )
+
+
+class InvertedIndex:
+    """Full-text index over the text/date columns of a set of tables.
+
+    The index maps each token to the set of row positions per
+    ``(relation, attribute)``.  Phrase queries (``"royal olive"``) intersect
+    the posting lists of their tokens and then verify the phrase with a
+    substring check, mirroring SQL ``contains`` semantics.
+    """
+
+    def __init__(self) -> None:
+        self._postings: Dict[str, Dict[Tuple[str, str], Set[int]]] = defaultdict(dict)
+        self._tables: Dict[str, Table] = {}
+
+    def add_table(self, table: Table) -> None:
+        """Index every text-typed column of *table*."""
+        schema: RelationSchema = table.schema
+        self._tables[schema.name] = table
+        text_columns = [
+            (i, col.name)
+            for i, col in enumerate(schema.columns)
+            if col.dtype in (DataType.TEXT, DataType.DATE)
+        ]
+        if not text_columns:
+            return
+        for pos, row in enumerate(table.rows):
+            for col_idx, col_name in text_columns:
+                value = row[col_idx]
+                if value is None:
+                    continue
+                for token in set(tokenize_text(str(value))):
+                    slot = self._postings[token].setdefault((schema.name, col_name), set())
+                    slot.add(pos)
+
+    def add_tables(self, tables: Iterable[Table]) -> None:
+        for table in tables:
+            self.add_table(table)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def match_phrase(self, phrase: str) -> List[ValueMatch]:
+        """Find every (relation, attribute) whose values contain *phrase*.
+
+        Matching is case-insensitive; a value matches when the phrase occurs
+        as a substring of the value (SQL ``contains``), which the token-level
+        candidate set is verified against.
+        """
+        tokens = tokenize_text(phrase)
+        if not tokens:
+            return []
+        candidate_slots = self._postings.get(tokens[0], {})
+        results: List[ValueMatch] = []
+        needle = phrase.lower()
+        for (relation, attribute), positions in candidate_slots.items():
+            candidates = set(positions)
+            for token in tokens[1:]:
+                other = self._postings.get(token, {}).get((relation, attribute))
+                if not other:
+                    candidates = set()
+                    break
+                candidates &= other
+            if not candidates:
+                continue
+            table = self._tables[relation]
+            col_idx = table.schema.column_index(attribute)
+            verified = {
+                pos
+                for pos in candidates
+                if table.rows[pos][col_idx] is not None
+                and needle in str(table.rows[pos][col_idx]).lower()
+            }
+            if verified:
+                results.append(ValueMatch(relation, attribute, verified))
+        results.sort(key=lambda match: (match.relation, match.attribute))
+        return results
+
+    def tokens_with_prefix(self, prefix: str, limit: int = 20) -> List[str]:
+        """Indexed tokens starting with *prefix* (sorted, capped)."""
+        lowered = prefix.lower()
+        if not lowered:
+            return []
+        matches = [token for token in self._postings if token.startswith(lowered)]
+        matches.sort(key=lambda token: (len(token), token))
+        return matches[:limit]
+
+    def slots_of_token(self, token: str) -> List[Tuple[str, str]]:
+        """The (relation, attribute) slots a token occurs in."""
+        return sorted(self._postings.get(token.lower(), {}))
+
+    def matching_values(self, relation: str, attribute: str, phrase: str) -> Set[Any]:
+        """Distinct values of ``relation.attribute`` containing *phrase*."""
+        table = self._tables[relation]
+        col_idx = table.schema.column_index(attribute)
+        needle = phrase.lower()
+        return {
+            row[col_idx]
+            for row in table.rows
+            if row[col_idx] is not None and needle in str(row[col_idx]).lower()
+        }

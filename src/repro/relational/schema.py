@@ -1,0 +1,231 @@
+"""Schema catalog: columns, relation schemas, keys and foreign keys.
+
+The catalog is deliberately explicit — primary keys and foreign keys are the
+raw material from which the ORM schema graph (``repro.orm``) derives the
+Object-Relationship-Attribute semantics, so they must be declared, not
+inferred.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.errors import SchemaError, UnknownColumnError, UnknownTableError
+from repro.relational.types import DataType
+
+
+@dataclass(frozen=True)
+class Column:
+    """A named, typed column of a relation."""
+
+    name: str
+    dtype: DataType
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.name} {self.dtype}"
+
+
+@dataclass(frozen=True)
+class ForeignKey:
+    """A foreign key: *columns* of the child relation reference
+    *ref_columns* (a key) of *ref_table*.
+    """
+
+    columns: Tuple[str, ...]
+    ref_table: str
+    ref_columns: Tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.columns) != len(self.ref_columns):
+            raise SchemaError(
+                f"foreign key column count mismatch: {self.columns} vs {self.ref_columns}"
+            )
+        if not self.columns:
+            raise SchemaError("foreign key must reference at least one column")
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"FK({', '.join(self.columns)}) -> {self.ref_table}({', '.join(self.ref_columns)})"
+
+
+class RelationSchema:
+    """Schema of one relation: ordered columns, a primary key, foreign keys."""
+
+    def __init__(
+        self,
+        name: str,
+        columns: Sequence[Column],
+        primary_key: Sequence[str],
+        foreign_keys: Iterable[ForeignKey] = (),
+    ) -> None:
+        if not name:
+            raise SchemaError("relation name must be non-empty")
+        if not columns:
+            raise SchemaError(f"relation {name!r} must have at least one column")
+        self.name = name
+        self.columns: Tuple[Column, ...] = tuple(columns)
+        self._by_name: Dict[str, Column] = {}
+        for col in self.columns:
+            if col.name in self._by_name:
+                raise SchemaError(f"duplicate column {col.name!r} in relation {name!r}")
+            self._by_name[col.name] = col
+        self.primary_key: Tuple[str, ...] = tuple(primary_key)
+        if not self.primary_key:
+            raise SchemaError(f"relation {name!r} must declare a primary key")
+        for key_col in self.primary_key:
+            if key_col not in self._by_name:
+                raise SchemaError(f"primary key column {key_col!r} not in relation {name!r}")
+        self.foreign_keys: Tuple[ForeignKey, ...] = tuple(foreign_keys)
+        for fk in self.foreign_keys:
+            for col in fk.columns:
+                if col not in self._by_name:
+                    raise SchemaError(
+                        f"foreign key column {col!r} not in relation {name!r}"
+                    )
+
+    # ------------------------------------------------------------------
+    # Lookup helpers
+    # ------------------------------------------------------------------
+    @property
+    def column_names(self) -> Tuple[str, ...]:
+        return tuple(col.name for col in self.columns)
+
+    def has_column(self, name: str) -> bool:
+        return name in self._by_name
+
+    def column(self, name: str) -> Column:
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise UnknownColumnError(f"no column {name!r} in relation {self.name!r}") from None
+
+    def column_index(self, name: str) -> int:
+        for i, col in enumerate(self.columns):
+            if col.name == name:
+                return i
+        raise UnknownColumnError(f"no column {name!r} in relation {self.name!r}")
+
+    def fk_columns(self) -> Tuple[str, ...]:
+        """All column names that participate in some foreign key."""
+        seen: List[str] = []
+        for fk in self.foreign_keys:
+            for col in fk.columns:
+                if col not in seen:
+                    seen.append(col)
+        return tuple(seen)
+
+    def non_key_columns(self) -> Tuple[str, ...]:
+        """Columns that are neither in the primary key nor in any FK."""
+        excluded = set(self.primary_key) | set(self.fk_columns())
+        return tuple(name for name in self.column_names if name not in excluded)
+
+    def key_is_all_foreign(self) -> bool:
+        """True if every primary-key column belongs to some foreign key."""
+        fk_cols = set(self.fk_columns())
+        return all(col in fk_cols for col in self.primary_key)
+
+    def fks_within_key(self) -> Tuple[ForeignKey, ...]:
+        """Foreign keys entirely contained in the primary key."""
+        key = set(self.primary_key)
+        return tuple(fk for fk in self.foreign_keys if set(fk.columns) <= key)
+
+    def fks_outside_key(self) -> Tuple[ForeignKey, ...]:
+        """Foreign keys with at least one column outside the primary key."""
+        key = set(self.primary_key)
+        return tuple(fk for fk in self.foreign_keys if not set(fk.columns) <= key)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"RelationSchema({self.name!r}, key={self.primary_key})"
+
+
+class DatabaseSchema:
+    """Catalog of relation schemas with referential validation."""
+
+    def __init__(self, name: str = "db") -> None:
+        self.name = name
+        self._relations: Dict[str, RelationSchema] = {}
+
+    def add(self, relation: RelationSchema) -> RelationSchema:
+        if relation.name in self._relations:
+            raise SchemaError(f"relation {relation.name!r} already exists")
+        self._relations[relation.name] = relation
+        return relation
+
+    def add_relation(
+        self,
+        name: str,
+        columns: Sequence[Tuple[str, DataType]],
+        primary_key: Sequence[str],
+        foreign_keys: Iterable[ForeignKey] = (),
+    ) -> RelationSchema:
+        """Convenience constructor from ``(name, dtype)`` pairs."""
+        schema = RelationSchema(
+            name,
+            [Column(col_name, dtype) for col_name, dtype in columns],
+            primary_key,
+            foreign_keys,
+        )
+        return self.add(schema)
+
+    def relation(self, name: str) -> RelationSchema:
+        try:
+            return self._relations[name]
+        except KeyError:
+            raise UnknownTableError(f"no relation {name!r} in schema {self.name!r}") from None
+
+    def find_relation(self, name: str) -> Optional[RelationSchema]:
+        """Case-insensitive lookup; returns None when absent."""
+        if name in self._relations:
+            return self._relations[name]
+        lowered = name.lower()
+        for rel in self._relations.values():
+            if rel.name.lower() == lowered:
+                return rel
+        return None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._relations
+
+    def __iter__(self):
+        return iter(self._relations.values())
+
+    def __len__(self) -> int:
+        return len(self._relations)
+
+    @property
+    def relation_names(self) -> Tuple[str, ...]:
+        return tuple(self._relations)
+
+    def validate(self) -> None:
+        """Check that every foreign key references an existing relation key.
+
+        A foreign key must reference either the full primary key of the
+        parent or a unique attribute set; we require the former, which is
+        what the paper's schemas use.
+        """
+        for rel in self:
+            for fk in rel.foreign_keys:
+                if fk.ref_table not in self._relations:
+                    raise SchemaError(
+                        f"relation {rel.name!r}: {fk} references unknown table"
+                    )
+                parent = self._relations[fk.ref_table]
+                if tuple(fk.ref_columns) != parent.primary_key:
+                    raise SchemaError(
+                        f"relation {rel.name!r}: {fk} must reference the primary key "
+                        f"{parent.primary_key} of {parent.name!r}"
+                    )
+                for child_col, parent_col in zip(fk.columns, fk.ref_columns):
+                    child_type = rel.column(child_col).dtype
+                    parent_type = parent.column(parent_col).dtype
+                    if child_type is not parent_type:
+                        raise SchemaError(
+                            f"relation {rel.name!r}: FK column {child_col!r} type "
+                            f"{child_type} does not match {parent.name}.{parent_col} "
+                            f"type {parent_type}"
+                        )
+
+    def references_between(self, child: str, parent: str) -> Tuple[ForeignKey, ...]:
+        """All foreign keys of *child* that reference *parent*."""
+        rel = self.relation(child)
+        return tuple(fk for fk in rel.foreign_keys if fk.ref_table == parent)

@@ -1,0 +1,98 @@
+"""Table and column statistics.
+
+``analyze_database`` profiles row counts, per-column distinct counts, null
+fractions and min/max values.  The executor's join planner uses component
+sizes (a special case of these statistics) to order hash joins; the
+statistics are also the raw material for the FD-discovery extension and
+handy for dataset inspection in the examples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Optional, Tuple
+
+from repro.relational.algebra import null_safe_sort_key
+from repro.relational.database import Database
+from repro.relational.table import Table
+
+
+@dataclass(frozen=True)
+class ColumnStatistics:
+    """Profile of one column."""
+
+    column: str
+    distinct: int
+    nulls: int
+    minimum: Optional[Any]
+    maximum: Optional[Any]
+
+    def null_fraction(self, rows: int) -> float:
+        return self.nulls / rows if rows else 0.0
+
+
+@dataclass(frozen=True)
+class TableStatistics:
+    """Profile of one table."""
+
+    relation: str
+    rows: int
+    columns: Tuple[ColumnStatistics, ...]
+
+    def column(self, name: str) -> ColumnStatistics:
+        for stats in self.columns:
+            if stats.column == name:
+                return stats
+        raise KeyError(name)
+
+    def format(self) -> str:
+        lines = [f"{self.relation}: {self.rows} rows"]
+        for stats in self.columns:
+            lines.append(
+                f"  {stats.column}: distinct={stats.distinct} "
+                f"nulls={stats.nulls} min={stats.minimum!r} max={stats.maximum!r}"
+            )
+        return "\n".join(lines)
+
+
+def analyze_table(table: Table) -> TableStatistics:
+    """Profile one table in a single pass per column."""
+    columns = []
+    for index, column in enumerate(table.schema.columns):
+        values = [row[index] for row in table.rows]
+        non_null = [value for value in values if value is not None]
+        distinct = len(set(non_null))
+        if non_null:
+            minimum = min(non_null, key=null_safe_sort_key)
+            maximum = max(non_null, key=null_safe_sort_key)
+        else:
+            minimum = maximum = None
+        columns.append(
+            ColumnStatistics(
+                column=column.name,
+                distinct=distinct,
+                nulls=len(values) - len(non_null),
+                minimum=minimum,
+                maximum=maximum,
+            )
+        )
+    return TableStatistics(
+        relation=table.schema.name, rows=len(table), columns=tuple(columns)
+    )
+
+
+def analyze_database(database: Database) -> Dict[str, TableStatistics]:
+    """Profile every table of a database."""
+    return {
+        relation.name: analyze_table(database.table(relation.name))
+        for relation in database.schema
+    }
+
+
+def estimated_join_selectivity(
+    left: TableStatistics, left_column: str, right: TableStatistics, right_column: str
+) -> float:
+    """Classical equi-join selectivity estimate: 1 / max(V(l), V(r))."""
+    left_distinct = max(1, left.column(left_column).distinct)
+    right_distinct = max(1, right.column(right_column).distinct)
+    return 1.0 / max(left_distinct, right_distinct)

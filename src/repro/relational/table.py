@@ -1,0 +1,105 @@
+"""Row storage for one relation.
+
+Rows are stored as tuples in insertion order.  The table enforces primary-key
+uniqueness and type coercion on insert; foreign-key enforcement happens at
+the :class:`~repro.relational.database.Database` level because it needs the
+parent table.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.errors import DuplicateKeyError, SchemaError
+from repro.relational.schema import RelationSchema
+from repro.relational.types import coerce
+
+Row = Tuple[Any, ...]
+
+
+class Table:
+    """In-memory storage of one relation's rows."""
+
+    def __init__(self, schema: RelationSchema, enforce_key: bool = True) -> None:
+        self.schema = schema
+        self.enforce_key = enforce_key
+        self._rows: List[Row] = []
+        self._key_indices = tuple(schema.column_index(col) for col in schema.primary_key)
+        self._key_set: Dict[Row, int] = {}
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def insert(self, row: Sequence[Any]) -> Row:
+        """Insert one row (sequence ordered like the schema columns)."""
+        if len(row) != len(self.schema.columns):
+            raise SchemaError(
+                f"{self.schema.name}: expected {len(self.schema.columns)} values, "
+                f"got {len(row)}"
+            )
+        coerced = tuple(
+            coerce(value, col.dtype) for value, col in zip(row, self.schema.columns)
+        )
+        if self.enforce_key:
+            key = tuple(coerced[i] for i in self._key_indices)
+            if any(part is None for part in key):
+                raise DuplicateKeyError(
+                    f"{self.schema.name}: NULL in primary key {self.schema.primary_key}"
+                )
+            if key in self._key_set:
+                raise DuplicateKeyError(
+                    f"{self.schema.name}: duplicate primary key {key!r}"
+                )
+            self._key_set[key] = len(self._rows)
+        self._rows.append(coerced)
+        return coerced
+
+    def insert_dict(self, values: Dict[str, Any]) -> Row:
+        """Insert one row from a column-name -> value mapping.
+
+        Missing columns become NULL; unknown columns raise.
+        """
+        known = set(self.schema.column_names)
+        unknown = set(values) - known
+        if unknown:
+            raise SchemaError(
+                f"{self.schema.name}: unknown columns {sorted(unknown)}"
+            )
+        return self.insert([values.get(name) for name in self.schema.column_names])
+
+    def extend(self, rows: Iterable[Sequence[Any]]) -> None:
+        for row in rows:
+            self.insert(row)
+
+    # ------------------------------------------------------------------
+    # Access
+    # ------------------------------------------------------------------
+    @property
+    def rows(self) -> List[Row]:
+        return self._rows
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __iter__(self) -> Iterator[Row]:
+        return iter(self._rows)
+
+    def get_by_key(self, key: Tuple[Any, ...]) -> Optional[Row]:
+        """Look up a row by primary key (only when ``enforce_key``)."""
+        position = self._key_set.get(tuple(key))
+        if position is None:
+            return None
+        return self._rows[position]
+
+    def column_values(self, column: str) -> List[Any]:
+        """All values of *column* in row order (including duplicates/NULLs)."""
+        idx = self.schema.column_index(column)
+        return [row[idx] for row in self._rows]
+
+    def distinct_key_count(self, columns: Sequence[str]) -> int:
+        """Number of distinct value combinations over *columns*."""
+        indices = [self.schema.column_index(col) for col in columns]
+        return len({tuple(row[i] for i in indices) for row in self._rows})
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Table({self.schema.name!r}, rows={len(self._rows)})"

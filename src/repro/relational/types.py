@@ -1,0 +1,116 @@
+"""Value model for the in-memory relational engine.
+
+The engine supports a small set of scalar datatypes sufficient for the
+paper's workloads (TPC-H and ACM Digital Library): integers, floats,
+strings, dates and booleans.  ``NULL`` is represented by Python ``None``.
+
+Dates are stored as ISO-8601 strings (``YYYY-MM-DD``); this keeps values
+hashable and totally ordered without pulling in ``datetime`` objects, while
+``MIN``/``MAX`` over dates behave correctly because ISO dates sort
+lexicographically.
+"""
+
+from __future__ import annotations
+
+import enum
+import re
+from typing import Any, Optional
+
+from repro.errors import TypeMismatchError
+
+_DATE_RE = re.compile(r"^\d{4}-\d{2}-\d{2}$")
+
+
+class DataType(enum.Enum):
+    """Declared type of a column."""
+
+    INT = "int"
+    FLOAT = "float"
+    TEXT = "text"
+    DATE = "date"
+    BOOL = "bool"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+def coerce(value: Any, dtype: DataType) -> Any:
+    """Coerce *value* to *dtype*, raising :class:`TypeMismatchError` on failure.
+
+    ``None`` passes through unchanged (SQL NULL is typeless).  Numeric
+    widening (int -> float) is allowed; silent narrowing is not.
+    """
+    if value is None:
+        return None
+    try:
+        if dtype is DataType.INT:
+            if isinstance(value, bool):
+                raise TypeMismatchError(f"cannot store bool {value!r} in INT column")
+            if isinstance(value, int):
+                return value
+            if isinstance(value, float) and value.is_integer():
+                return int(value)
+            if isinstance(value, str):
+                return int(value)
+        elif dtype is DataType.FLOAT:
+            if isinstance(value, bool):
+                raise TypeMismatchError(f"cannot store bool {value!r} in FLOAT column")
+            if isinstance(value, (int, float)):
+                return float(value)
+            if isinstance(value, str):
+                return float(value)
+        elif dtype is DataType.TEXT:
+            if isinstance(value, str):
+                return value
+            return str(value)
+        elif dtype is DataType.DATE:
+            if isinstance(value, str):
+                if not _DATE_RE.match(value):
+                    raise TypeMismatchError(f"{value!r} is not an ISO date (YYYY-MM-DD)")
+                return value
+        elif dtype is DataType.BOOL:
+            if isinstance(value, bool):
+                return value
+            if isinstance(value, int) and value in (0, 1):
+                return bool(value)
+    except (ValueError, TypeError) as exc:
+        raise TypeMismatchError(f"cannot coerce {value!r} to {dtype}") from exc
+    raise TypeMismatchError(f"cannot coerce {value!r} to {dtype}")
+
+
+def is_numeric(dtype: DataType) -> bool:
+    """Return True for types on which SUM/AVG are meaningful."""
+    return dtype in (DataType.INT, DataType.FLOAT)
+
+
+def infer_type(value: Any) -> Optional[DataType]:
+    """Infer the :class:`DataType` of a Python value, or None for NULL."""
+    if value is None:
+        return None
+    if isinstance(value, bool):
+        return DataType.BOOL
+    if isinstance(value, int):
+        return DataType.INT
+    if isinstance(value, float):
+        return DataType.FLOAT
+    if isinstance(value, str):
+        if _DATE_RE.match(value):
+            return DataType.DATE
+        return DataType.TEXT
+    raise TypeMismatchError(f"unsupported value {value!r} of type {type(value).__name__}")
+
+
+def common_type(left: DataType, right: DataType) -> DataType:
+    """Return the widened common type of two datatypes for comparisons.
+
+    INT and FLOAT widen to FLOAT; DATE and TEXT widen to TEXT; everything
+    else must match exactly.
+    """
+    if left is right:
+        return left
+    pair = {left, right}
+    if pair == {DataType.INT, DataType.FLOAT}:
+        return DataType.FLOAT
+    if pair == {DataType.DATE, DataType.TEXT}:
+        return DataType.TEXT
+    raise TypeMismatchError(f"no common type for {left} and {right}")

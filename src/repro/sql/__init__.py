@@ -1,0 +1,54 @@
+"""SQL language layer: AST, renderer, lexer and parser."""
+
+from repro.sql.ast import (
+    AGGREGATE_FUNCTIONS,
+    BinaryOp,
+    ColumnRef,
+    Contains,
+    DerivedTable,
+    Expr,
+    FromItem,
+    FuncCall,
+    IsNull,
+    Literal,
+    OrderItem,
+    Select,
+    SelectItem,
+    Star,
+    TableRef,
+    agg,
+    column,
+    count_star,
+    eq,
+)
+from repro.sql.parser import parse
+from repro.sql.render import render, render_pretty
+from repro.sql.validate import ValidationIssue, is_valid, validate_select
+
+__all__ = [
+    "AGGREGATE_FUNCTIONS",
+    "BinaryOp",
+    "ColumnRef",
+    "Contains",
+    "DerivedTable",
+    "Expr",
+    "FromItem",
+    "FuncCall",
+    "IsNull",
+    "Literal",
+    "OrderItem",
+    "Select",
+    "SelectItem",
+    "Star",
+    "TableRef",
+    "ValidationIssue",
+    "agg",
+    "column",
+    "count_star",
+    "eq",
+    "is_valid",
+    "parse",
+    "render",
+    "render_pretty",
+    "validate_select",
+]

@@ -1,0 +1,189 @@
+"""Tokenizer for the SQL dialect rendered by :mod:`repro.sql.render`.
+
+A parser for generated SQL may look redundant, but it earns its keep twice:
+round-trip property tests (render -> parse -> render) pin down the dialect,
+and the executor's public entry point accepts SQL text so examples can show
+real SQL.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List
+
+from repro.errors import SqlSyntaxError
+
+KEYWORDS = {
+    "SELECT",
+    "DISTINCT",
+    "FROM",
+    "WHERE",
+    "GROUP",
+    "ORDER",
+    "BY",
+    "AND",
+    "OR",
+    "AS",
+    "LIKE",
+    "IS",
+    "NOT",
+    "NULL",
+    "TRUE",
+    "FALSE",
+    "LIMIT",
+    "DESC",
+    "ASC",
+}
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str  # 'keyword', 'ident', 'number', 'string', 'op', 'punct', 'eof'
+    text: str
+    position: int
+
+    def is_keyword(self, word: str) -> bool:
+        return self.kind == "keyword" and self.text == word
+
+
+_OPERATORS = ("<=", ">=", "<>", "!=", "=", "<", ">", "+", "-", "*", "/")
+_PUNCT = "(),."
+
+
+def tokenize(sql: str) -> List[Token]:
+    """Split SQL text into tokens; raises :class:`SqlSyntaxError` on junk."""
+    tokens: List[Token] = []
+    i = 0
+    length = len(sql)
+    while i < length:
+        ch = sql[i]
+        if ch.isspace():
+            i += 1
+            continue
+        if ch == '"':
+            j = sql.find('"', i + 1)
+            if j < 0:
+                raise SqlSyntaxError(f"unterminated quoted identifier at {i}")
+            tokens.append(Token("ident", sql[i + 1 : j], i))
+            i = j + 1
+            continue
+        if ch == "'":
+            j = i + 1
+            parts: List[str] = []
+            while True:
+                if j >= length:
+                    raise SqlSyntaxError(f"unterminated string literal at {i}")
+                if sql[j] == "'":
+                    if j + 1 < length and sql[j + 1] == "'":
+                        parts.append("'")
+                        j += 2
+                        continue
+                    break
+                parts.append(sql[j])
+                j += 1
+            tokens.append(Token("string", "".join(parts), i))
+            i = j + 1
+            continue
+        if ch.isdigit() or (ch == "." and i + 1 < length and sql[i + 1].isdigit()):
+            j = i
+            seen_dot = False
+            while j < length and (sql[j].isdigit() or (sql[j] == "." and not seen_dot)):
+                if sql[j] == ".":
+                    # a dot not followed by a digit is a qualifier separator
+                    if j + 1 >= length or not sql[j + 1].isdigit():
+                        break
+                    seen_dot = True
+                j += 1
+            tokens.append(Token("number", sql[i:j], i))
+            i = j
+            continue
+        if ch.isalpha() or ch == "_":
+            j = i
+            while j < length and (sql[j].isalnum() or sql[j] == "_"):
+                j += 1
+            word = sql[i:j]
+            upper = word.upper()
+            if upper in KEYWORDS:
+                tokens.append(Token("keyword", upper, i))
+            else:
+                tokens.append(Token("ident", word, i))
+            i = j
+            continue
+        matched_op = None
+        for op in _OPERATORS:
+            if sql.startswith(op, i):
+                matched_op = op
+                break
+        if matched_op:
+            text = "<>" if matched_op == "!=" else matched_op
+            tokens.append(Token("op", text, i))
+            i += len(matched_op)
+            continue
+        if ch in _PUNCT:
+            tokens.append(Token("punct", ch, i))
+            i += 1
+            continue
+        raise SqlSyntaxError(f"unexpected character {ch!r} at position {i}")
+    tokens.append(Token("eof", "", length))
+    return tokens
+
+
+class TokenStream:
+    """Cursor over a token list with one-token lookahead."""
+
+    def __init__(self, tokens: List[Token]) -> None:
+        self._tokens = tokens
+        self._pos = 0
+
+    @property
+    def current(self) -> Token:
+        return self._tokens[self._pos]
+
+    def peek(self, offset: int = 1) -> Token:
+        index = min(self._pos + offset, len(self._tokens) - 1)
+        return self._tokens[index]
+
+    def advance(self) -> Token:
+        token = self.current
+        if token.kind != "eof":
+            self._pos += 1
+        return token
+
+    def accept_keyword(self, word: str) -> bool:
+        if self.current.is_keyword(word):
+            self.advance()
+            return True
+        return False
+
+    def expect_keyword(self, word: str) -> Token:
+        if not self.current.is_keyword(word):
+            raise SqlSyntaxError(
+                f"expected {word} at position {self.current.position}, "
+                f"found {self.current.text!r}"
+            )
+        return self.advance()
+
+    def accept_punct(self, ch: str) -> bool:
+        if self.current.kind == "punct" and self.current.text == ch:
+            self.advance()
+            return True
+        return False
+
+    def expect_punct(self, ch: str) -> Token:
+        if not (self.current.kind == "punct" and self.current.text == ch):
+            raise SqlSyntaxError(
+                f"expected {ch!r} at position {self.current.position}, "
+                f"found {self.current.text!r}"
+            )
+        return self.advance()
+
+    def expect_ident(self) -> Token:
+        if self.current.kind != "ident":
+            raise SqlSyntaxError(
+                f"expected identifier at position {self.current.position}, "
+                f"found {self.current.text!r}"
+            )
+        return self.advance()
+
+    def at_end(self) -> bool:
+        return self.current.kind == "eof"

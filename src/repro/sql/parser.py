@@ -1,0 +1,258 @@
+"""Recursive-descent parser for the rendered SQL dialect.
+
+Grammar (informal)::
+
+    select    := SELECT [DISTINCT] item (',' item)*
+                 FROM from_item (',' from_item)*
+                 [WHERE expr] [GROUP BY expr (',' expr)*]
+                 [ORDER BY expr [DESC] (',' ...)*] [LIMIT n]
+    item      := expr [AS ident | ident]
+    from_item := ident [ident] | '(' select ')' ident
+    expr      := or_expr
+    or_expr   := and_expr (OR and_expr)*
+    and_expr  := cmp_expr (AND cmp_expr)*
+    cmp_expr  := add_expr [(=|<>|<|<=|>|>=) add_expr | LIKE string | IS [NOT] NULL]
+    add_expr  := mul_expr (('+'|'-') mul_expr)*
+    mul_expr  := primary (('*'|'/') primary)*
+    primary   := number | string | NULL | TRUE | FALSE | func '(' ... ')'
+               | ident ['.' ident] | '(' expr ')'
+
+``LIKE '%x%'`` parses into :class:`~repro.sql.ast.Contains`, the AST node the
+translators emit for the paper's ``contains`` predicate.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.errors import SqlSyntaxError
+from repro.sql.ast import (
+    AGGREGATE_FUNCTIONS,
+    BinaryOp,
+    ColumnRef,
+    Contains,
+    DerivedTable,
+    Expr,
+    FromItem,
+    FuncCall,
+    IsNull,
+    Literal,
+    OrderItem,
+    Select,
+    SelectItem,
+    Star,
+    TableRef,
+)
+from repro.sql.lexer import Token, TokenStream, tokenize
+
+
+def parse(sql: str) -> Select:
+    """Parse SQL text into a :class:`Select`, raising on trailing input."""
+    stream = TokenStream(tokenize(sql))
+    select = _parse_select(stream)
+    if not stream.at_end():
+        token = stream.current
+        raise SqlSyntaxError(
+            f"unexpected input {token.text!r} at position {token.position}"
+        )
+    return select
+
+
+def _parse_select(stream: TokenStream) -> Select:
+    stream.expect_keyword("SELECT")
+    distinct = stream.accept_keyword("DISTINCT")
+    items = [_parse_select_item(stream)]
+    while stream.accept_punct(","):
+        items.append(_parse_select_item(stream))
+    stream.expect_keyword("FROM")
+    from_items = [_parse_from_item(stream)]
+    while stream.accept_punct(","):
+        from_items.append(_parse_from_item(stream))
+    where: Optional[Expr] = None
+    if stream.accept_keyword("WHERE"):
+        where = _parse_expr(stream)
+    group_by: List[Expr] = []
+    order_by: List[OrderItem] = []
+    limit: Optional[int] = None
+    if stream.accept_keyword("GROUP"):
+        stream.expect_keyword("BY")
+        group_by.append(_parse_expr(stream))
+        while stream.accept_punct(","):
+            group_by.append(_parse_expr(stream))
+    if stream.accept_keyword("ORDER"):
+        stream.expect_keyword("BY")
+        order_by.append(_parse_order_item(stream))
+        while stream.accept_punct(","):
+            order_by.append(_parse_order_item(stream))
+    if stream.accept_keyword("LIMIT"):
+        token = stream.advance()
+        if token.kind != "number":
+            raise SqlSyntaxError(f"expected number after LIMIT at {token.position}")
+        limit = int(token.text)
+    return Select(
+        items=tuple(items),
+        from_items=tuple(from_items),
+        where=where,
+        group_by=tuple(group_by),
+        order_by=tuple(order_by),
+        limit=limit,
+        distinct=distinct,
+    )
+
+
+def _parse_order_item(stream: TokenStream) -> OrderItem:
+    expr = _parse_expr(stream)
+    descending = False
+    if stream.accept_keyword("DESC"):
+        descending = True
+    else:
+        stream.accept_keyword("ASC")
+    return OrderItem(expr, descending)
+
+
+def _parse_select_item(stream: TokenStream) -> SelectItem:
+    expr = _parse_expr(stream)
+    alias: Optional[str] = None
+    if stream.accept_keyword("AS"):
+        alias = stream.expect_ident().text
+    elif stream.current.kind == "ident":
+        alias = stream.advance().text
+    return SelectItem(expr, alias)
+
+
+def _parse_from_item(stream: TokenStream) -> FromItem:
+    if stream.accept_punct("("):
+        select = _parse_select(stream)
+        stream.expect_punct(")")
+        alias = stream.expect_ident().text
+        return DerivedTable(select, alias)
+    table = stream.expect_ident().text
+    alias = table
+    if stream.current.kind == "ident":
+        alias = stream.advance().text
+    return TableRef(table, alias)
+
+
+# ----------------------------------------------------------------------
+# Expressions
+# ----------------------------------------------------------------------
+def _parse_expr(stream: TokenStream) -> Expr:
+    return _parse_or(stream)
+
+
+def _parse_or(stream: TokenStream) -> Expr:
+    left = _parse_and(stream)
+    while stream.accept_keyword("OR"):
+        right = _parse_and(stream)
+        left = BinaryOp("OR", left, right)
+    return left
+
+
+def _parse_and(stream: TokenStream) -> Expr:
+    left = _parse_comparison(stream)
+    while stream.accept_keyword("AND"):
+        right = _parse_comparison(stream)
+        left = BinaryOp("AND", left, right)
+    return left
+
+
+def _parse_comparison(stream: TokenStream) -> Expr:
+    left = _parse_additive(stream)
+    token = stream.current
+    if token.kind == "op" and token.text in ("=", "<>", "<", "<=", ">", ">="):
+        stream.advance()
+        right = _parse_additive(stream)
+        return BinaryOp(token.text, left, right)
+    if token.is_keyword("LIKE"):
+        stream.advance()
+        pattern_token = stream.advance()
+        if pattern_token.kind != "string":
+            raise SqlSyntaxError(
+                f"expected string after LIKE at {pattern_token.position}"
+            )
+        pattern = pattern_token.text
+        if pattern.startswith("%") and pattern.endswith("%") and len(pattern) >= 2:
+            return Contains(left, pattern[1:-1])
+        raise SqlSyntaxError(
+            "only '%...%' (contains) LIKE patterns are supported"
+        )
+    if token.is_keyword("IS"):
+        stream.advance()
+        negated = stream.accept_keyword("NOT")
+        stream.expect_keyword("NULL")
+        return IsNull(left, negated)
+    return left
+
+
+def _parse_additive(stream: TokenStream) -> Expr:
+    left = _parse_multiplicative(stream)
+    while stream.current.kind == "op" and stream.current.text in ("+", "-"):
+        op = stream.advance().text
+        right = _parse_multiplicative(stream)
+        left = BinaryOp(op, left, right)
+    return left
+
+
+def _parse_multiplicative(stream: TokenStream) -> Expr:
+    left = _parse_primary(stream)
+    while stream.current.kind == "op" and stream.current.text in ("*", "/"):
+        op = stream.advance().text
+        right = _parse_primary(stream)
+        left = BinaryOp(op, left, right)
+    return left
+
+
+def _parse_primary(stream: TokenStream) -> Expr:
+    token = stream.current
+    if token.kind == "number":
+        stream.advance()
+        if "." in token.text:
+            return Literal(float(token.text))
+        return Literal(int(token.text))
+    if token.kind == "string":
+        stream.advance()
+        return Literal(token.text)
+    if token.is_keyword("NULL"):
+        stream.advance()
+        return Literal(None)
+    if token.is_keyword("TRUE"):
+        stream.advance()
+        return Literal(True)
+    if token.is_keyword("FALSE"):
+        stream.advance()
+        return Literal(False)
+    if token.kind == "punct" and token.text == "(":
+        stream.advance()
+        inner = _parse_expr(stream)
+        stream.expect_punct(")")
+        return inner
+    if token.kind == "op" and token.text == "*":
+        stream.advance()
+        return Star()
+    if token.kind == "ident":
+        return _parse_identifier_expr(stream)
+    raise SqlSyntaxError(
+        f"unexpected token {token.text!r} at position {token.position}"
+    )
+
+
+def _parse_identifier_expr(stream: TokenStream) -> Expr:
+    first = stream.expect_ident().text
+    if stream.current.kind == "punct" and stream.current.text == "(":
+        stream.advance()
+        distinct = stream.accept_keyword("DISTINCT")
+        args: List[Expr] = []
+        if stream.current.kind == "op" and stream.current.text == "*":
+            stream.advance()
+            args.append(Star())
+        elif not (stream.current.kind == "punct" and stream.current.text == ")"):
+            args.append(_parse_expr(stream))
+            while stream.accept_punct(","):
+                args.append(_parse_expr(stream))
+        stream.expect_punct(")")
+        name = first.upper() if first.upper() in AGGREGATE_FUNCTIONS else first
+        return FuncCall(name, tuple(args), distinct=distinct)
+    if stream.accept_punct("."):
+        column_name = stream.expect_ident().text
+        return ColumnRef(column_name, qualifier=first)
+    return ColumnRef(first)

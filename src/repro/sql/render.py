@@ -1,0 +1,155 @@
+"""Render SQL AST nodes to SQL text.
+
+Two modes are provided: compact (single line, used in logs and tests) and
+pretty (clause-per-line with indented subqueries, used when showing the
+generated SQL to users, mirroring the formatting in the paper).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.sql.ast import (
+    BinaryOp,
+    ColumnRef,
+    Contains,
+    DerivedTable,
+    Expr,
+    FromItem,
+    FuncCall,
+    IsNull,
+    Literal,
+    OrderItem,
+    Select,
+    SelectItem,
+    Star,
+    TableRef,
+)
+
+_PRECEDENCE = {
+    "OR": 1,
+    "AND": 2,
+    "=": 3,
+    "<>": 3,
+    "<": 3,
+    "<=": 3,
+    ">": 3,
+    ">=": 3,
+    "+": 4,
+    "-": 4,
+    "*": 5,
+    "/": 5,
+}
+
+
+def escape_string(value: str) -> str:
+    """Single-quote a string literal, doubling embedded quotes."""
+    return "'" + value.replace("'", "''") + "'"
+
+
+def quote_identifier(name: str) -> str:
+    """Double-quote identifiers that collide with SQL keywords (``Order``)."""
+    from repro.sql.lexer import KEYWORDS
+
+    if name.upper() in KEYWORDS:
+        return f'"{name}"'
+    return name
+
+
+def render_expr(expr: Expr, parent_precedence: int = 0) -> str:
+    """Render a scalar expression with minimal parenthesisation."""
+    if isinstance(expr, ColumnRef):
+        name = quote_identifier(expr.name)
+        if expr.qualifier:
+            return f"{quote_identifier(expr.qualifier)}.{name}"
+        return name
+    if isinstance(expr, Star):
+        return "*"
+    if isinstance(expr, Literal):
+        if expr.value is None:
+            return "NULL"
+        if isinstance(expr.value, bool):
+            return "TRUE" if expr.value else "FALSE"
+        if isinstance(expr.value, str):
+            return escape_string(expr.value)
+        return repr(expr.value)
+    if isinstance(expr, FuncCall):
+        inner = ", ".join(render_expr(arg) for arg in expr.args)
+        distinct = "DISTINCT " if expr.distinct else ""
+        return f"{expr.name.upper()}({distinct}{inner})"
+    if isinstance(expr, Contains):
+        pattern = "%" + expr.phrase.replace("'", "''") + "%"
+        return f"{render_expr(expr.column)} LIKE '{pattern}'"
+    if isinstance(expr, IsNull):
+        negation = " NOT" if expr.negated else ""
+        return f"{render_expr(expr.operand, 3)} IS{negation} NULL"
+    if isinstance(expr, BinaryOp):
+        precedence = _PRECEDENCE.get(expr.op.upper(), 3)
+        left = render_expr(expr.left, precedence)
+        right = render_expr(expr.right, precedence + 1)
+        text = f"{left} {expr.op.upper()} {right}"
+        if precedence < parent_precedence:
+            return f"({text})"
+        return text
+    raise TypeError(f"cannot render expression {expr!r}")
+
+
+def _render_select_item(item: SelectItem) -> str:
+    text = render_expr(item.expr)
+    if item.alias:
+        text += f" AS {quote_identifier(item.alias)}"
+    return text
+
+
+def _render_from_item(item: FromItem, pretty: bool, indent: int) -> str:
+    if isinstance(item, TableRef):
+        table = quote_identifier(item.table)
+        if item.alias != item.table:
+            return f"{table} {quote_identifier(item.alias)}"
+        return table
+    if isinstance(item, DerivedTable):
+        inner = _render_select(item.select, pretty, indent + 1)
+        alias = quote_identifier(item.alias)
+        if pretty:
+            pad = "  " * (indent + 1)
+            return f"(\n{pad}{inner}\n{'  ' * indent}) {alias}"
+        return f"({inner}) {alias}"
+    raise TypeError(f"cannot render FROM item {item!r}")
+
+
+def _render_select(select: Select, pretty: bool, indent: int = 0) -> str:
+    clauses: List[str] = []
+    distinct = "DISTINCT " if select.distinct else ""
+    items = ", ".join(_render_select_item(item) for item in select.items)
+    clauses.append(f"SELECT {distinct}{items}")
+    from_text = ", ".join(
+        _render_from_item(item, pretty, indent) for item in select.from_items
+    )
+    clauses.append(f"FROM {from_text}")
+    if select.where is not None:
+        clauses.append(f"WHERE {render_expr(select.where)}")
+    if select.group_by:
+        group = ", ".join(render_expr(expr) for expr in select.group_by)
+        clauses.append(f"GROUP BY {group}")
+    if select.order_by:
+        order = ", ".join(
+            render_expr(item.expr) + (" DESC" if item.descending else "")
+            for item in select.order_by
+        )
+        clauses.append(f"ORDER BY {order}")
+    if select.limit is not None:
+        clauses.append(f"LIMIT {select.limit}")
+    if pretty:
+        pad = "\n" + "  " * indent
+        return pad.join(clauses)
+    return " ".join(clauses)
+
+
+def render(select: Select) -> str:
+    """Single-line SQL text."""
+    return _render_select(select, pretty=False)
+
+
+def render_pretty(select: Select) -> str:
+    """Multi-line SQL text with indented subqueries."""
+    return _render_select(select, pretty=True)

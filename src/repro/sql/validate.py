@@ -1,0 +1,197 @@
+"""Static semantic validation of SELECT statements against a schema.
+
+The executor reports unknown/ambiguous references at runtime, mid-plan;
+this validator checks a whole statement up front and with better messages:
+
+* every FROM table exists; aliases are unique;
+* every column reference resolves against exactly one visible FROM item
+  (derived tables expose their output names);
+* aggregate arguments are columns/star; aggregates are not nested inside
+  each other within one expression;
+* in an aggregated SELECT, every non-aggregate output column appears in
+  GROUP BY (the classic SQL rule — the in-memory executor is lenient and
+  evaluates stray columns on the group's first row, so the validator is the
+  strict gate);
+* LIMIT is non-negative.
+
+Used by the test suite as an invariant over all generated SQL, and exposed
+for users who hand-write statements.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.relational.schema import DatabaseSchema
+from repro.sql.ast import (
+    BinaryOp,
+    ColumnRef,
+    Contains,
+    DerivedTable,
+    Expr,
+    FuncCall,
+    IsNull,
+    Literal,
+    Select,
+    Star,
+    TableRef,
+)
+
+
+class ValidationIssue:
+    """One problem found in a statement."""
+
+    def __init__(self, message: str, path: str = "") -> None:
+        self.message = message
+        self.path = path  # e.g. 'subquery R1' for nested scopes
+
+    def __str__(self) -> str:
+        if self.path:
+            return f"{self.path}: {self.message}"
+        return self.message
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ValidationIssue({str(self)!r})"
+
+
+def validate_select(
+    select: Select, schema: DatabaseSchema, path: str = ""
+) -> List[ValidationIssue]:
+    """All issues in *select* (empty list = valid)."""
+    issues: List[ValidationIssue] = []
+    scope: Dict[str, Set[str]] = {}  # alias -> exposed (lower-case) columns
+
+    # ------------------------------------------------------------------
+    # FROM
+    # ------------------------------------------------------------------
+    if not select.from_items:
+        issues.append(ValidationIssue("FROM clause is empty", path))
+    for item in select.from_items:
+        if item.alias in scope:
+            issues.append(
+                ValidationIssue(f"duplicate alias {item.alias!r}", path)
+            )
+            continue
+        if isinstance(item, TableRef):
+            if item.table not in schema:
+                issues.append(
+                    ValidationIssue(f"unknown table {item.table!r}", path)
+                )
+                scope[item.alias] = set()
+                continue
+            scope[item.alias] = {
+                name.lower()
+                for name in schema.relation(item.table).column_names
+            }
+        elif isinstance(item, DerivedTable):
+            sub_path = f"{path + '/' if path else ''}subquery {item.alias}"
+            issues.extend(validate_select(item.select, schema, sub_path))
+            scope[item.alias] = {
+                sub.output_name(default=f"col{i + 1}").lower()
+                for i, sub in enumerate(item.select.items)
+            }
+
+    # ------------------------------------------------------------------
+    # column resolution
+    # ------------------------------------------------------------------
+    def check_ref(ref: ColumnRef) -> None:
+        name = ref.name.lower()
+        if ref.qualifier is not None:
+            exposed = scope.get(ref.qualifier)
+            if exposed is None:
+                issues.append(
+                    ValidationIssue(f"unknown alias in {ref}", path)
+                )
+            elif name not in exposed:
+                issues.append(
+                    ValidationIssue(f"unknown column {ref}", path)
+                )
+            return
+        owners = [alias for alias, cols in scope.items() if name in cols]
+        if not owners:
+            issues.append(ValidationIssue(f"unknown column {ref}", path))
+        elif len(owners) > 1:
+            issues.append(
+                ValidationIssue(
+                    f"ambiguous column {ref} (in {', '.join(sorted(owners))})",
+                    path,
+                )
+            )
+
+    def check_expr(expr: Expr, inside_aggregate: bool = False) -> None:
+        if isinstance(expr, ColumnRef):
+            check_ref(expr)
+        elif isinstance(expr, Star):
+            if not inside_aggregate:
+                issues.append(
+                    ValidationIssue("'*' is only valid inside COUNT(*)", path)
+                )
+        elif isinstance(expr, FuncCall):
+            if expr.is_aggregate and inside_aggregate:
+                issues.append(
+                    ValidationIssue(
+                        f"nested aggregate {expr.name} inside an aggregate "
+                        "(use a derived table)",
+                        path,
+                    )
+                )
+            for arg in expr.args:
+                check_expr(arg, inside_aggregate or expr.is_aggregate)
+        elif isinstance(expr, BinaryOp):
+            check_expr(expr.left, inside_aggregate)
+            check_expr(expr.right, inside_aggregate)
+        elif isinstance(expr, Contains):
+            check_expr(expr.column, inside_aggregate)
+        elif isinstance(expr, IsNull):
+            check_expr(expr.operand, inside_aggregate)
+        # Literal: nothing to check
+
+    for item in select.items:
+        check_expr(item.expr)
+    if select.where is not None:
+        check_expr(select.where)
+        if select.where.contains_aggregate():
+            issues.append(
+                ValidationIssue("aggregate in WHERE clause", path)
+            )
+    for expr in select.group_by:
+        check_expr(expr)
+        if expr.contains_aggregate():
+            issues.append(
+                ValidationIssue("aggregate in GROUP BY clause", path)
+            )
+    for order in select.order_by:
+        # ORDER BY may also name output columns; accept those
+        if isinstance(order.expr, ColumnRef) and order.expr.qualifier is None:
+            output_names = {
+                item.output_name(default=f"col{i + 1}").lower()
+                for i, item in enumerate(select.items)
+            }
+            if order.expr.name.lower() in output_names:
+                continue
+        check_expr(order.expr)
+
+    # ------------------------------------------------------------------
+    # grouping discipline
+    # ------------------------------------------------------------------
+    if select.has_aggregates() or select.group_by:
+        grouped = {repr(expr) for expr in select.group_by}
+        for item in select.items:
+            if item.expr.contains_aggregate():
+                continue
+            if repr(item.expr) not in grouped:
+                issues.append(
+                    ValidationIssue(
+                        f"non-aggregate output {item.expr} not in GROUP BY",
+                        path,
+                    )
+                )
+
+    if select.limit is not None and select.limit < 0:
+        issues.append(ValidationIssue("negative LIMIT", path))
+    return issues
+
+
+def is_valid(select: Select, schema: DatabaseSchema) -> bool:
+    """Convenience wrapper: True when no issues are found."""
+    return not validate_select(select, schema)

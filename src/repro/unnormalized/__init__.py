@@ -1,0 +1,36 @@
+"""Unnormalized databases: normalized 3NF view, fragment provider, rewriter."""
+
+from repro.unnormalized.provider import FragmentUse, UnnormalizedSourceProvider
+from repro.unnormalized.rewriter import (
+    apply_rule1,
+    apply_rule2,
+    apply_rule3,
+    referenced_columns,
+    rewrite,
+    rewrite_qualifiers,
+)
+from repro.unnormalized.view import (
+    Fragment,
+    NormalizedView,
+    ViewCatalog,
+    ViewRelation,
+    database_is_normalized,
+    validate_declared_fds,
+)
+
+__all__ = [
+    "Fragment",
+    "FragmentUse",
+    "NormalizedView",
+    "UnnormalizedSourceProvider",
+    "ViewCatalog",
+    "ViewRelation",
+    "apply_rule1",
+    "apply_rule2",
+    "apply_rule3",
+    "database_is_normalized",
+    "referenced_columns",
+    "rewrite",
+    "rewrite_qualifiers",
+    "validate_declared_fds",
+]

@@ -1,0 +1,68 @@
+"""Unit tests for SQAK's plain schema graph."""
+
+import pytest
+
+from repro.baselines import SchemaGraph
+from repro.errors import SchemaError
+
+
+class TestStructure:
+    def test_neighbors_follow_foreign_keys(self, university_db):
+        graph = SchemaGraph(university_db.schema)
+        assert graph.neighbors("Student") == ["Enrol"]
+        assert graph.neighbors("Teach") == ["Course", "Lecturer", "Textbook"]
+        # unlike the ORM graph, no classification exists: Department is
+        # just another node
+        assert graph.neighbors("Department") == ["Faculty", "Lecturer"]
+
+    def test_foreign_keys_between(self, university_db):
+        graph = SchemaGraph(university_db.schema)
+        fks = graph.foreign_keys_between("Enrol", "Student")
+        assert len(fks) == 1 and fks[0].columns == ("Sid",)
+        assert graph.foreign_keys_between("Student", "Course") == []
+
+    def test_child_of_edge(self, university_db):
+        graph = SchemaGraph(university_db.schema)
+        assert graph.child_of_edge("Enrol", "Student") == "Enrol"
+        assert graph.child_of_edge("Student", "Enrol") == "Enrol"
+        with pytest.raises(SchemaError):
+            graph.child_of_edge("Student", "Course")
+
+    def test_extra_joins_add_edges(self, acmdl_unnorm):
+        graph = SchemaGraph(
+            acmdl_unnorm.database.schema, acmdl_unnorm.sqak_extra_joins
+        )
+        assert "EditorProceeding" in graph.neighbors("PaperAuthor")
+        fks = graph.foreign_keys_between("PaperAuthor", "EditorProceeding")
+        assert fks[0].columns == ("procid",)
+
+
+class TestPaths:
+    def test_shortest_path(self, university_db):
+        graph = SchemaGraph(university_db.schema)
+        assert graph.shortest_path("Student", "Course") == [
+            "Student",
+            "Enrol",
+            "Course",
+        ]
+        assert graph.shortest_path("Student", "Student") == ["Student"]
+
+    def test_steiner_tree_minimal(self, university_db):
+        graph = SchemaGraph(university_db.schema)
+        edges = graph.steiner_tree(["Student", "Course"])
+        assert edges == {("Course", "Enrol"), ("Enrol", "Student")}
+
+    def test_steiner_tree_single(self, university_db):
+        graph = SchemaGraph(university_db.schema)
+        assert graph.steiner_tree(["Student"]) == set()
+
+    def test_steiner_tree_disconnected_raises(self):
+        from repro.relational.schema import DatabaseSchema
+        from repro.relational.types import DataType
+
+        schema = DatabaseSchema("d")
+        schema.add_relation("A", [("a", DataType.INT)], ["a"])
+        schema.add_relation("B", [("b", DataType.INT)], ["b"])
+        graph = SchemaGraph(schema)
+        with pytest.raises(SchemaError):
+            graph.steiner_tree(["A", "B"])

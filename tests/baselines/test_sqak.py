@@ -1,0 +1,106 @@
+"""Unit tests for the SQAK baseline: its SQL shapes, its wrong answers and
+its N.A. cases — all asserted against the paper's descriptions."""
+
+import pytest
+
+from repro.baselines import SqakEngine
+from repro.errors import NoMatchError, UnsupportedQueryError
+
+
+class TestMatching:
+    def test_relation_name_preferred(self, university_sqak):
+        from repro.keywords.query import KeywordQuery
+
+        term = KeywordQuery("student x").basic_terms[0]
+        match = university_sqak.match_term(term)
+        assert match.kind == "relation" and match.relation == "Student"
+
+    def test_attribute_fallback(self, university_sqak):
+        from repro.keywords.query import KeywordQuery
+
+        term = KeywordQuery("credit x").basic_terms[0]
+        match = university_sqak.match_term(term)
+        assert match.kind == "attribute" and match.attribute == "Credit"
+
+    def test_value_fallback(self, university_sqak):
+        from repro.keywords.query import KeywordQuery
+
+        term = KeywordQuery("Green x").basic_terms[0]
+        match = university_sqak.match_term(term)
+        assert match.kind == "value" and match.attribute == "Sname"
+
+    def test_no_match_raises(self, university_sqak):
+        from repro.keywords.query import KeywordQuery
+
+        term = KeywordQuery("zzznothing x").basic_terms[0]
+        with pytest.raises(NoMatchError):
+            university_sqak.match_term(term)
+
+
+class TestPaperQ1Q2Q3:
+    def test_q1_mixes_students_named_green(self, university_sqak):
+        result = university_sqak.execute("Green SUM Credit")
+        assert result.rows == [("Green", 13.0)]
+
+    def test_q2_counts_duplicate_textbooks(self, university_sqak):
+        result = university_sqak.execute("Java SUM Price")
+        assert result.rows == [("Java", 35.0)]
+
+    def test_q3_correct_on_normalized_schema(self, university_sqak):
+        result = university_sqak.execute("Engineering COUNT Department")
+        assert result.rows == [("Engineering", 1)]
+
+    def test_q3_wrong_on_unnormalized_schema(self, fig2_db):
+        sqak = SqakEngine(fig2_db)
+        result = sqak.execute("Engineering COUNT Department")
+        assert result.rows == [("Engineering", 2)]  # duplicated Did/Fid
+
+    def test_q5_overcounts_lecturers(self, university_sqak):
+        result = university_sqak.execute("COUNT Lecturer GROUPBY Course")
+        rows = dict((code, n) for code, n in result.rows)
+        assert rows["c1"] == 3  # l1 counted twice for two textbooks
+
+
+class TestSqlShape:
+    def test_q1_sql_groups_by_value_attribute(self, university_sqak):
+        sql = university_sqak.compile("Green SUM Credit").sql_compact
+        assert "GROUP BY" in sql and "Sname" in sql
+        assert "SUM" in sql
+
+    def test_groupby_term_groups_by_key(self, university_sqak):
+        sql = university_sqak.compile("COUNT Student GROUPBY Course").sql_compact
+        assert "GROUP BY" in sql and "Code" in sql
+
+    def test_nested_aggregates_wrap(self, tpch_sqak):
+        statement = tpch_sqak.compile("MAX COUNT order GROUPBY nation")
+        sql = statement.sql_compact
+        assert sql.count("SELECT") == 2
+        assert "MAX(" in sql and "COUNT(" in sql
+
+    def test_no_distinct_projection_ever(self, university_sqak):
+        sql = university_sqak.compile("COUNT Lecturer GROUPBY Course").sql_compact
+        assert "DISTINCT" not in sql
+
+
+class TestNotSupported:
+    def test_two_aggregates_na(self, tpch_sqak):
+        with pytest.raises(UnsupportedQueryError):
+            tpch_sqak.compile("COUNT order SUM amount GROUPBY mktsegment")
+
+    def test_self_join_na(self, acmdl_sqak):
+        with pytest.raises(UnsupportedQueryError):
+            acmdl_sqak.compile("COUNT paper author John Mary")
+
+    def test_self_join_na_tpch(self, tpch_sqak):
+        with pytest.raises(UnsupportedQueryError):
+            tpch_sqak.compile('COUNT supplier "pink rose" "white rose"')
+
+    def test_answer_returns_none_for_na(self, tpch_sqak):
+        assert tpch_sqak.answer('COUNT supplier "pink rose" "white rose"') is None
+
+    def test_answer_returns_result_when_supported(self, tpch_sqak):
+        assert tpch_sqak.answer("order AVG amount") is not None
+
+    def test_operator_on_value_term_na(self, university_sqak):
+        with pytest.raises(UnsupportedQueryError):
+            university_sqak.compile("SUM Green Credit")

@@ -1,0 +1,132 @@
+"""Shared fixtures: the paper's databases, engines and baselines.
+
+Dataset generation is deterministic, so session-scoped fixtures are safe
+and keep the suite fast.  Tests must not mutate fixture databases; tests
+that need a mutable database build their own.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import SqakEngine
+from repro.datasets import (
+    denormalize_acmdl,
+    denormalize_tpch,
+    enrolment_database,
+    generate_acmdl,
+    generate_tpch,
+    university_database,
+    unnormalized_lecturer_database,
+)
+from repro.engine import KeywordSearchEngine
+
+
+@pytest.fixture(scope="session")
+def university_db():
+    return university_database()
+
+
+@pytest.fixture(scope="session")
+def university_engine(university_db):
+    return KeywordSearchEngine(university_db)
+
+
+@pytest.fixture(scope="session")
+def university_sqak(university_db):
+    return SqakEngine(university_db)
+
+
+@pytest.fixture(scope="session")
+def enrolment_db():
+    return enrolment_database()
+
+
+@pytest.fixture(scope="session")
+def enrolment_fds():
+    return {"Enrolment": ["Sid -> Sname, Age", "Code -> Title, Credit"]}
+
+
+@pytest.fixture(scope="session")
+def enrolment_engine(enrolment_db, enrolment_fds):
+    return KeywordSearchEngine(enrolment_db, fds=enrolment_fds)
+
+
+@pytest.fixture(scope="session")
+def fig2_db():
+    return unnormalized_lecturer_database()
+
+
+@pytest.fixture(scope="session")
+def fig2_engine(fig2_db):
+    return KeywordSearchEngine(fig2_db, fds={"Lecturer": ["Did -> Fid"]})
+
+
+@pytest.fixture(scope="session")
+def tpch_db():
+    return generate_tpch()
+
+
+@pytest.fixture(scope="session")
+def tpch_engine(tpch_db):
+    return KeywordSearchEngine(tpch_db)
+
+
+@pytest.fixture(scope="session")
+def tpch_sqak(tpch_db):
+    return SqakEngine(tpch_db)
+
+
+@pytest.fixture(scope="session")
+def acmdl_db():
+    return generate_acmdl()
+
+
+@pytest.fixture(scope="session")
+def acmdl_engine(acmdl_db):
+    return KeywordSearchEngine(acmdl_db)
+
+
+@pytest.fixture(scope="session")
+def acmdl_sqak(acmdl_db):
+    return SqakEngine(acmdl_db)
+
+
+@pytest.fixture(scope="session")
+def tpch_unnorm(tpch_db):
+    return denormalize_tpch(tpch_db)
+
+
+@pytest.fixture(scope="session")
+def tpch_unnorm_engine(tpch_unnorm):
+    return KeywordSearchEngine(
+        tpch_unnorm.database,
+        fds=tpch_unnorm.fds,
+        name_hints=tpch_unnorm.name_hints,
+    )
+
+
+@pytest.fixture(scope="session")
+def tpch_unnorm_sqak(tpch_unnorm):
+    return SqakEngine(tpch_unnorm.database, extra_joins=tpch_unnorm.sqak_extra_joins)
+
+
+@pytest.fixture(scope="session")
+def acmdl_unnorm(acmdl_db):
+    return denormalize_acmdl(acmdl_db)
+
+
+@pytest.fixture(scope="session")
+def acmdl_unnorm_engine(acmdl_unnorm):
+    return KeywordSearchEngine(
+        acmdl_unnorm.database,
+        fds=acmdl_unnorm.fds,
+        name_hints=acmdl_unnorm.name_hints,
+    )
+
+
+@pytest.fixture(scope="session")
+def acmdl_unnorm_sqak(acmdl_unnorm):
+    return SqakEngine(
+        acmdl_unnorm.database, extra_joins=acmdl_unnorm.sqak_extra_joins
+    )

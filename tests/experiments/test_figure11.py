@@ -1,0 +1,48 @@
+"""Figure 11 reproduction: SQL-generation times of both systems.
+
+The paper's claim is qualitative: both systems generate SQL in
+milliseconds, the semantic approach being slightly slower because it
+analyses interpretations and duplicates.  We assert the millisecond scale
+and that the reporting path renders the series.
+"""
+
+import pytest
+
+from repro.experiments import (
+    ACMDL_QUERIES,
+    TPCH_QUERIES,
+    format_timing_series,
+    run_suite,
+)
+
+
+@pytest.fixture(scope="module")
+def tpch_outcomes(tpch_engine, tpch_sqak):
+    return run_suite(tpch_engine, tpch_sqak, TPCH_QUERIES)
+
+
+@pytest.fixture(scope="module")
+def acmdl_outcomes(acmdl_engine, acmdl_sqak):
+    return run_suite(acmdl_engine, acmdl_sqak, ACMDL_QUERIES)
+
+
+class TestGenerationTimes:
+    def test_tpch_compile_times_are_millisecond_scale(self, tpch_outcomes):
+        for outcome in tpch_outcomes:
+            assert outcome.semantic_compile_ms < 2000.0
+
+    def test_acmdl_compile_times_are_millisecond_scale(self, acmdl_outcomes):
+        for outcome in acmdl_outcomes:
+            assert outcome.semantic_compile_ms < 2000.0
+
+    def test_sqak_compile_times_recorded_when_supported(self, tpch_outcomes):
+        for outcome in tpch_outcomes:
+            if not outcome.sqak_is_na:
+                assert outcome.sqak_compile_ms is not None
+                assert outcome.sqak_compile_ms < 2000.0
+
+    def test_timing_series_renders(self, tpch_outcomes, acmdl_outcomes):
+        text_a = format_timing_series("Figure 11(a) TPCH", tpch_outcomes)
+        text_b = format_timing_series("Figure 11(b) ACMDL", acmdl_outcomes)
+        assert "T1" in text_a and "A1" in text_b
+        assert "N.A." in text_a  # T7/T8 have no SQAK time

@@ -1,0 +1,60 @@
+"""Tests for the ranking-quality extension experiment."""
+
+import pytest
+
+from repro.experiments import ACMDL_QUERIES, TPCH_QUERIES
+from repro.experiments.ranking_quality import (
+    RankingOutcome,
+    intended_rank,
+    ranking_report,
+)
+
+
+class TestIntendedRank:
+    def test_every_tpch_query_found_in_top_k(self, tpch_engine):
+        for spec in TPCH_QUERIES:
+            outcome = intended_rank(tpch_engine, spec)
+            assert outcome.intended_rank is not None, spec.qid
+
+    def test_every_acmdl_query_found_in_top_k(self, acmdl_engine):
+        for spec in ACMDL_QUERIES:
+            outcome = intended_rank(acmdl_engine, spec)
+            assert outcome.intended_rank is not None, spec.qid
+
+    def test_unnormalized_engines_find_intended_interpretations(
+        self, tpch_unnorm_engine, acmdl_unnorm_engine
+    ):
+        for spec in TPCH_QUERIES:
+            assert (
+                intended_rank(tpch_unnorm_engine, spec).intended_rank
+                is not None
+            ), spec.qid
+        for spec in ACMDL_QUERIES:
+            assert (
+                intended_rank(acmdl_unnorm_engine, spec).intended_rank
+                is not None
+            ), spec.qid
+
+
+class TestReport:
+    def test_report_aggregates(self, tpch_engine):
+        report = ranking_report(tpch_engine, TPCH_QUERIES)
+        assert report.hits_at_k == len(TPCH_QUERIES)
+        assert 0 < report.mean_reciprocal_rank <= 1.0
+        assert report.hits_at_1 <= report.hits_at_3 <= report.hits_at_k
+
+    def test_most_queries_hit_within_top_3(self, tpch_engine, acmdl_engine):
+        # the paper's top-k translation is only useful if the intended
+        # reading sits near the top; require at least 3/4 within rank 3
+        for engine, specs in (
+            (tpch_engine, TPCH_QUERIES),
+            (acmdl_engine, ACMDL_QUERIES),
+        ):
+            report = ranking_report(engine, specs)
+            assert report.hits_at_3 * 4 >= len(specs) * 3
+
+    def test_format_table(self, tpch_engine):
+        report = ranking_report(tpch_engine, TPCH_QUERIES)
+        text = report.format_table()
+        assert "hit@1" in text and "MRR" in text
+        assert "T5" in text

@@ -1,0 +1,25 @@
+"""Smoke test for the one-call full reproduction report."""
+
+import io
+
+from repro.experiments.report import full_report
+
+
+def test_full_report_contains_all_tables_and_figures():
+    out = io.StringIO()
+    full_report(out)
+    text = out.getvalue()
+    for marker in (
+        "Table 5",
+        "Table 6",
+        "Table 8",
+        "Table 9",
+        "Figure 11(a)",
+        "Figure 11(b)",
+    ):
+        assert marker in text, marker
+    # all sixteen query ids appear
+    for qid in [f"T{i}" for i in range(1, 9)] + [f"A{i}" for i in range(1, 9)]:
+        assert qid in text, qid
+    # the headline disagreements are present
+    assert "N.A." in text

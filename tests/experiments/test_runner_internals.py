@@ -1,0 +1,93 @@
+"""Unit tests for interpretation selection and outcome reporting."""
+
+import pytest
+
+from repro.experiments import pick_interpretation, spec_by_id
+from repro.experiments.queries import QuerySpec
+from repro.experiments.runner import _fmt_value, _pattern_satisfies
+
+
+class TestSpecLookup:
+    def test_spec_by_id(self):
+        assert spec_by_id("T5").text == 'COUNT supplier "Indian black chocolate"'
+        assert spec_by_id("A8").sqak_na
+
+    def test_unknown_id(self):
+        with pytest.raises(KeyError):
+            spec_by_id("Z9")
+
+
+class TestPatternSatisfies:
+    def test_distinguish_requires_all_multi_conditions_marked(
+        self, university_engine
+    ):
+        spec = QuerySpec("X", "Green SUM Credit", "", distinguish=True)
+        patterns = university_engine.patterns("Green SUM Credit")
+        marked = [p for p in patterns if _pattern_satisfies(p, spec)]
+        assert marked and all(p.distinguishes for p in marked)
+
+    def test_no_distinguish_rejects_marked_patterns(self, university_engine):
+        spec = QuerySpec("X", "Green SUM Credit", "", distinguish=False)
+        patterns = university_engine.patterns("Green SUM Credit")
+        accepted = [p for p in patterns if _pattern_satisfies(p, spec)]
+        assert accepted and all(not p.distinguishes for p in accepted)
+
+    def test_require_aggs_pins_node_and_function(self, tpch_engine):
+        patterns = tpch_engine.patterns("MAX COUNT order GROUPBY nation")
+        pinned = QuerySpec(
+            "X", "", "", require_aggs=("COUNT@Order",)
+        )
+        accepted = [p for p in patterns if _pattern_satisfies(p, pinned)]
+        assert accepted
+        for pattern in accepted:
+            assert any(
+                node.orm_node.startswith("Order") and node.aggregates
+                for node in pattern.nodes
+            )
+
+    def test_require_aggs_with_attribute(self, tpch_engine):
+        patterns = tpch_engine.patterns('supplier MAX acctbal "yellow tomato"')
+        spec = QuerySpec(
+            "X", "", "", distinguish=True, require_aggs=("MAX(acctbal)@Supplier",)
+        )
+        accepted = [p for p in patterns if _pattern_satisfies(p, spec)]
+        assert accepted
+
+    def test_bad_requirement_raises(self, university_engine):
+        spec = QuerySpec("X", "", "", require_aggs=("garbage",))
+        pattern = next(
+            p
+            for p in university_engine.patterns("Green SUM Credit")
+            if not p.distinguishes
+        )
+        with pytest.raises(ValueError):
+            _pattern_satisfies(pattern, spec)
+
+
+class TestPickInterpretation:
+    def test_falls_back_to_top_ranked(self, university_engine):
+        # a requirement nothing satisfies falls back to rank 1
+        spec = QuerySpec(
+            "X", "Green SUM Credit", "", require_aggs=("MIN(Age)@Faculty",)
+        )
+        interpretations = university_engine.compile("Green SUM Credit")
+        assert pick_interpretation(interpretations, spec) is interpretations[0]
+
+    def test_t2_picker_selects_order_count(self, tpch_engine):
+        spec = spec_by_id("T2")
+        chosen = pick_interpretation(tpch_engine.compile(spec.text), spec)
+        assert any(
+            node.orm_node == "Order" and node.aggregates
+            for node in chosen.pattern.nodes
+        )
+
+
+class TestFormatting:
+    def test_fmt_value_floats(self):
+        assert _fmt_value(2.50) == "2.5"
+        assert _fmt_value(3.0) == "3"
+        assert _fmt_value(123456.0) == "1.23e+05"
+
+    def test_fmt_value_non_float(self):
+        assert _fmt_value(7) == "7"
+        assert _fmt_value("x") == "x"

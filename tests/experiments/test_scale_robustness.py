@@ -1,0 +1,71 @@
+"""The evaluation shapes must hold at other generator scales and seeds —
+they are planted structurally, not tuned to one dataset instance."""
+
+import pytest
+
+from repro.baselines import SqakEngine
+from repro.datasets import AcmdlConfig, TpchConfig, generate_acmdl, generate_tpch
+from repro.engine import KeywordSearchEngine
+from repro.experiments import TPCH_QUERIES, ACMDL_QUERIES, run_suite
+
+
+@pytest.fixture(scope="module")
+def small_tpch_outcomes():
+    config = TpchConfig(
+        seed=1234, parts=100, suppliers=40, customers=80, orders=400
+    )
+    db = generate_tpch(config)
+    results = run_suite(KeywordSearchEngine(db), SqakEngine(db), TPCH_QUERIES)
+    return {outcome.spec.qid: outcome for outcome in results}
+
+
+@pytest.fixture(scope="module")
+def small_acmdl_outcomes():
+    config = AcmdlConfig(seed=99, authors=80, editors=40, papers=200)
+    db = generate_acmdl(config)
+    results = run_suite(KeywordSearchEngine(db), SqakEngine(db), ACMDL_QUERIES)
+    return {outcome.spec.qid: outcome for outcome in results}
+
+
+class TestTpchShapesAtOtherScale:
+    def test_agreement_rows(self, small_tpch_outcomes):
+        for qid in ("T1", "T2"):
+            outcome = small_tpch_outcomes[qid]
+            assert outcome.semantic_answers()[0][-1] == outcome.sqak_answers()[0][-1]
+
+    def test_distinguishing_rows(self, small_tpch_outcomes):
+        assert len(small_tpch_outcomes["T3"].semantic_answers()) == 8
+        assert len(small_tpch_outcomes["T4"].semantic_answers()) == 13
+        assert len(small_tpch_outcomes["T3"].sqak_answers()) == 1
+
+    def test_duplicate_detection_rows(self, small_tpch_outcomes):
+        assert small_tpch_outcomes["T5"].semantic_answers() == [(4,)]
+        assert small_tpch_outcomes["T5"].sqak_answers()[0][-1] == 22
+
+    def test_na_rows(self, small_tpch_outcomes):
+        assert small_tpch_outcomes["T7"].sqak_is_na
+        assert small_tpch_outcomes["T8"].sqak_is_na
+        assert len(small_tpch_outcomes["T8"].semantic_answers()) == 3
+
+
+class TestAcmdlShapesAtOtherScale:
+    def test_agreement_rows(self, small_acmdl_outcomes):
+        outcome = small_acmdl_outcomes["A1"]
+        assert outcome.semantic_answers() == outcome.sqak_answers()
+
+    def test_distinguishing_rows(self, small_acmdl_outcomes):
+        assert len(small_acmdl_outcomes["A3"].semantic_answers()) == 7
+        assert len(small_acmdl_outcomes["A3"].sqak_answers()) == 1
+        assert len(small_acmdl_outcomes["A4"].semantic_answers()) == 6
+
+    def test_a5_multiset_invariant(self, small_acmdl_outcomes):
+        ours = sorted(
+            row[-1] for row in small_acmdl_outcomes["A5"].semantic_answers()
+        )
+        assert ours == [2, 2, 2, 2, 2, 6]
+        assert len(small_acmdl_outcomes["A5"].sqak_answers()) == 4
+
+    def test_na_rows(self, small_acmdl_outcomes):
+        for qid in ("A6", "A7", "A8"):
+            assert small_acmdl_outcomes[qid].sqak_is_na, qid
+        assert len(small_acmdl_outcomes["A8"].semantic_answers()) == 2

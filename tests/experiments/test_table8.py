@@ -1,0 +1,65 @@
+"""Table 8 reproduction: the unnormalized TPC-H runs.
+
+Two claims: (1) our engine's answers are unchanged from Table 5; (2) SQAK
+now gets T1/T2 wrong too (duplicated order information), while keeping its
+Table 5 mistakes elsewhere.
+"""
+
+import pytest
+
+from repro.experiments import TPCH_QUERIES, run_suite
+
+
+@pytest.fixture(scope="module")
+def outcomes(tpch_unnorm_engine, tpch_unnorm_sqak):
+    results = run_suite(tpch_unnorm_engine, tpch_unnorm_sqak, TPCH_QUERIES)
+    return {outcome.spec.qid: outcome for outcome in results}
+
+
+@pytest.fixture(scope="module")
+def normalized_outcomes(tpch_engine, tpch_sqak):
+    results = run_suite(tpch_engine, tpch_sqak, TPCH_QUERIES)
+    return {outcome.spec.qid: outcome for outcome in results}
+
+
+class TestSqakBreaksOnDenormalizedData:
+    def test_t1_average_inflated_by_duplicate_orders(
+        self, outcomes, normalized_outcomes
+    ):
+        wrong = outcomes["T1"].sqak_answers()[0][-1]
+        true_value = normalized_outcomes["T1"].semantic_answers()[0][-1]
+        assert wrong > true_value * 1.02  # visibly inflated
+
+    def test_t2_max_count_inflated(self, outcomes, normalized_outcomes):
+        wrong = outcomes["T2"].sqak_answers()[0][-1]
+        true_value = normalized_outcomes["T2"].semantic_answers()[0][-1]
+        assert wrong > true_value
+
+    def test_t5_still_wrong_for_the_table5_reason(self, outcomes):
+        assert outcomes["T5"].sqak_answers()[0][-1] == 22
+
+    def test_t7_t8_still_na(self, outcomes):
+        assert outcomes["T7"].sqak_is_na
+        assert outcomes["T8"].sqak_is_na
+
+
+class TestOursUnchanged:
+    @pytest.mark.parametrize("qid", ["T1", "T2", "T3", "T4", "T5", "T6", "T8"])
+    def test_answer_counts_match_table5(
+        self, qid, outcomes, normalized_outcomes
+    ):
+        assert len(outcomes[qid].semantic_answers()) == len(
+            normalized_outcomes[qid].semantic_answers()
+        )
+
+    def test_t5_exact(self, outcomes):
+        assert outcomes["T5"].semantic_answers() == [(4,)]
+
+    def test_generated_sql_reads_stored_relations(self, outcomes):
+        # the SQL must run against TPCH' (Ordering), not phantom tables
+        assert "Ordering" in outcomes["T5"].semantic_sql
+
+    def test_rewriting_leaves_no_redundant_projections(self, outcomes):
+        # T1 reads one deduplicated Order fragment
+        sql = outcomes["T1"].semantic_sql
+        assert "SELECT DISTINCT orderkey, amount FROM Ordering" in sql

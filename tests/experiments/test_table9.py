@@ -1,0 +1,59 @@
+"""Table 9 reproduction: the unnormalized ACMDL runs."""
+
+import pytest
+
+from repro.experiments import ACMDL_QUERIES, run_suite
+
+
+@pytest.fixture(scope="module")
+def outcomes(acmdl_unnorm_engine, acmdl_unnorm_sqak):
+    results = run_suite(acmdl_unnorm_engine, acmdl_unnorm_sqak, ACMDL_QUERIES)
+    return {outcome.spec.qid: outcome for outcome in results}
+
+
+@pytest.fixture(scope="module")
+def normalized_outcomes(acmdl_engine, acmdl_sqak):
+    results = run_suite(acmdl_engine, acmdl_sqak, ACMDL_QUERIES)
+    return {outcome.spec.qid: outcome for outcome in results}
+
+
+class TestSqakBreaksOnDenormalizedData:
+    def test_a1_average_pages_inflated(self, outcomes, normalized_outcomes):
+        wrong = outcomes["A1"].sqak_answers()[0][-1]
+        true_value = normalized_outcomes["A1"].semantic_answers()[0][-1]
+        assert wrong > true_value * 1.02
+
+    def test_a2_paper_counts_inflated(self, outcomes, normalized_outcomes):
+        wrong = sorted(row[-1] for row in outcomes["A2"].sqak_answers())
+        true_counts = sorted(
+            row[-1] for row in normalized_outcomes["A2"].semantic_answers()
+        )
+        assert len(wrong) == len(true_counts)
+        assert all(w > t for w, t in zip(wrong, true_counts))
+
+    def test_a3_still_one_mixed_answer(self, outcomes):
+        assert len(outcomes["A3"].sqak_answers()) == 1
+
+    def test_a6_a7_a8_still_na(self, outcomes):
+        for qid in ("A6", "A7", "A8"):
+            assert outcomes[qid].sqak_is_na, qid
+
+
+class TestOursUnchanged:
+    @pytest.mark.parametrize(
+        "qid", ["A1", "A2", "A3", "A4", "A5", "A6", "A7", "A8"]
+    )
+    def test_answer_counts_match_table6(
+        self, qid, outcomes, normalized_outcomes
+    ):
+        assert len(outcomes[qid].semantic_answers()) == len(
+            normalized_outcomes[qid].semantic_answers()
+        )
+
+    def test_a5_exact_multiset(self, outcomes):
+        ours = sorted(row[-1] for row in outcomes["A5"].semantic_answers())
+        assert ours == [2, 2, 2, 2, 2, 6]
+
+    def test_generated_sql_reads_stored_relations(self, outcomes):
+        sql = outcomes["A2"].semantic_sql
+        assert "PaperAuthor" in sql and "EditorProceeding" in sql

@@ -1,0 +1,116 @@
+"""Unit tests for attribute closure, implication and minimal cover."""
+
+from repro.fd import (
+    FunctionalDependency,
+    attrs,
+    closure,
+    equivalent,
+    implies,
+    minimal_cover,
+    parse_fds,
+)
+
+
+FD = FunctionalDependency
+
+
+class TestClosure:
+    def test_reflexive(self):
+        assert closure({"A"}, []) == attrs("A")
+
+    def test_single_step(self):
+        fds = parse_fds(["A -> B"])
+        assert closure({"A"}, fds) == attrs("A", "B")
+
+    def test_transitive(self):
+        fds = parse_fds(["A -> B", "B -> C"])
+        assert closure({"A"}, fds) == attrs("A", "B", "C")
+
+    def test_composite_determinant(self):
+        fds = parse_fds(["A, B -> C"])
+        assert closure({"A"}, fds) == attrs("A")
+        assert closure({"A", "B"}, fds) == attrs("A", "B", "C")
+
+    def test_enrolment_key_closure(self):
+        fds = parse_fds(
+            ["Sid -> Sname, Age", "Code -> Title, Credit", "Sid, Code -> Grade"]
+        )
+        full = attrs("Sid", "Sname", "Age", "Code", "Title", "Credit", "Grade")
+        assert closure({"Sid", "Code"}, fds) == full
+
+
+class TestImplication:
+    def test_implied_fd(self):
+        fds = parse_fds(["A -> B", "B -> C"])
+        assert implies(fds, FD({"A"}, {"C"}))
+
+    def test_not_implied(self):
+        fds = parse_fds(["A -> B"])
+        assert not implies(fds, FD({"B"}, {"A"}))
+
+    def test_equivalence(self):
+        first = parse_fds(["A -> B", "B -> C"])
+        second = parse_fds(["A -> B, C", "B -> C"])
+        assert equivalent(first, second)
+        assert not equivalent(first, parse_fds(["A -> B"]))
+
+
+class TestMinimalCover:
+    def test_splits_rhs(self):
+        cover = minimal_cover(parse_fds(["A -> B, C"]))
+        assert all(len(fd.rhs) == 1 for fd in cover)
+        assert equivalent(cover, parse_fds(["A -> B, C"]))
+
+    def test_removes_redundant_fd(self):
+        fds = parse_fds(["A -> B", "B -> C", "A -> C"])
+        cover = minimal_cover(fds)
+        assert FD({"A"}, {"C"}) not in cover
+        assert equivalent(cover, fds)
+
+    def test_removes_extraneous_lhs(self):
+        fds = parse_fds(["A -> B", "A, B -> C"])
+        cover = minimal_cover(fds)
+        assert FD({"A"}, {"C"}) in cover
+        assert equivalent(cover, fds)
+
+    def test_drops_trivial(self):
+        cover = minimal_cover(parse_fds(["A -> A", "A -> B"]))
+        assert cover == [FD({"A"}, {"B"})]
+
+    def test_empty(self):
+        assert minimal_cover([]) == []
+
+    def test_deterministic(self):
+        fds = parse_fds(["A -> B", "B -> C", "A -> C", "C -> D"])
+        assert minimal_cover(fds) == minimal_cover(fds)
+
+
+class TestParsing:
+    def test_parse(self):
+        fd = FD.parse(" A , B ->  C ")
+        assert fd.lhs == attrs("A", "B") and fd.rhs == attrs("C")
+
+    def test_repr_round_trip(self):
+        fd = FD({"B", "A"}, {"C"})
+        assert FD.parse(repr(fd)) == fd
+
+    def test_invalid_text(self):
+        import pytest
+
+        from repro.errors import NormalizationError
+
+        with pytest.raises(NormalizationError):
+            FD.parse("A B C")
+        with pytest.raises(NormalizationError):
+            FD(set(), {"A"})
+        with pytest.raises(NormalizationError):
+            FD({"A"}, set())
+
+    def test_decompose(self):
+        fd = FD({"A"}, {"B", "C"})
+        parts = fd.decompose()
+        assert FD({"A"}, {"B"}) in parts and FD({"A"}, {"C"}) in parts
+
+    def test_trivial(self):
+        assert FD({"A", "B"}, {"A"}).is_trivial
+        assert not FD({"A"}, {"B"}).is_trivial

@@ -1,0 +1,65 @@
+"""Unit tests for FD discovery from data."""
+
+from repro.fd import FunctionalDependency, discover_fds, discover_key_fds, holds
+from repro.relational.schema import Column, RelationSchema
+from repro.relational.table import Table
+from repro.relational.types import DataType
+
+TEXT = DataType.TEXT
+INT = DataType.INT
+
+FD = FunctionalDependency
+
+
+def make_table(rows) -> Table:
+    schema = RelationSchema(
+        "R",
+        [Column("a", TEXT), Column("b", TEXT), Column("c", INT)],
+        ["a", "b"],
+    )
+    table = Table(schema)
+    table.extend(rows)
+    return table
+
+
+class TestHolds:
+    def test_holding_fd(self):
+        table = make_table([("x", "1", 1), ("x", "2", 1), ("y", "1", 2)])
+        assert holds(table, FD({"a"}, {"c"}))
+
+    def test_violated_fd(self):
+        table = make_table([("x", "1", 1), ("x", "2", 2)])
+        assert not holds(table, FD({"a"}, {"c"}))
+
+    def test_composite_lhs(self):
+        table = make_table([("x", "1", 1), ("x", "2", 2)])
+        assert holds(table, FD({"a", "b"}, {"c"}))
+
+
+class TestDiscovery:
+    def test_discovers_planted_fd(self):
+        table = make_table([("x", "1", 1), ("x", "2", 1), ("y", "3", 2)])
+        discovered = discover_fds(table, max_lhs=1)
+        assert FD({"a"}, {"c"}) in discovered
+
+    def test_minimality_prunes_implied(self):
+        table = make_table([("x", "1", 1), ("x", "2", 1), ("y", "3", 2)])
+        discovered = discover_fds(table, max_lhs=2)
+        # (a,b)->c follows from a->c, so it must not be listed separately
+        assert FD({"a", "b"}, {"c"}) not in discovered
+
+    def test_enrolment_discovery_finds_paper_fds(self, enrolment_db):
+        table = enrolment_db.table("Enrolment")
+        discovered = discover_fds(table, max_lhs=1)
+        assert FD({"Sid"}, {"Sname"}) in discovered
+        assert FD({"Sid"}, {"Age"}) in discovered
+        assert FD({"Code"}, {"Title"}) in discovered
+        assert FD({"Code"}, {"Credit"}) in discovered
+
+    def test_key_fds(self):
+        table = make_table([("x", "1", 1)])
+        assert discover_key_fds(table) == [FD({"a", "b"}, {"c"})]
+
+    def test_key_fds_empty_for_all_key_relation(self):
+        schema = RelationSchema("K", [Column("a", TEXT)], ["a"])
+        assert discover_key_fds(Table(schema)) == []

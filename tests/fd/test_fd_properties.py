@@ -1,0 +1,114 @@
+"""Property-based tests for the FD machinery.
+
+Random FD sets over a small attribute universe; the classical invariants of
+closure, minimal cover and synthesis must hold on all of them.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fd import (
+    FunctionalDependency,
+    candidate_keys,
+    closure,
+    equivalent,
+    is_3nf,
+    is_superkey,
+    minimal_cover,
+    project_fds,
+    synthesize_3nf,
+)
+
+UNIVERSE = ["A", "B", "C", "D", "E"]
+
+attribute_sets = st.sets(st.sampled_from(UNIVERSE), min_size=1, max_size=3)
+
+fds = st.builds(
+    FunctionalDependency,
+    attribute_sets,
+    st.sets(st.sampled_from(UNIVERSE), min_size=1, max_size=2),
+)
+
+fd_sets = st.lists(fds, max_size=6)
+
+
+@settings(max_examples=200, deadline=None)
+@given(attribute_sets, fd_sets)
+def test_closure_is_monotone_and_idempotent(attributes, dependencies):
+    first = closure(attributes, dependencies)
+    assert attributes <= first
+    assert closure(first, dependencies) == first
+
+
+@settings(max_examples=200, deadline=None)
+@given(attribute_sets, attribute_sets, fd_sets)
+def test_closure_monotone_in_attributes(small, extra, dependencies):
+    combined = small | extra
+    assert closure(small, dependencies) <= closure(combined, dependencies)
+
+
+@settings(max_examples=150, deadline=None)
+@given(fd_sets)
+def test_minimal_cover_is_equivalent(dependencies):
+    cover = minimal_cover(dependencies)
+    assert equivalent(cover, dependencies)
+
+
+@settings(max_examples=150, deadline=None)
+@given(fd_sets)
+def test_minimal_cover_has_singleton_rhs_and_no_trivial(dependencies):
+    for fd in minimal_cover(dependencies):
+        assert len(fd.rhs) == 1
+        assert not fd.is_trivial
+
+
+@settings(max_examples=100, deadline=None)
+@given(fd_sets)
+def test_candidate_keys_are_minimal_superkeys(dependencies):
+    universe = frozenset(UNIVERSE)
+    keys = candidate_keys(universe, dependencies)
+    assert keys, "every relation has at least one candidate key"
+    for key in keys:
+        assert is_superkey(key, universe, dependencies)
+        for attr in key:
+            assert not is_superkey(key - {attr}, universe, dependencies)
+    # pairwise non-containment
+    for first in keys:
+        for second in keys:
+            if first is not second:
+                assert not first < second
+
+
+@settings(max_examples=100, deadline=None)
+@given(fd_sets)
+def test_synthesis_pieces_cover_universe_and_contain_a_key(dependencies):
+    universe = frozenset(UNIVERSE)
+    pieces = synthesize_3nf(universe, dependencies)
+    covered = frozenset().union(*(piece.attributes for piece in pieces))
+    assert covered == universe
+    keys = candidate_keys(universe, dependencies)
+    assert any(
+        any(key <= piece.attributes for key in keys) for piece in pieces
+    ), "some piece must contain a candidate key of the whole relation"
+
+
+@settings(max_examples=100, deadline=None)
+@given(fd_sets)
+def test_synthesis_pieces_are_3nf_under_projected_fds(dependencies):
+    universe = frozenset(UNIVERSE)
+    cover = minimal_cover(dependencies)
+    for piece in synthesize_3nf(universe, dependencies):
+        local = project_fds(cover, piece.attributes)
+        assert is_3nf(piece.attributes, local)
+
+
+@settings(max_examples=100, deadline=None)
+@given(fd_sets)
+def test_synthesis_no_piece_subsumed(dependencies):
+    pieces = synthesize_3nf(frozenset(UNIVERSE), dependencies)
+    for first in pieces:
+        for second in pieces:
+            if first is not second:
+                assert not first.attributes <= second.attributes

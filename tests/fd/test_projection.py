@@ -1,0 +1,97 @@
+"""Tests for syntactic and exact FD projection."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fd import (
+    FunctionalDependency,
+    attrs,
+    closure,
+    implies,
+    parse_fds,
+    project_fds,
+    project_fds_exact,
+)
+
+FD = FunctionalDependency
+
+
+class TestSyntacticProjection:
+    def test_keeps_contained_fds(self):
+        fds = parse_fds(["A -> B", "B -> C"])
+        assert project_fds(fds, attrs("A", "B")) == [FD({"A"}, {"B"})]
+
+    def test_drops_straddling_fds(self):
+        fds = parse_fds(["A -> B"])
+        assert project_fds(fds, attrs("A", "C")) == []
+
+
+class TestExactProjection:
+    def test_catches_transitive_dependency(self):
+        fds = parse_fds(["A -> B", "B -> C"])
+        projected = project_fds_exact(fds, attrs("A", "C"))
+        assert projected == [FD({"A"}, {"C"})]
+
+    def test_no_spurious_dependencies(self):
+        fds = parse_fds(["A -> B"])
+        assert project_fds_exact(fds, attrs("A", "C")) == []
+
+    def test_composite_determinants_survive(self):
+        fds = parse_fds(["A, B -> C"])
+        projected = project_fds_exact(fds, attrs("A", "B", "C"))
+        assert implies(projected, FD({"A", "B"}, {"C"}))
+        assert not implies(projected, FD({"A"}, {"C"}))
+
+    def test_projection_onto_everything_is_equivalent(self):
+        fds = parse_fds(["A -> B", "B -> C", "C, D -> E"])
+        universe = attrs("A", "B", "C", "D", "E")
+        projected = project_fds_exact(fds, universe)
+        for fd in fds:
+            assert implies(projected, fd)
+        for fd in projected:
+            assert implies(fds, fd)
+
+
+UNIVERSE = ["A", "B", "C", "D"]
+fd_sets = st.lists(
+    st.builds(
+        FD,
+        st.sets(st.sampled_from(UNIVERSE), min_size=1, max_size=2),
+        st.sets(st.sampled_from(UNIVERSE), min_size=1, max_size=2),
+    ),
+    max_size=5,
+)
+subsets = st.sets(st.sampled_from(UNIVERSE), min_size=1, max_size=3)
+
+
+@settings(max_examples=100, deadline=None)
+@given(fd_sets, subsets)
+def test_exact_projection_is_sound(dependencies, subset):
+    """Every projected FD is implied by the originals."""
+    for fd in project_fds_exact(dependencies, frozenset(subset)):
+        assert implies(dependencies, fd)
+        assert fd.attributes() <= frozenset(subset)
+
+
+@settings(max_examples=100, deadline=None)
+@given(fd_sets, subsets)
+def test_exact_projection_is_complete_on_closures(dependencies, subset):
+    """Closures inside the subset agree between originals and projection."""
+    subset = frozenset(subset)
+    projected = project_fds_exact(dependencies, subset)
+    for attr in subset:
+        original = closure({attr}, dependencies) & subset
+        reduced = closure({attr}, projected) & subset
+        assert original == reduced
+
+
+@settings(max_examples=100, deadline=None)
+@given(fd_sets, subsets)
+def test_exact_dominates_syntactic(dependencies, subset):
+    """Everything the syntactic projection keeps, the exact one implies."""
+    subset = frozenset(subset)
+    exact = project_fds_exact(dependencies, subset)
+    for fd in project_fds(dependencies, subset):
+        if not fd.is_trivial:
+            assert implies(exact, fd)

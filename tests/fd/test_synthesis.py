@@ -1,0 +1,119 @@
+"""Unit tests for Bernstein 3NF synthesis (Example 8 of the paper)."""
+
+from repro.fd import (
+    DecomposedRelation,
+    attrs,
+    is_3nf,
+    is_lossless_pair,
+    merge_same_key,
+    parse_fds,
+    project_fds,
+    synthesize_3nf,
+)
+
+ENROLMENT = attrs("Sid", "Sname", "Age", "Code", "Title", "Credit", "Grade")
+ENROLMENT_FDS = parse_fds(
+    ["Sid -> Sname, Age", "Code -> Title, Credit", "Sid, Code -> Grade"]
+)
+
+
+class TestExample8:
+    """Figure 8's Enrolment decomposes into Student', Enrol', Course'."""
+
+    def test_three_relations(self):
+        decomposition = synthesize_3nf(ENROLMENT, ENROLMENT_FDS)
+        attribute_sets = sorted(sorted(rel.attributes) for rel in decomposition)
+        assert attribute_sets == [
+            ["Age", "Sid", "Sname"],
+            ["Code", "Credit", "Title"],
+            ["Code", "Grade", "Sid"],
+        ]
+
+    def test_keys(self):
+        decomposition = synthesize_3nf(ENROLMENT, ENROLMENT_FDS)
+        keys = {frozenset(rel.key) for rel in decomposition}
+        assert keys == {attrs("Sid"), attrs("Code"), attrs("Sid", "Code")}
+
+    def test_pieces_are_3nf(self):
+        for rel in synthesize_3nf(ENROLMENT, ENROLMENT_FDS):
+            local = project_fds(ENROLMENT_FDS, rel.attributes)
+            assert is_3nf(rel.attributes, local)
+
+    def test_attribute_preservation(self):
+        decomposition = synthesize_3nf(ENROLMENT, ENROLMENT_FDS)
+        covered = frozenset().union(*(rel.attributes for rel in decomposition))
+        assert covered == ENROLMENT
+
+
+class TestGeneralSynthesis:
+    def test_already_3nf_stays_whole(self):
+        fds = parse_fds(["A -> B, C"])
+        decomposition = synthesize_3nf(attrs("A", "B", "C"), fds)
+        assert len(decomposition) == 1
+        assert decomposition[0].key == attrs("A")
+
+    def test_key_relation_added_when_missing(self):
+        # no FD group contains the key (paper's PaperAuthor shape)
+        fds = parse_fds(["P -> T", "A -> N"])
+        decomposition = synthesize_3nf(attrs("P", "A", "T", "N"), fds)
+        keys = {frozenset(rel.key) for rel in decomposition}
+        assert attrs("P", "A") in keys
+
+    def test_fd_free_attributes_attach_to_key_relation(self):
+        fds = parse_fds(["A -> B"])
+        decomposition = synthesize_3nf(attrs("A", "B", "C"), fds)
+        holder = [rel for rel in decomposition if "C" in rel.attributes]
+        assert len(holder) == 1
+        assert "A" in holder[0].attributes  # key relation (A, C)
+
+    def test_equivalent_determinants_grouped(self):
+        fds = parse_fds(["A -> B", "B -> A", "A -> C"])
+        decomposition = synthesize_3nf(attrs("A", "B", "C"), fds)
+        assert len(decomposition) == 1
+        assert decomposition[0].attributes == attrs("A", "B", "C")
+
+    def test_subsumed_relations_removed(self):
+        fds = parse_fds(["A -> B", "A, B -> C"])
+        decomposition = synthesize_3nf(attrs("A", "B", "C"), fds)
+        # minimal cover reduces (A,B)->C to A->C; one relation suffices
+        assert len(decomposition) == 1
+
+    def test_no_fds(self):
+        decomposition = synthesize_3nf(attrs("A", "B"), [])
+        assert decomposition == [
+            DecomposedRelation(attrs("A", "B"), attrs("A", "B"))
+        ]
+
+    def test_lossless_pairwise_against_key_piece(self):
+        decomposition = synthesize_3nf(ENROLMENT, ENROLMENT_FDS)
+        key_piece = next(
+            rel for rel in decomposition if rel.key == attrs("Sid", "Code")
+        )
+        for rel in decomposition:
+            if rel is key_piece:
+                continue
+            assert is_lossless_pair(
+                ENROLMENT, ENROLMENT_FDS, key_piece.attributes, rel.attributes
+            )
+
+
+class TestMergeSameKey:
+    def test_merges(self):
+        merged = merge_same_key(
+            [
+                DecomposedRelation(attrs("A", "B"), attrs("A")),
+                DecomposedRelation(attrs("A", "C"), attrs("A")),
+                DecomposedRelation(attrs("D", "E"), attrs("D")),
+            ]
+        )
+        assert len(merged) == 2
+        assert merged[0].attributes == attrs("A", "B", "C")
+
+    def test_preserves_order(self):
+        merged = merge_same_key(
+            [
+                DecomposedRelation(attrs("D"), attrs("D")),
+                DecomposedRelation(attrs("A", "B"), attrs("A")),
+            ]
+        )
+        assert [sorted(rel.key) for rel in merged] == [["D"], ["A"]]

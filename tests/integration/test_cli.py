@@ -1,0 +1,127 @@
+"""Tests for the command-line interface."""
+
+import io
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+def run_cli(*argv):
+    out = io.StringIO()
+    code = main(list(argv), out=out)
+    return code, out.getvalue()
+
+
+class TestSemanticQueries:
+    def test_university_query(self):
+        code, text = run_cli("--dataset", "university", "Green SUM Credit")
+        assert code == 0
+        assert "interpretation #1" in text
+        assert "SELECT" in text
+        assert "GROUP BY" in text
+
+    def test_top_k(self):
+        code, text = run_cli(
+            "--dataset", "university", "--top", "2", "Green SUM Credit"
+        )
+        assert code == 0
+        assert "interpretation #2" in text
+
+    def test_explain_skips_execution(self):
+        code, text = run_cli(
+            "--dataset", "university", "--explain", "Green SUM Credit"
+        )
+        assert code == 0
+        assert "SELECT" in text
+        assert "sumCredit\n---------" not in text  # no result table
+
+    def test_unnormalized_dataset(self):
+        code, text = run_cli(
+            "--dataset", "enrolment", "--top", "2", "Green SUM Credit"
+        )
+        assert code == 0
+        assert "Enrolment" in text
+
+    def test_quoted_phrase(self):
+        code, text = run_cli("--dataset", "university", '"Java" SUM Price')
+        assert code == 0
+        assert "25.0" in text
+
+
+class TestSqakMode:
+    def test_supported_query(self):
+        code, text = run_cli("--dataset", "university", "--sqak", "Green SUM Credit")
+        assert code == 0
+        assert "GROUP BY" in text and "Sname" in text
+
+    def test_na_query_exits_nonzero(self):
+        code, text = run_cli(
+            "--dataset",
+            "tpch",
+            "--sqak",
+            "COUNT order SUM amount GROUPBY mktsegment",
+        )
+        assert code == 1
+        assert "N.A." in text
+
+
+class TestOtherModes:
+    def test_schema_mode(self):
+        code, text = run_cli("--dataset", "university", "--schema")
+        assert code == 0
+        assert "ORM schema graph" in text
+        assert "[relationship] Teach" in text
+
+    def test_raw_sql_mode(self):
+        code, text = run_cli(
+            "--dataset",
+            "university",
+            "--sql",
+            "SELECT COUNT(*) AS n FROM Student",
+        )
+        assert code == 0
+        assert "3" in text
+
+    def test_error_reported_cleanly(self):
+        code, text = run_cli("--dataset", "university", "zzznothing COUNT Code")
+        assert code == 2
+        assert "error:" in text
+
+    def test_db_dir_loading(self, university_db, tmp_path):
+        from repro.relational.io import save_database
+
+        save_database(university_db, tmp_path / "uni")
+        code, text = run_cli("--db-dir", str(tmp_path / "uni"), "Java SUM Price")
+        assert code == 0
+        assert "25.0" in text
+
+    def test_db_dir_with_fds(self, enrolment_db, tmp_path):
+        from repro.relational.io import save_database
+
+        save_database(enrolment_db, tmp_path / "enr")
+        (tmp_path / "enr" / "fds.json").write_text(
+            json.dumps(
+                {"Enrolment": ["Sid -> Sname, Age", "Code -> Title, Credit"]}
+            )
+        )
+        code, text = run_cli(
+            "--db-dir", str(tmp_path / "enr"), "--top", "2", "Green SUM Credit"
+        )
+        assert code == 0
+        assert "Enrolment" in text
+
+    def test_query_required(self):
+        with pytest.raises(SystemExit):
+            run_cli("--dataset", "university")
+
+
+class TestExplainTree:
+    def test_explain_renders_pattern_tree(self):
+        code, text = run_cli(
+            "--dataset", "university", "--explain", "Green George COUNT Code"
+        )
+        assert code == 0
+        assert "[Course COUNT(Code)]" in text
+        assert "`-- " in text or "|-- " in text

@@ -1,0 +1,138 @@
+"""Edge cases across the pipeline: empty data, deep nesting, relationship
+attributes, degenerate schemas."""
+
+import pytest
+
+from repro.engine import KeywordSearchEngine
+from repro.errors import InvalidQueryError, NoMatchError, NoPatternError
+from repro.relational.database import Database
+from repro.relational.schema import DatabaseSchema, ForeignKey
+from repro.relational.types import DataType
+
+INT = DataType.INT
+TEXT = DataType.TEXT
+
+
+def empty_university() -> Database:
+    from repro.datasets.university import university_schema
+
+    return Database(university_schema())
+
+
+class TestEmptyData:
+    def test_metadata_queries_work_on_empty_tables(self):
+        engine = KeywordSearchEngine(empty_university())
+        result = engine.search("COUNT Student GROUPBY Course")
+        assert result.best.execute().rows == []
+
+    def test_global_aggregate_on_empty_table(self):
+        engine = KeywordSearchEngine(empty_university())
+        chosen = engine.search("AVG Credit").best
+        assert chosen.execute().scalar() is None
+
+    def test_count_on_empty_table_is_zero(self):
+        engine = KeywordSearchEngine(empty_university())
+        chosen = engine.search("COUNT Student").best
+        assert chosen.execute().scalar() == 0
+
+    def test_value_terms_fail_cleanly_on_empty_data(self):
+        engine = KeywordSearchEngine(empty_university())
+        with pytest.raises(NoMatchError):
+            engine.search("Green SUM Credit")
+
+
+class TestDeepNesting:
+    def test_three_level_nesting(self, university_engine):
+        chosen = university_engine.search(
+            "MIN MAX AVG COUNT Lecturer GROUPBY Course"
+        ).best
+        sql = chosen.sql_compact
+        assert "MIN(" in sql and "MAX(" in sql and "AVG(" in sql
+        # single group column -> all outer levels act on one value
+        assert chosen.execute().scalar() == pytest.approx(4 / 3)
+
+    def test_nested_without_groupby(self, university_engine):
+        # nesting over a single global group: outer aggregate of one value
+        chosen = university_engine.search("MAX COUNT Student").best
+        assert chosen.execute().scalar() == 3
+
+
+class TestRelationshipAttributes:
+    def test_condition_on_relationship_attribute(self, university_engine):
+        # Grade belongs to the Enrol relationship, not to an object
+        result = university_engine.search("Grade COUNT Student")
+        chosen = result.best
+        assert chosen.execute() is not None
+
+    def test_count_relationship_relation(self, university_engine):
+        chosen = university_engine.search("COUNT Enrol").best
+        assert chosen.execute().scalar() == 6
+
+    def test_groupby_relationship_attribute(self, university_engine):
+        chosen = university_engine.search(
+            "COUNT Student GROUPBY Grade"
+        ).best
+        rows = dict(chosen.execute().rows)
+        # students per grade, deduplicated: A -> {s1,s2,s3}, B -> {s1,s3}
+        assert rows == {"A": 3, "B": 2}
+
+
+class TestDegenerateSchemas:
+    def test_single_relation_database(self):
+        schema = DatabaseSchema("single")
+        schema.add_relation(
+            "Thing", [("id", INT), ("name", TEXT), ("price", INT)], ["id"]
+        )
+        db = Database(schema)
+        db.load("Thing", [(1, "apple", 3), (2, "apple", 5), (3, "pear", 4)])
+        engine = KeywordSearchEngine(db)
+        chosen = engine.search("apple SUM price").find(distinguishes=True)
+        assert chosen.execute().sorted_rows() == [(1, 3), (2, 5)]
+
+    def test_two_isolated_relations_cannot_connect(self):
+        schema = DatabaseSchema("iso")
+        schema.add_relation("A", [("aid", INT), ("aname", TEXT)], ["aid"])
+        schema.add_relation("B", [("bid", INT), ("bname", TEXT)], ["bid"])
+        db = Database(schema)
+        db.load("A", [(1, "x")])
+        db.load("B", [(1, "y")])
+        engine = KeywordSearchEngine(db)
+        with pytest.raises(NoPatternError):
+            engine.search("COUNT A GROUPBY B")
+
+    def test_self_reference_relation(self):
+        # an employee-manager hierarchy: FK to the relation itself
+        schema = DatabaseSchema("emp")
+        schema.add_relation(
+            "Employee",
+            [("eid", INT), ("ename", TEXT), ("manager", INT)],
+            ["eid"],
+            [ForeignKey(("manager",), "Employee", ("eid",))],
+        )
+        db = Database(schema)
+        db.load("Employee", [(1, "root", None), (2, "alice", 1), (3, "bob", 1)])
+        engine = KeywordSearchEngine(db)
+        chosen = engine.search("COUNT Employee").best
+        assert chosen.execute().scalar() == 3
+
+
+class TestQueryOddities:
+    def test_operator_word_as_quoted_value(self, university_engine):
+        # quoting turns an operator word into a basic term; nothing in the
+        # university data contains 'count', so matching fails cleanly
+        with pytest.raises(NoMatchError):
+            university_engine.search('"COUNT" SUM Credit')
+
+    def test_repeated_term(self, university_engine):
+        result = university_engine.search("Green Green COUNT Code")
+        # two Green nodes (possibly the same student twice) still connect
+        assert result.best.execute() is not None
+
+    def test_case_insensitive_everything(self, university_engine):
+        lower = university_engine.search("green sum credit").best
+        upper = university_engine.search("GREEN SUM CREDIT").best
+        assert lower.execute() == upper.execute()
+
+    def test_whitespace_only_query(self, university_engine):
+        with pytest.raises(InvalidQueryError):
+            university_engine.search("   ")

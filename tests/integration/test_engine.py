@@ -1,0 +1,96 @@
+"""Engine-level behaviour: API surface, ranking, ablation knobs, errors."""
+
+import pytest
+
+from repro.engine import KeywordSearchEngine, describe_pattern
+from repro.errors import InvalidQueryError, NoMatchError
+
+
+class TestSearchApi:
+    def test_search_returns_ranked_interpretations(self, university_engine):
+        result = university_engine.search("Green SUM Credit")
+        assert len(result) >= 2
+        assert [i.rank for i in result] == list(range(1, len(result) + 1))
+
+    def test_best_is_first(self, university_engine):
+        result = university_engine.search("Green SUM Credit")
+        assert result.best is result.interpretations[0]
+
+    def test_k_limits_interpretations(self, university_engine):
+        result = university_engine.search("Green SUM Credit", k=1)
+        assert len(result) == 1
+
+    def test_execute_runs_top_interpretation(self, university_engine):
+        assert university_engine.execute("Java SUM Price") is not None
+
+    def test_result_cached_per_interpretation(self, university_engine):
+        chosen = university_engine.search("Java SUM Price").best
+        assert chosen.execute() is chosen.execute()
+
+    def test_sql_text_properties(self, university_engine):
+        chosen = university_engine.search("Java SUM Price").best
+        assert "\n" in chosen.sql
+        assert "\n" not in chosen.sql_compact
+
+    def test_find_filters_by_distinguish(self, university_engine):
+        result = university_engine.search("Green SUM Credit")
+        assert result.find(distinguishes=True).distinguishes
+        assert not result.find(distinguishes=False).distinguishes
+
+    def test_descriptions_are_informative(self, university_engine):
+        result = university_engine.search("Green SUM Credit")
+        text = result.best.description
+        assert "SUM" in text and "Green" in text
+
+    def test_describe_pattern_empty(self):
+        from repro.patterns import QueryPattern
+
+        assert "retrieve matching objects" in describe_pattern(QueryPattern())
+
+
+class TestErrors:
+    def test_invalid_query_raises(self, university_engine):
+        with pytest.raises(InvalidQueryError):
+            university_engine.search("Green SUM")
+
+    def test_unmatched_term_raises(self, university_engine):
+        with pytest.raises(NoMatchError):
+            university_engine.search("qqqqq COUNT Code")
+
+
+class TestModes:
+    def test_normalized_mode_detected(self, university_engine):
+        assert university_engine.is_normalized
+        assert university_engine.view is None
+
+    def test_unnormalized_mode_detected(self, enrolment_engine):
+        assert not enrolment_engine.is_normalized
+        assert enrolment_engine.view is not None
+
+    def test_declared_3nf_fds_keep_normalized_mode(self, university_db):
+        engine = KeywordSearchEngine(
+            university_db, fds={"Student": ["Sid -> Sname"]}
+        )
+        assert engine.is_normalized
+
+
+class TestAblationKnobs:
+    def test_disable_disambiguation(self, university_db):
+        engine = KeywordSearchEngine(university_db, disambiguate=False)
+        result = engine.search("Green SUM Credit")
+        assert all(not i.distinguishes for i in result)
+        assert result.best.execute().rows == [(13.0,)]
+
+    def test_disable_relationship_dedup(self, university_db):
+        engine = KeywordSearchEngine(university_db, dedup_relationships=False)
+        chosen = engine.search("Java SUM Price").best
+        assert "DISTINCT" not in chosen.sql_compact
+        assert chosen.execute().rows == [(35.0,)]  # SQAK's wrong answer
+
+    def test_disable_rewrite(self, enrolment_db, enrolment_fds):
+        engine = KeywordSearchEngine(
+            enrolment_db, fds=enrolment_fds, rewrite_sql=False
+        )
+        chosen = engine.search("Green SUM Credit").find(distinguishes=True)
+        assert "(SELECT" in chosen.sql_compact
+        assert chosen.execute().sorted_rows() == [("s2", 5.0), ("s3", 8.0)]

@@ -1,0 +1,76 @@
+"""Engine compile cache and declared-FD validation."""
+
+import pytest
+
+from repro.engine import KeywordSearchEngine
+from repro.errors import NormalizationError
+from repro.unnormalized import validate_declared_fds
+
+
+class TestCompileCache:
+    def test_patterns_cached_per_query_text(self, university_db):
+        engine = KeywordSearchEngine(university_db)
+        first = engine.patterns("Green SUM Credit")
+        second = engine.patterns("Green SUM Credit")
+        assert first is second
+
+    def test_different_queries_not_shared(self, university_db):
+        engine = KeywordSearchEngine(university_db)
+        assert engine.patterns("Green SUM Credit") is not engine.patterns(
+            "Java SUM Price"
+        )
+
+    def test_clear_cache(self, university_db):
+        engine = KeywordSearchEngine(university_db)
+        first = engine.patterns("Green SUM Credit")
+        engine.clear_cache()
+        assert engine.patterns("Green SUM Credit") is not first
+
+    def test_cache_eviction_bounded(self, university_db):
+        engine = KeywordSearchEngine(university_db)
+        engine.cache_size = 2
+        engine.patterns("Green SUM Credit")
+        engine.patterns("Java SUM Price")
+        engine.patterns("COUNT Student GROUPBY Course")
+        assert len(engine._pattern_cache) <= 2
+
+    def test_cached_compile_is_faster_second_time(self, tpch_db):
+        import time
+
+        engine = KeywordSearchEngine(tpch_db)
+        start = time.perf_counter()
+        engine.compile("COUNT part GROUPBY supplier")
+        cold = time.perf_counter() - start
+        start = time.perf_counter()
+        engine.compile("COUNT part GROUPBY supplier")
+        warm = time.perf_counter() - start
+        assert warm < cold  # pattern generation dominates compile time
+
+
+class TestDeclaredFdValidation:
+    def test_valid_fds_pass(self, enrolment_db, enrolment_fds):
+        validate_declared_fds(enrolment_db, enrolment_fds)
+
+    def test_violated_fd_detected(self, enrolment_db):
+        with pytest.raises(NormalizationError):
+            validate_declared_fds(
+                enrolment_db, {"Enrolment": ["Sname -> Sid"]}
+            )  # the two Greens have different Sids
+
+    def test_engine_check_fds_flag(self, enrolment_db):
+        with pytest.raises(NormalizationError):
+            KeywordSearchEngine(
+                enrolment_db,
+                fds={"Enrolment": ["Sid -> Sname, Age", "Grade -> Sid"]},
+                check_fds=True,
+            )
+
+    def test_engine_check_fds_accepts_valid(self, enrolment_db, enrolment_fds):
+        engine = KeywordSearchEngine(
+            enrolment_db, fds=enrolment_fds, check_fds=True
+        )
+        assert not engine.is_normalized
+
+    def test_empty_fds_trivially_valid(self, university_db):
+        validate_declared_fds(university_db, None)
+        validate_declared_fds(university_db, {})

@@ -1,0 +1,66 @@
+"""Numeric value matching: terms that parse as numbers match numeric
+columns exactly (equality, not substring)."""
+
+import pytest
+
+from repro.errors import NoMatchError
+
+
+class TestNumericIndex:
+    def test_match_number(self, university_db):
+        matches = university_db.numeric_index.match_number("24")
+        assert any(
+            m.relation == "Student" and m.attribute == "Age" for m in matches
+        )
+
+    def test_int_float_unification(self, university_db):
+        # Credit is FLOAT; '5' must match 5.0
+        matches = university_db.numeric_index.match_number("5")
+        assert any(
+            m.relation == "Course" and m.attribute == "Credit" for m in matches
+        )
+
+    def test_non_number_returns_nothing(self, university_db):
+        assert university_db.numeric_index.match_number("Green") == []
+
+    def test_no_substring_semantics(self, university_db):
+        # '2' is a substring of every age but equals none
+        matches = university_db.numeric_index.match_number("2")
+        assert not any(m.attribute == "Age" for m in matches)
+
+
+class TestEndToEnd:
+    def test_numeric_term_produces_equality_condition(self, university_engine):
+        chosen = university_engine.search("24 COUNT Code").best
+        assert "Age = 24" in chosen.sql_compact
+        # the 24-year-old student (s2, Green) took exactly one course
+        assert chosen.execute().scalar() == 1
+
+    def test_numeric_term_with_aggregate(self, university_engine):
+        # average age of students enrolled in the 5-credit course (Java)
+        chosen = university_engine.search("5 AVG Age").best
+        assert "Credit = 5" in chosen.sql_compact
+        assert chosen.execute().scalar() == pytest.approx((22 + 24 + 21) / 3)
+
+    def test_numeric_disambiguation(self, university_engine):
+        # two students share age? ages are 22, 24, 21 — all unique, so no
+        # disambiguated variant appears for the age condition
+        result = university_engine.search("24 COUNT Code")
+        assert all(not i.distinguishes for i in result.interpretations)
+
+    def test_numeric_term_without_match_fails_cleanly(self, university_engine):
+        with pytest.raises(NoMatchError):
+            university_engine.search("999 COUNT Code")
+
+    def test_numeric_matching_on_unnormalized(self, enrolment_engine):
+        chosen = enrolment_engine.search("24 COUNT Code").best
+        assert "Age = 24" in chosen.sql_compact
+        assert chosen.execute().scalar() == 1
+
+    def test_numeric_sql_round_trips(self, university_engine):
+        from repro.sql.parser import parse
+        from repro.sql.render import render
+
+        for interpretation in university_engine.compile("24 COUNT Code"):
+            sql = interpretation.sql_compact
+            assert render(parse(sql)) == sql

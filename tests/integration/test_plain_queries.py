@@ -1,0 +1,69 @@
+"""Plain (non-aggregate) keyword queries — the base capability of [15]
+that the aggregate extension builds on, including the Section-2.1 example
+{Green George Code} = the common courses taken by Green and George."""
+
+import pytest
+
+
+class TestSection21Example:
+    def test_common_courses_of_green_and_george(self, university_engine):
+        best = university_engine.search("Green George Code").best
+        assert best.execute().sorted_rows() == [("c1",), ("c3",)]
+
+    def test_sql_is_distinct_projection(self, university_engine):
+        best = university_engine.search("Green George Code").best
+        sql = best.sql_compact
+        assert sql.startswith("SELECT DISTINCT C1.Code")
+        assert "GROUP BY" not in sql
+        assert sql.count("Enrol") == 2  # the Figure-4 self-join
+
+    def test_no_disambiguation_variants_for_plain_queries(
+        self, university_engine
+    ):
+        result = university_engine.search("Green George Code")
+        assert all(not i.distinguishes for i in result.interpretations)
+
+
+class TestTargetProjection:
+    def test_relation_target_projects_identifier(self, university_engine):
+        best = university_engine.search("Lecturer George").best
+        assert best.execute().rows == [("l2",)]
+
+    def test_attribute_target_projects_attribute(self, university_engine):
+        best = university_engine.search("Java Student").best
+        # all students enrolled in Java
+        assert best.execute().sorted_rows() == [("s1",), ("s2",), ("s3",)]
+        assert "DISTINCT" in best.sql_compact
+
+    def test_condition_only_query_projects_conditions(self, university_engine):
+        best = university_engine.search("Green").best
+        values = {row[0] for row in best.execute().rows}
+        assert values == {"Green"}
+
+    def test_duplicate_elimination_still_applies(self, university_engine):
+        # textbooks of the Java course: the ternary Teach must not repeat b1
+        best = university_engine.search("Java Textbook").best
+        rows = best.execute().sorted_rows()
+        assert rows == [("b1",), ("b2",)]
+        assert "SELECT DISTINCT Code, Bid FROM Teach" in best.sql_compact
+
+
+class TestPlainQueriesOnOtherDatabases:
+    def test_tpch_plain_query(self, tpch_engine):
+        best = tpch_engine.search('supplier "Indian black chocolate"').best
+        # the four planted suppliers of the chocolate part
+        assert len(best.execute().rows) == 4
+
+    def test_unnormalized_plain_query(self, enrolment_engine):
+        best = enrolment_engine.search("Green George Code").best
+        assert best.execute().sorted_rows() == [("c1",), ("c3",)]
+
+    def test_plain_sql_validates(self, university_engine, university_db):
+        from repro.sql.validate import validate_select
+
+        for text in ("Green George Code", "Java Student", "Lecturer George"):
+            for interpretation in university_engine.compile(text):
+                issues = validate_select(
+                    interpretation.select, university_db.schema
+                )
+                assert issues == [], interpretation.sql_compact

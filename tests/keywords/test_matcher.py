@@ -1,0 +1,111 @@
+"""Unit tests for term matching (tags)."""
+
+import pytest
+
+from repro.errors import NoMatchError
+from repro.keywords import (
+    KeywordQuery,
+    NormalizedCatalog,
+    TagKind,
+    TermMatcher,
+    name_match_score,
+)
+from repro.keywords.query import Term, TermKind
+
+
+def term(text: str, quoted: bool = False, position: int = 0) -> Term:
+    return Term(text, TermKind.BASIC, quoted, position)
+
+
+class TestNameMatchScore:
+    def test_exact(self):
+        assert name_match_score("student", "Student") == 1.0
+
+    def test_plural(self):
+        assert name_match_score("orders", "Order") == 0.9
+        assert name_match_score("order", "Orders") == 0.9
+
+    def test_prefix(self):
+        assert name_match_score("order", "Ordering") == 0.7
+
+    def test_prefix_needs_four_chars(self):
+        assert name_match_score("ord", "Ordering") is None
+
+    def test_containment(self):
+        assert name_match_score("proceeding", "EditorProceeding") == 0.6
+
+    def test_common_prefix_abbreviation(self):
+        assert name_match_score("supplier", "suppkey") == 0.5
+        assert name_match_score("proceeding", "procid") == 0.5
+
+    def test_short_common_prefix_rejected(self):
+        assert name_match_score("sname", "suppkey") is None
+
+    def test_no_match(self):
+        assert name_match_score("zebra", "Student") is None
+
+
+class TestTermMatcher:
+    @pytest.fixture(scope="class")
+    def matcher(self, university_db):
+        return TermMatcher(NormalizedCatalog(university_db))
+
+    def test_relation_name_match(self, matcher):
+        tags = matcher.match_term(term("student"))
+        assert tags[0].kind is TagKind.RELATION
+        assert tags[0].relation == "Student"
+
+    def test_attribute_name_match(self, matcher):
+        tags = matcher.match_term(term("credit"))
+        assert any(
+            t.kind is TagKind.ATTRIBUTE and t.attribute == "Credit" for t in tags
+        )
+
+    def test_value_match_counts_distinct_objects(self, matcher):
+        tags = matcher.match_term(term("Green"))
+        value_tags = [t for t in tags if t.kind is TagKind.VALUE]
+        assert len(value_tags) == 1
+        assert value_tags[0].relation == "Student"
+        assert value_tags[0].distinct_objects == 2
+
+    def test_ambiguous_value_match(self, matcher):
+        # George is both a student name and a lecturer name
+        tags = matcher.match_term(term("George"))
+        value_relations = {
+            t.relation for t in tags if t.kind is TagKind.VALUE
+        }
+        assert value_relations == {"Student", "Lecturer"}
+
+    def test_quoted_term_skips_metadata(self, matcher):
+        tags = matcher.match_term(term("Student", quoted=True))
+        assert all(t.kind is TagKind.VALUE for t in tags)
+
+    def test_metadata_tags_sorted_before_values(self, matcher):
+        # 'Java' only matches values; 'course' matches metadata first
+        tags = matcher.match_term(term("course"))
+        assert tags[0].kind is TagKind.RELATION
+
+    def test_value_tags_have_lower_exactness(self, matcher):
+        tags = matcher.match_term(term("Green"))
+        value_tag = next(t for t in tags if t.kind is TagKind.VALUE)
+        assert value_tag.exactness == 0.8
+
+    def test_match_query_collects_all_basic_terms(self, matcher):
+        query = KeywordQuery("Green SUM Credit")
+        tags = matcher.match_query(query)
+        assert set(tags) == {0, 2}
+
+    def test_no_match_raises(self, matcher):
+        query = KeywordQuery("zzzznothing COUNT Credit")
+        with pytest.raises(NoMatchError):
+            matcher.match_query(query)
+
+    def test_distinct_object_count(self, university_db):
+        catalog = NormalizedCatalog(university_db)
+        assert catalog.distinct_object_count("Student", "Sname", "Green") == 2
+        assert catalog.distinct_object_count("Student", "Sname", "George") == 1
+        assert catalog.distinct_object_count("Student", "Sname", "Nobody") == 0
+
+    def test_tag_describe(self, matcher):
+        tags = matcher.match_term(term("Green"))
+        assert "value of Student.Sname" in tags[0].describe()

@@ -1,0 +1,94 @@
+"""Unit tests for the extended query language (Definition 1 constraints)."""
+
+import pytest
+
+from repro.errors import InvalidQueryError
+from repro.keywords import KeywordQuery, TermKind
+
+
+class TestClassification:
+    def test_operators_detected_case_insensitively(self):
+        query = KeywordQuery("count Student groupby Course")
+        kinds = [t.kind for t in query.terms]
+        assert kinds == [
+            TermKind.AGGREGATE,
+            TermKind.BASIC,
+            TermKind.GROUPBY,
+            TermKind.BASIC,
+        ]
+
+    def test_quoted_operator_is_basic(self):
+        query = KeywordQuery('find "COUNT"')
+        assert all(t.kind is TermKind.BASIC for t in query.terms)
+
+    def test_all_five_aggregates(self):
+        for op in ("MIN", "MAX", "AVG", "SUM", "COUNT"):
+            query = KeywordQuery(f"{op} amount")
+            assert query.terms[0].kind is TermKind.AGGREGATE
+
+    def test_basic_terms_view(self):
+        query = KeywordQuery("Green SUM Credit")
+        assert [t.text for t in query.basic_terms] == ["Green", "Credit"]
+        assert [t.text for t in query.operators] == ["SUM"]
+
+    def test_has_aggregates(self):
+        assert KeywordQuery("COUNT a").has_aggregates
+        assert not KeywordQuery("GROUPBY a b").has_aggregates
+
+    def test_operator_property_rejects_basic(self):
+        query = KeywordQuery("Green")
+        with pytest.raises(InvalidQueryError):
+            query.terms[0].operator
+
+
+class TestConstraints:
+    def test_last_term_cannot_be_operator(self):
+        with pytest.raises(InvalidQueryError):
+            KeywordQuery("Green SUM")
+        with pytest.raises(InvalidQueryError):
+            KeywordQuery("Green GROUPBY")
+
+    def test_groupby_followed_by_operator_rejected(self):
+        with pytest.raises(InvalidQueryError):
+            KeywordQuery("GROUPBY COUNT Student")
+
+    def test_aggregate_followed_by_groupby_rejected(self):
+        with pytest.raises(InvalidQueryError):
+            KeywordQuery("COUNT GROUPBY Student")
+
+    def test_nested_aggregates_allowed(self):
+        query = KeywordQuery("MAX COUNT order GROUPBY nation")
+        assert len(query.applications) == 2
+
+    def test_paper_queries_all_parse(self):
+        from repro.experiments import ACMDL_QUERIES, TPCH_QUERIES
+
+        for spec in TPCH_QUERIES + ACMDL_QUERIES:
+            KeywordQuery(spec.text)  # must not raise
+
+
+class TestOperatorBinding:
+    def test_simple_chain(self):
+        query = KeywordQuery("SUM Credit")
+        app = query.application_for(1)
+        assert app.chain == ("SUM",)
+        assert not app.groupby
+
+    def test_nested_chain(self):
+        query = KeywordQuery("AVG COUNT Lecturer GROUPBY Course")
+        count_app = query.application_for(2)
+        assert count_app.chain == ("AVG", "COUNT")
+        groupby_app = query.application_for(4)
+        assert groupby_app.groupby and groupby_app.chain == ()
+
+    def test_unbound_term_has_no_application(self):
+        query = KeywordQuery("Green SUM Credit")
+        assert query.application_for(0) is None
+        assert query.application_for(2) is not None
+
+    def test_two_separate_chains(self):
+        query = KeywordQuery("COUNT order SUM amount GROUPBY mktsegment")
+        assert len(query.applications) == 3
+        assert query.application_for(1).chain == ("COUNT",)
+        assert query.application_for(3).chain == ("SUM",)
+        assert query.application_for(5).groupby

@@ -1,0 +1,99 @@
+"""Unit tests for query suggestions."""
+
+import pytest
+
+from repro.keywords import NormalizedCatalog
+from repro.keywords.suggest import (
+    Suggestion,
+    complete_term,
+    next_term_kinds,
+    suggest_queries,
+)
+
+
+@pytest.fixture(scope="module")
+def catalog():
+    from repro.datasets import university_database
+
+    return NormalizedCatalog(university_database())
+
+
+class TestCompleteTerm:
+    def test_relation_prefix(self, catalog):
+        suggestions = complete_term(catalog, "stu")
+        assert suggestions[0].text == "Student"
+        assert suggestions[0].kind == "relation"
+
+    def test_attribute_prefix_carries_relation_detail(self, catalog):
+        suggestions = complete_term(catalog, "cred")
+        attribute = next(s for s in suggestions if s.kind == "attribute")
+        assert attribute.text == "Credit"
+        assert attribute.detail == "Course"
+
+    def test_value_completion(self, catalog):
+        suggestions = complete_term(catalog, "Gre")
+        values = [s for s in suggestions if s.kind == "value"]
+        assert values and "Student.Sname" in values[0].detail
+        assert "2 objects" in values[0].detail
+
+    def test_metadata_before_values(self, catalog):
+        # 'c' prefixes Course/Code/Credit metadata; metadata must lead
+        suggestions = complete_term(catalog, "co")
+        assert suggestions[0].kind in ("relation", "attribute")
+
+    def test_empty_prefix(self, catalog):
+        assert complete_term(catalog, "") == []
+
+    def test_limit(self, catalog):
+        assert len(complete_term(catalog, "c", limit=2)) <= 2
+
+    def test_no_duplicates(self, catalog):
+        suggestions = complete_term(catalog, "s", limit=50)
+        keys = [(s.text.lower(), s.kind, s.detail) for s in suggestions]
+        assert len(keys) == len(set(keys))
+
+
+class TestNextTermKinds:
+    def test_empty_prefix_allows_everything(self):
+        assert next_term_kinds("") == ["basic", "aggregate", "groupby"]
+
+    def test_after_sum_expects_attribute(self):
+        assert next_term_kinds("Green SUM") == ["attribute", "aggregate"]
+
+    def test_after_count_expects_relation_or_attribute(self):
+        assert next_term_kinds("COUNT") == ["relation-or-attribute", "aggregate"]
+
+    def test_after_groupby(self):
+        assert next_term_kinds("COUNT Student GROUPBY") == [
+            "relation-or-attribute"
+        ]
+
+    def test_after_basic_term(self):
+        assert next_term_kinds("Green") == ["basic", "aggregate", "groupby"]
+
+    def test_quoted_operator_word_is_basic(self):
+        assert next_term_kinds('"COUNT"') == ["basic", "aggregate", "groupby"]
+
+    def test_unbalanced_quote_yields_nothing(self):
+        assert next_term_kinds('COUNT "unfinished') == []
+
+
+class TestSuggestQueries:
+    def test_university_suggestions_run(self, catalog):
+        from repro.engine import KeywordSearchEngine
+        from repro.datasets import university_database
+
+        engine = KeywordSearchEngine(university_database())
+        suggestions = suggest_queries(catalog)
+        assert suggestions
+        for text in suggestions:
+            result = engine.search(text, k=1)
+            assert result.best.execute() is not None
+
+    def test_relationship_queries_present(self, catalog):
+        suggestions = suggest_queries(catalog)
+        assert any("GROUPBY" in text for text in suggestions)
+
+    def test_numeric_aggregate_present(self, catalog):
+        suggestions = suggest_queries(catalog)
+        assert any("AVG" in text for text in suggestions)

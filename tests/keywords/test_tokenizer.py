@@ -1,0 +1,46 @@
+"""Unit tests for the keyword-query tokenizer."""
+
+import pytest
+
+from repro.errors import InvalidQueryError
+from repro.keywords import tokenize_query
+
+
+class TestTokenizer:
+    def test_simple_split(self):
+        terms = tokenize_query("Green SUM Credit")
+        assert [t.text for t in terms] == ["Green", "SUM", "Credit"]
+        assert all(not t.quoted for t in terms)
+
+    def test_positions(self):
+        terms = tokenize_query("a b c")
+        assert [t.position for t in terms] == [0, 1, 2]
+
+    def test_quoted_phrase(self):
+        terms = tokenize_query('COUNT supplier "Indian black chocolate"')
+        assert terms[2].text == "Indian black chocolate"
+        assert terms[2].quoted
+
+    def test_adjacent_phrases(self):
+        terms = tokenize_query('"pink rose" "white rose"')
+        assert [t.text for t in terms] == ["pink rose", "white rose"]
+
+    def test_extra_whitespace(self):
+        terms = tokenize_query("  a   b  ")
+        assert [t.text for t in terms] == ["a", "b"]
+
+    def test_unbalanced_quote(self):
+        with pytest.raises(InvalidQueryError):
+            tokenize_query('COUNT "unclosed')
+
+    def test_empty_phrase(self):
+        with pytest.raises(InvalidQueryError):
+            tokenize_query('a "" b')
+
+    def test_empty_query(self):
+        with pytest.raises(InvalidQueryError):
+            tokenize_query("   ")
+
+    def test_phrase_interior_whitespace_normalised(self):
+        terms = tokenize_query('" royal olive "')
+        assert terms[0].text == "royal olive"

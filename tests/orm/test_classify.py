@@ -1,0 +1,71 @@
+"""Unit tests for ORA relation classification (Section 2.1 / [16])."""
+
+from repro.orm import RelationType, classify_database, classify_relation, object_like
+from repro.relational.schema import DatabaseSchema, ForeignKey
+from repro.relational.types import DataType
+
+INT = DataType.INT
+TEXT = DataType.TEXT
+
+
+class TestUniversityClassification:
+    """Figure 1's relations classify exactly as the paper states."""
+
+    def test_object_relations(self, university_db):
+        classes = classify_database(university_db.schema)
+        for name in ("Student", "Course", "Faculty", "Textbook"):
+            assert classes[name].type is RelationType.OBJECT, name
+
+    def test_relationship_relations(self, university_db):
+        classes = classify_database(university_db.schema)
+        for name in ("Enrol", "Teach"):
+            assert classes[name].type is RelationType.RELATIONSHIP, name
+
+    def test_mixed_relations(self, university_db):
+        classes = classify_database(university_db.schema)
+        for name in ("Lecturer", "Department"):
+            assert classes[name].type is RelationType.MIXED, name
+
+
+class TestTpchClassification:
+    def test_types(self, tpch_db):
+        classes = classify_database(tpch_db.schema)
+        assert classes["Part"].type is RelationType.OBJECT
+        assert classes["Region"].type is RelationType.OBJECT
+        assert classes["Lineitem"].type is RelationType.RELATIONSHIP
+        for name in ("Supplier", "Customer", "Order", "Nation"):
+            assert classes[name].type is RelationType.MIXED, name
+
+
+class TestAcmdlClassification:
+    def test_types(self, acmdl_db):
+        classes = classify_database(acmdl_db.schema)
+        assert classes["Publisher"].type is RelationType.OBJECT
+        assert classes["Author"].type is RelationType.OBJECT
+        assert classes["Editor"].type is RelationType.OBJECT
+        assert classes["Paper"].type is RelationType.MIXED
+        assert classes["Proceeding"].type is RelationType.MIXED
+        assert classes["Write"].type is RelationType.RELATIONSHIP
+        assert classes["Edit"].type is RelationType.RELATIONSHIP
+
+
+class TestComponentClassification:
+    def test_multivalued_attribute_component(self):
+        schema = DatabaseSchema("db")
+        schema.add_relation("Student", [("Sid", TEXT), ("Sname", TEXT)], ["Sid"])
+        schema.add_relation(
+            "StudentHobby",
+            [("Sid", TEXT), ("Hobby", TEXT)],
+            ["Sid", "Hobby"],
+            [ForeignKey(("Sid",), "Student", ("Sid",))],
+        )
+        classes = classify_database(schema)
+        component = classes["StudentHobby"]
+        assert component.type is RelationType.COMPONENT
+        assert component.parent == "Student"
+
+    def test_object_like_helper(self, university_db):
+        classes = classify_database(university_db.schema)
+        assert object_like(classes["Student"])
+        assert object_like(classes["Lecturer"])
+        assert not object_like(classes["Enrol"])

@@ -1,0 +1,143 @@
+"""Unit tests for the ORM schema graph (Figure 3)."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.orm import OrmSchemaGraph, RelationType
+from repro.relational.schema import DatabaseSchema, ForeignKey
+from repro.relational.types import DataType
+
+INT = DataType.INT
+TEXT = DataType.TEXT
+
+
+@pytest.fixture(scope="module")
+def graph(request):
+    from repro.datasets import university_database
+
+    return OrmSchemaGraph(university_database().schema)
+
+
+class TestFigure3Structure:
+    def test_nodes(self, graph):
+        assert set(graph.nodes) == {
+            "Student",
+            "Course",
+            "Enrol",
+            "Teach",
+            "Lecturer",
+            "Department",
+            "Faculty",
+            "Textbook",
+        }
+
+    def test_adjacency_matches_figure3(self, graph):
+        assert graph.neighbors("Student") == ["Enrol"]
+        assert graph.neighbors("Enrol") == ["Course", "Student"]
+        assert graph.neighbors("Course") == ["Enrol", "Teach"]
+        assert graph.neighbors("Teach") == ["Course", "Lecturer", "Textbook"]
+        assert graph.neighbors("Lecturer") == ["Department", "Teach"]
+        assert graph.neighbors("Department") == ["Faculty", "Lecturer"]
+        assert graph.neighbors("Faculty") == ["Department"]
+
+    def test_relationship_participants(self, graph):
+        assert graph.object_like_neighbors("Teach") == [
+            "Course",
+            "Lecturer",
+            "Textbook",
+        ]
+        assert graph.object_like_neighbors("Enrol") == ["Course", "Student"]
+
+    def test_edges_carry_foreign_keys(self, graph):
+        edges = graph.edges_between("Enrol", "Student")
+        assert len(edges) == 1
+        assert edges[0].foreign_key.columns == ("Sid",)
+        assert edges[0].child_relation == "Enrol"
+
+    def test_node_of_relation(self, graph):
+        assert graph.node_of_relation("Teach").type is RelationType.RELATIONSHIP
+        with pytest.raises(SchemaError):
+            graph.node_of_relation("Nope")
+
+    def test_describe_mentions_types(self, graph):
+        text = graph.describe()
+        assert "[relationship] Teach" in text
+        assert "[mixed] Lecturer" in text
+
+
+class TestPaths:
+    def test_shortest_path(self, graph):
+        assert graph.shortest_path("Student", "Course") == [
+            "Student",
+            "Enrol",
+            "Course",
+        ]
+
+    def test_shortest_path_long(self, graph):
+        path = graph.shortest_path("Faculty", "Student")
+        assert path[0] == "Faculty" and path[-1] == "Student"
+        assert len(path) == 7
+
+    def test_path_to_self(self, graph):
+        assert graph.shortest_path("Student", "Student") == ["Student"]
+
+    def test_distance(self, graph):
+        assert graph.distance("Student", "Course") == 2
+        assert graph.distance("Teach", "Teach") == 0
+
+    def test_all_shortest_paths(self, graph):
+        paths = graph.all_shortest_paths("Student", "Course")
+        assert paths == [["Student", "Enrol", "Course"]]
+
+    def test_disconnected_returns_none(self):
+        schema = DatabaseSchema("d")
+        schema.add_relation("A", [("a", INT)], ["a"])
+        schema.add_relation("B", [("b", INT)], ["b"])
+        g = OrmSchemaGraph(schema)
+        assert g.shortest_path("A", "B") is None
+        assert g.distance("A", "B") is None
+
+
+class TestSteinerTree:
+    def test_two_terminals(self, graph):
+        edges = graph.steiner_tree(["Student", "Course"])
+        assert edges == {("Course", "Enrol"), ("Enrol", "Student")}
+
+    def test_three_terminals(self, graph):
+        edges = graph.steiner_tree(["Student", "Course", "Textbook"])
+        assert ("Course", "Teach") in edges
+        assert ("Teach", "Textbook") in edges
+
+    def test_single_terminal(self, graph):
+        assert graph.steiner_tree(["Student"]) == set()
+
+    def test_duplicate_terminals_collapse(self, graph):
+        assert graph.steiner_tree(["Student", "Student"]) == set()
+
+    def test_disconnected_raises(self):
+        schema = DatabaseSchema("d")
+        schema.add_relation("A", [("a", INT)], ["a"])
+        schema.add_relation("B", [("b", INT)], ["b"])
+        g = OrmSchemaGraph(schema)
+        with pytest.raises(SchemaError):
+            g.steiner_tree(["A", "B"])
+
+
+class TestComponentFolding:
+    def test_component_folds_into_parent(self):
+        schema = DatabaseSchema("db")
+        schema.add_relation("Student", [("Sid", TEXT), ("Sname", TEXT)], ["Sid"])
+        schema.add_relation(
+            "StudentHobby",
+            [("Sid", TEXT), ("Hobby", TEXT)],
+            ["Sid", "Hobby"],
+            [ForeignKey(("Sid",), "Student", ("Sid",))],
+        )
+        g = OrmSchemaGraph(schema)
+        assert set(g.nodes) == {"Student"}
+        node = g.node("Student")
+        assert [rel.name for rel in node.component_relations] == ["StudentHobby"]
+        assert node.owns_attribute("Hobby").name == "StudentHobby"
+        assert node.owns_attribute("Sname").name == "Student"
+        assert node.owns_attribute("Nope") is None
+        assert g.node_of_relation("StudentHobby") is node

@@ -1,0 +1,160 @@
+"""Unit tests for pattern generation: terminals, context merging,
+connection with node replication (Figures 4-7)."""
+
+import pytest
+
+from repro.keywords import KeywordQuery, NormalizedCatalog, TermMatcher
+from repro.patterns import PatternGenerator
+
+
+@pytest.fixture(scope="module")
+def catalog(request):
+    from repro.datasets import university_database
+
+    return NormalizedCatalog(university_database())
+
+
+@pytest.fixture(scope="module")
+def generator(catalog):
+    return PatternGenerator(catalog)
+
+
+def generate(generator, catalog, text):
+    query = KeywordQuery(text)
+    tags = TermMatcher(catalog).match_query(query)
+    return query, generator.generate(query, tags)
+
+
+def best_pattern(generator, catalog, text):
+    from repro.patterns import rank_patterns
+
+    __, patterns = generate(generator, catalog, text)
+    return rank_patterns(patterns)[0]
+
+
+class TestTerminalsAndContext:
+    def test_value_term_creates_condition_node(self, generator, catalog):
+        pattern = best_pattern(generator, catalog, "Green SUM Credit")
+        student = next(n for n in pattern.nodes if n.orm_node == "Student")
+        assert student.conditions[0].phrase == "Green"
+        course = next(n for n in pattern.nodes if n.orm_node == "Course")
+        assert course.aggregates[0].func == "SUM"
+        assert course.aggregates[0].attribute == "Credit"
+
+    def test_relation_context_merges_value(self, generator, catalog):
+        # {Lecturer George}: one Lecturer node, not Lecturer + Student
+        pattern = best_pattern(generator, catalog, "Lecturer George")
+        assert len(pattern.nodes) == 1
+        node = pattern.nodes[0]
+        assert node.orm_node == "Lecturer"
+        assert node.conditions[0].phrase == "George"
+
+    def test_non_adjacent_value_not_merged(self, generator, catalog):
+        # value after an unrelated attribute term gets its own node
+        pattern = best_pattern(generator, catalog, "Lecturer SUM Credit Green")
+        assert {n.orm_node for n in pattern.nodes} >= {"Lecturer", "Student"}
+
+    def test_relation_name_aggregate_counts_identifier(self, generator, catalog):
+        pattern = best_pattern(generator, catalog, "COUNT Student GROUPBY Course")
+        student = next(n for n in pattern.nodes if n.orm_node == "Student")
+        assert student.aggregates[0].attribute == "Sid"
+        course = next(n for n in pattern.nodes if n.orm_node == "Course")
+        assert course.groupbys[0].attributes == ("Code",)
+
+    def test_min_on_relation_name_is_rejected(self, generator, catalog):
+        # MIN must apply to an attribute; the relation-name reading dies and
+        # no pattern remains for the combination
+        from repro.errors import NoPatternError
+
+        query = KeywordQuery("MIN Student")
+        tags = TermMatcher(catalog).match_query(query)
+        # the only surviving interpretations use value/attribute tags; with
+        # figure-1 data 'student' matches no value, so nothing remains
+        with pytest.raises(NoPatternError):
+            generator.generate(query, tags)
+
+    def test_nested_chain_recorded_as_outer(self, generator, catalog):
+        pattern = best_pattern(
+            generator, catalog, "AVG COUNT Lecturer GROUPBY Course"
+        )
+        lecturer = next(n for n in pattern.nodes if n.orm_node == "Lecturer")
+        assert lecturer.aggregates[0].func == "COUNT"
+        assert lecturer.aggregates[0].outer_chain == ("AVG",)
+
+
+class TestConnection:
+    def test_figure4_shape(self, generator, catalog):
+        pattern = best_pattern(generator, catalog, "Green George Code")
+        names = sorted(n.orm_node for n in pattern.nodes)
+        assert names == ["Course", "Enrol", "Enrol", "Student", "Student"]
+        assert pattern.is_connected()
+        # the Course node is shared: exactly one instance
+        course_nodes = [n for n in pattern.nodes if n.orm_node == "Course"]
+        assert len(course_nodes) == 1
+        # each Enrol connects one student with the shared course
+        for node in pattern.nodes:
+            if node.orm_node == "Enrol":
+                adjacent = {
+                    pattern.nodes[x].orm_node for x in pattern.neighbors(node.id)
+                }
+                assert adjacent == {"Student", "Course"}
+
+    def test_single_node_pattern(self, generator, catalog):
+        pattern = best_pattern(generator, catalog, "Lecturer George")
+        assert len(pattern.edges) == 0
+
+    def test_two_terminals_simple_path(self, generator, catalog):
+        pattern = best_pattern(generator, catalog, "COUNT Lecturer GROUPBY Course")
+        names = sorted(n.orm_node for n in pattern.nodes)
+        assert names == ["Course", "Lecturer", "Teach"]
+
+    def test_same_type_twice_routes_through_hub(self, generator, catalog):
+        # {Green George}: two students joined via the common-course hub
+        pattern = best_pattern(generator, catalog, "Green George")
+        names = sorted(n.orm_node for n in pattern.nodes)
+        assert names == ["Course", "Enrol", "Enrol", "Student", "Student"]
+
+    def test_distant_terminals_pull_in_path(self, generator, catalog):
+        # Faculty and Student are 6 hops apart in the ORM graph
+        pattern = best_pattern(generator, catalog, "Engineering COUNT Student")
+        names = {n.orm_node for n in pattern.nodes}
+        assert {"Faculty", "Department", "Lecturer", "Teach", "Course",
+                "Enrol", "Student"} == names
+
+    def test_exactness_propagates_to_pattern(self, generator, catalog):
+        __, patterns = generate(generator, catalog, "Lecturer George")
+        exact = [p for p in patterns if len(p.nodes) == 1]
+        assert exact and all(p.tag_exactness < 1.0 for p in exact)
+        # the merged single-node pattern used a value tag (0.8)
+
+    def test_patterns_deduplicated(self, generator, catalog):
+        __, patterns = generate(generator, catalog, "Green George Code")
+        signatures = [p.signature() for p in patterns]
+        assert len(signatures) == len(set(signatures))
+
+
+class TestBipartiteReplication:
+    def test_two_multi_types_yield_bipartite_relationships(self, generator, catalog):
+        # two student values + two course values: in the interpretation
+        # where all four are students/courses, every student-course pair
+        # gets its own Enrol node (4 Enrols)
+        from collections import Counter
+
+        __, patterns = generate(generator, catalog, "Green George Java Database")
+        shapes = [Counter(n.orm_node for n in p.nodes) for p in patterns]
+        bipartite = [
+            (pattern, counts)
+            for pattern, counts in zip(patterns, shapes)
+            if counts["Student"] == 2 and counts["Course"] == 2
+        ]
+        assert bipartite, "the all-students/all-courses interpretation exists"
+        pattern, counts = bipartite[0]
+        assert counts["Enrol"] == 4
+        assert pattern.is_connected()
+        # each Enrol joins exactly one (student, course) pair
+        for node in pattern.nodes:
+            if node.orm_node == "Enrol":
+                adjacent = {
+                    pattern.nodes[x].orm_node for x in pattern.neighbors(node.id)
+                }
+                assert adjacent == {"Student", "Course"}

@@ -1,0 +1,126 @@
+"""White-box tests of the generator's connection machinery: replication
+groups, hub routing, tree construction."""
+
+import pytest
+
+from repro.keywords import NormalizedCatalog
+from repro.patterns.generator import PatternGenerator, TerminalSpec
+
+
+@pytest.fixture(scope="module")
+def generator():
+    from repro.datasets import university_database
+
+    return PatternGenerator(NormalizedCatalog(university_database()))
+
+
+def spec(orm_node: str, relation: str = None) -> TerminalSpec:
+    return TerminalSpec(orm_node=orm_node, relation=relation or orm_node)
+
+
+class TestReplicationGroups:
+    def test_relationship_inherits_replication(self, generator):
+        adjacency = {
+            "Student": {"Enrol"},
+            "Enrol": {"Student", "Course"},
+            "Course": {"Enrol"},
+        }
+        groups = generator._replication_groups(
+            set(adjacency), adjacency, multi={"Student"}
+        )
+        assert groups["Student"] == frozenset({"Student"})
+        assert groups["Enrol"] == frozenset({"Student"})
+        assert groups["Course"] == frozenset()  # object node absorbs
+
+    def test_two_multi_types_cross(self, generator):
+        adjacency = {
+            "Student": {"Enrol"},
+            "Enrol": {"Student", "Course"},
+            "Course": {"Enrol"},
+        }
+        groups = generator._replication_groups(
+            set(adjacency), adjacency, multi={"Student", "Course"}
+        )
+        assert groups["Enrol"] == frozenset({"Student", "Course"})
+
+    def test_replication_stops_at_object_node(self, generator):
+        # Student(x2) -- Enrol -- Course -- Teach -- Lecturer: the Course
+        # object node absorbs, so Teach is never replicated
+        adjacency = {
+            "Student": {"Enrol"},
+            "Enrol": {"Student", "Course"},
+            "Course": {"Enrol", "Teach"},
+            "Teach": {"Course", "Lecturer"},
+            "Lecturer": {"Teach"},
+        }
+        groups = generator._replication_groups(
+            set(adjacency), adjacency, multi={"Student"}
+        )
+        assert groups["Teach"] == frozenset()
+        assert groups["Lecturer"] == frozenset()
+
+
+class TestTreeEdges:
+    def test_single_terminal_no_edges(self, generator):
+        from collections import Counter
+
+        edges = generator._tree_edges(["Student"], Counter({"Student": 1}))
+        assert edges == set()
+
+    def test_single_type_multiple_instances_gets_hub(self, generator):
+        from collections import Counter
+
+        edges = generator._tree_edges(["Student"], Counter({"Student": 2}))
+        # hub path: Student - Enrol - Course
+        assert edges == {("Enrol", "Student"), ("Course", "Enrol")}
+
+    def test_nearest_object_like_path(self, generator):
+        path = generator._nearest_object_like_path("Student")
+        assert path == ["Student", "Enrol", "Course"]
+
+    def test_nearest_hub_for_textbook(self, generator):
+        path = generator._nearest_object_like_path("Textbook")
+        assert path[0] == "Textbook"
+        assert generator.graph.node(path[-1]).is_object_like
+
+
+class TestConnectTerminals:
+    def test_figure4_instance_counts(self, generator):
+        from collections import Counter
+
+        pattern = generator.connect_terminals(
+            [spec("Student"), spec("Student"), spec("Course")]
+        )
+        counts = Counter(node.orm_node for node in pattern.nodes)
+        assert counts == {"Student": 2, "Enrol": 2, "Course": 1}
+
+    def test_annotations_land_on_distinct_instances(self, generator):
+        from repro.patterns.pattern import Condition
+
+        green = spec("Student")
+        green.conditions.append(Condition("Student", "Sname", "Green", 2))
+        george = spec("Student")
+        george.conditions.append(Condition("Student", "Sname", "George", 1))
+        pattern = generator.connect_terminals([green, george, spec("Course")])
+        phrases = sorted(
+            condition.phrase
+            for node in pattern.nodes
+            for condition in node.conditions
+        )
+        assert phrases == ["George", "Green"]
+        # one condition per student node, never both on one
+        for node in pattern.nodes:
+            assert len(node.conditions) <= 1
+
+    def test_empty_terminals_rejected(self, generator):
+        from repro.errors import NoPatternError
+
+        with pytest.raises(NoPatternError):
+            generator.connect_terminals([])
+
+    def test_three_terminals_via_teach(self, generator):
+        pattern = generator.connect_terminals(
+            [spec("Course"), spec("Lecturer"), spec("Textbook")]
+        )
+        names = sorted(node.orm_node for node in pattern.nodes)
+        assert names == ["Course", "Lecturer", "Teach", "Textbook"]

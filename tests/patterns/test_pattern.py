@@ -1,0 +1,138 @@
+"""Unit tests for the query-pattern model."""
+
+import pytest
+
+from repro.orm import OrmSchemaGraph, RelationType
+from repro.patterns import (
+    AggregateAnnotation,
+    Condition,
+    GroupByAnnotation,
+    QueryPattern,
+)
+
+
+@pytest.fixture
+def graph(university_db) -> OrmSchemaGraph:
+    return OrmSchemaGraph(university_db.schema)
+
+
+@pytest.fixture
+def figure4_pattern(graph) -> QueryPattern:
+    """The pattern of Figure 4: two Students, two Enrols, one Course."""
+    pattern = QueryPattern()
+    course = pattern.add_node("Course", "Course", RelationType.OBJECT)
+    enrol1 = pattern.add_node("Enrol", "Enrol", RelationType.RELATIONSHIP)
+    enrol2 = pattern.add_node("Enrol", "Enrol", RelationType.RELATIONSHIP)
+    green = pattern.add_node("Student", "Student", RelationType.OBJECT)
+    george = pattern.add_node("Student", "Student", RelationType.OBJECT)
+    green.conditions.append(Condition("Student", "Sname", "Green", 2))
+    george.conditions.append(Condition("Student", "Sname", "George", 1))
+    edge_sc = graph.edges_between("Enrol", "Course")[0]
+    edge_ss = graph.edges_between("Enrol", "Student")[0]
+    pattern.add_edge(enrol1.id, course.id, edge_sc)
+    pattern.add_edge(enrol2.id, course.id, edge_sc)
+    pattern.add_edge(enrol1.id, green.id, edge_ss)
+    pattern.add_edge(enrol2.id, george.id, edge_ss)
+    return pattern
+
+
+class TestStructure:
+    def test_connectivity(self, figure4_pattern):
+        assert figure4_pattern.is_connected()
+
+    def test_disconnected_detected(self):
+        pattern = QueryPattern()
+        pattern.add_node("A", "A", RelationType.OBJECT)
+        pattern.add_node("B", "B", RelationType.OBJECT)
+        assert not pattern.is_connected()
+
+    def test_empty_pattern_not_connected(self):
+        assert not QueryPattern().is_connected()
+
+    def test_neighbors(self, figure4_pattern):
+        course = figure4_pattern.nodes[0]
+        assert sorted(figure4_pattern.neighbors(course.id)) == [1, 2]
+
+    def test_distance(self, figure4_pattern):
+        # Green student to George student: via enrol-course-enrol = 4 hops
+        assert figure4_pattern.distance(3, 4) == 4
+        assert figure4_pattern.distance(3, 3) == 0
+
+    def test_adjacent_object_like(self, figure4_pattern):
+        enrol1 = figure4_pattern.nodes[1]
+        adjacent = figure4_pattern.adjacent_object_like(enrol1.id)
+        assert {node.orm_node for node in adjacent} == {"Course", "Student"}
+
+    def test_object_like_count(self, figure4_pattern):
+        assert figure4_pattern.object_like_count() == 3
+
+
+class TestAnnotations:
+    def test_target_and_condition_nodes(self, figure4_pattern):
+        course = figure4_pattern.nodes[0]
+        course.aggregates.append(
+            AggregateAnnotation("COUNT", "Course", "Code", "numCode")
+        )
+        assert [n.orm_node for n in figure4_pattern.target_nodes()] == ["Course"]
+        condition_nodes = figure4_pattern.condition_nodes()
+        assert {n.orm_node for n in condition_nodes} == {"Student"}
+
+    def test_distinguishes_flag(self, figure4_pattern):
+        assert not figure4_pattern.distinguishes
+        green = figure4_pattern.nodes[3]
+        green.groupbys.append(
+            GroupByAnnotation("Student", ("Sid",), from_disambiguation=True)
+        )
+        assert figure4_pattern.distinguishes
+
+    def test_explicit_groupby_does_not_distinguish(self, figure4_pattern):
+        node = figure4_pattern.nodes[0]
+        node.groupbys.append(GroupByAnnotation("Course", ("Code",)))
+        assert not figure4_pattern.distinguishes
+
+    def test_describe_mentions_annotations(self, figure4_pattern):
+        course = figure4_pattern.nodes[0]
+        course.aggregates.append(
+            AggregateAnnotation("COUNT", "Course", "Code", "numCode", ("AVG",))
+        )
+        text = figure4_pattern.describe()
+        assert "AVG(COUNT(Code))" in text
+        assert "Sname~'Green'" in text
+
+
+class TestCopyAndSignature:
+    def test_copy_is_deep_for_annotations(self, figure4_pattern):
+        clone = figure4_pattern.copy()
+        clone.nodes[0].aggregates.append(
+            AggregateAnnotation("COUNT", "Course", "Code", "numCode")
+        )
+        assert not figure4_pattern.nodes[0].aggregates
+
+    def test_copy_preserves_signature(self, figure4_pattern):
+        assert figure4_pattern.copy().signature() == figure4_pattern.signature()
+
+    def test_signature_distinguishes_annotations(self, figure4_pattern):
+        clone = figure4_pattern.copy()
+        clone.nodes[0].groupbys.append(
+            GroupByAnnotation("Course", ("Code",), from_disambiguation=True)
+        )
+        assert clone.signature() != figure4_pattern.signature()
+
+    def test_signature_invariant_under_node_order(self, graph):
+        def build(reverse: bool) -> QueryPattern:
+            pattern = QueryPattern()
+            names = ["Student", "Course"]
+            if reverse:
+                names.reverse()
+            nodes = {
+                name: pattern.add_node(name, name, RelationType.OBJECT)
+                for name in names
+            }
+            enrol = pattern.add_node("Enrol", "Enrol", RelationType.RELATIONSHIP)
+            edge_s = graph.edges_between("Enrol", "Student")[0]
+            edge_c = graph.edges_between("Enrol", "Course")[0]
+            pattern.add_edge(enrol.id, nodes["Student"].id, edge_s)
+            pattern.add_edge(enrol.id, nodes["Course"].id, edge_c)
+            return pattern
+
+        assert build(False).signature() == build(True).signature()

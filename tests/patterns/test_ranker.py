@@ -1,0 +1,104 @@
+"""Unit tests for pattern ranking."""
+
+import pytest
+
+from repro.orm import RelationType
+from repro.patterns import (
+    AggregateAnnotation,
+    Condition,
+    QueryPattern,
+    pattern_score,
+    rank_patterns,
+    top_k,
+)
+
+
+def simple_pattern(object_nodes: int, exactness: float = 1.0) -> QueryPattern:
+    pattern = QueryPattern()
+    pattern.tag_exactness = exactness
+    previous = None
+    for index in range(object_nodes):
+        node = pattern.add_node(f"O{index}", f"O{index}", RelationType.OBJECT)
+        if previous is not None:
+            # fabricate an edge; the orm_edge payload is unused by ranking
+            from repro.orm.graph import OrmEdge
+            from repro.relational.schema import ForeignKey
+
+            pattern.add_edge(
+                previous.id,
+                node.id,
+                OrmEdge(
+                    f"O{index - 1}",
+                    f"O{index}",
+                    f"O{index - 1}",
+                    f"O{index}",
+                    ForeignKey(("x",), f"O{index}", ("x",)),
+                ),
+            )
+        previous = node
+    return pattern
+
+
+class TestScoring:
+    def test_fewer_object_nodes_rank_higher(self):
+        small = simple_pattern(2)
+        large = simple_pattern(3)
+        assert pattern_score(small) < pattern_score(large)
+
+    def test_shorter_target_condition_distance_ranks_higher(self):
+        near = simple_pattern(3)
+        near.nodes[0].aggregates.append(
+            AggregateAnnotation("COUNT", "O0", "x", "numx")
+        )
+        near.nodes[1].conditions.append(Condition("O1", "a", "v"))
+
+        far = simple_pattern(3)
+        far.nodes[0].aggregates.append(
+            AggregateAnnotation("COUNT", "O0", "x", "numx")
+        )
+        far.nodes[2].conditions.append(Condition("O2", "a", "v"))
+        assert pattern_score(near) < pattern_score(far)
+
+    def test_higher_exactness_breaks_ties(self):
+        exact = simple_pattern(2, exactness=1.0)
+        fuzzy = simple_pattern(2, exactness=0.7)
+        assert pattern_score(exact) < pattern_score(fuzzy)
+
+    def test_no_targets_score_zero_distance(self):
+        pattern = simple_pattern(2)
+        assert pattern_score(pattern)[1] == 0.0
+
+
+class TestRanking:
+    def test_rank_patterns_sorted(self):
+        patterns = [simple_pattern(3), simple_pattern(1), simple_pattern(2)]
+        ranked = rank_patterns(patterns)
+        assert [len(p.nodes) for p in ranked] == [1, 2, 3]
+
+    def test_rank_is_deterministic(self):
+        patterns = [simple_pattern(2), simple_pattern(2)]
+        assert [p.signature() for p in rank_patterns(patterns)] == [
+            p.signature() for p in rank_patterns(list(reversed(patterns)))
+        ]
+
+    def test_top_k(self):
+        patterns = [simple_pattern(n) for n in (3, 1, 2)]
+        assert len(top_k(patterns, 2)) == 2
+        assert len(top_k(patterns, 10)) == 3
+
+    def test_disambiguated_variant_adjacent_to_base(self):
+        from repro.datasets import university_database
+        from repro.keywords import KeywordQuery, NormalizedCatalog, TermMatcher
+        from repro.patterns import PatternGenerator, disambiguate_all
+
+        catalog = NormalizedCatalog(university_database())
+        query = KeywordQuery("Green SUM Credit")
+        tags = TermMatcher(catalog).match_query(query)
+        patterns = disambiguate_all(
+            PatternGenerator(catalog).generate(query, tags), catalog
+        )
+        ranked = rank_patterns(patterns)
+        # the base pattern and its distinguished variant share all scores
+        # except the signature tie-break, so they are adjacent
+        flags = [p.distinguishes for p in ranked[:2]]
+        assert set(flags) == {True, False}

@@ -1,0 +1,40 @@
+"""Unit tests for the ASCII pattern-tree rendering."""
+
+import pytest
+
+from repro.patterns import QueryPattern
+
+
+class TestRenderTree:
+    def test_empty_pattern(self):
+        assert QueryPattern().render_tree() == "(empty pattern)"
+
+    def test_figure6_shape(self, university_engine):
+        pattern = next(
+            p
+            for p in university_engine.patterns("Green George COUNT Code")
+            if p.distinguishes
+        )
+        tree = pattern.render_tree()
+        lines = tree.splitlines()
+        # rooted at the target (Course with the COUNT annotation)
+        assert lines[0].startswith("[Course COUNT(Code)]")
+        assert tree.count("[Enrol]") == 2
+        assert "Sname~'Green'" in tree and "Sname~'George'" in tree
+        assert "GROUPBY*(Sid)" in tree
+
+    def test_single_node(self, university_engine):
+        pattern = university_engine.patterns("Lecturer George")[0]
+        tree = pattern.render_tree()
+        assert tree.splitlines() == [pattern.nodes[0].describe()]
+
+    def test_every_node_rendered_once(self, university_engine):
+        for text in ("Green SUM Credit", "COUNT Lecturer GROUPBY Course"):
+            pattern = university_engine.patterns(text)[0]
+            tree = pattern.render_tree()
+            assert len(tree.splitlines()) == len(pattern.nodes)
+
+    def test_root_prefers_target_node(self, university_engine):
+        pattern = university_engine.patterns("Green SUM Credit")[0]
+        tree = pattern.render_tree()
+        assert tree.splitlines()[0].startswith("[Course")

@@ -1,0 +1,174 @@
+"""Unit tests for pattern translation to SQL (Section 3.1.3)."""
+
+import pytest
+
+from repro.keywords import KeywordQuery, NormalizedCatalog, TermMatcher
+from repro.orm import OrmSchemaGraph
+from repro.patterns import (
+    PatternGenerator,
+    PatternTranslator,
+    disambiguate_all,
+    rank_patterns,
+)
+from repro.relational.executor import execute_sql
+from repro.sql.ast import DerivedTable, TableRef
+from repro.sql.render import render
+
+
+@pytest.fixture(scope="module")
+def setup():
+    from repro.datasets import university_database
+
+    db = university_database()
+    catalog = NormalizedCatalog(db)
+    return db, catalog
+
+
+def translate_best(catalog, text, distinguish=None):
+    query = KeywordQuery(text)
+    tags = TermMatcher(catalog).match_query(query)
+    patterns = disambiguate_all(
+        PatternGenerator(catalog).generate(query, tags), catalog
+    )
+    ranked = rank_patterns(patterns)
+    if distinguish is not None:
+        ranked = [p for p in ranked if p.distinguishes == distinguish]
+    translator = PatternTranslator(catalog.graph)
+    return translator.translate(ranked[0]), ranked[0]
+
+
+class TestSelectClause:
+    def test_aggregate_alias(self, setup):
+        db, catalog = setup
+        select, __ = translate_best(catalog, "COUNT Student GROUPBY Course")
+        sql = render(select)
+        assert "COUNT(S1.Sid) AS numSid" in sql
+        assert "GROUP BY C1.Code" in sql
+        assert "C1.Code" in sql.split("FROM")[0]  # group key also selected
+
+    def test_disambiguation_selects_identifier(self, setup):
+        db, catalog = setup
+        select, __ = translate_best(catalog, "Green SUM Credit", distinguish=True)
+        sql = render(select)
+        assert "S1.Sid" in sql.split("FROM")[0]
+        assert "GROUP BY S1.Sid" in sql
+
+
+class TestFromClause:
+    def test_plain_tables_for_fully_connected_relationship(self, setup):
+        db, catalog = setup
+        select, __ = translate_best(catalog, "COUNT Student GROUPBY Course")
+        assert all(isinstance(item, TableRef) for item in select.from_items)
+
+    def test_partial_relationship_gets_distinct_projection(self, setup):
+        # Teach is ternary; a pattern touching only Course+Lecturer must
+        # project DISTINCT (Code, Lid) — Example 6
+        db, catalog = setup
+        select, __ = translate_best(catalog, "COUNT Lecturer GROUPBY Course")
+        derived = [
+            item for item in select.from_items if isinstance(item, DerivedTable)
+        ]
+        assert len(derived) == 1
+        inner = derived[0].select
+        assert inner.distinct
+        assert sorted(item.expr.name for item in inner.items) == ["Code", "Lid"]
+        assert inner.from_items[0].table == "Teach"
+
+    def test_dedup_can_be_disabled_for_ablation(self, setup):
+        db, catalog = setup
+        query = KeywordQuery("COUNT Lecturer GROUPBY Course")
+        tags = TermMatcher(catalog).match_query(query)
+        pattern = rank_patterns(PatternGenerator(catalog).generate(query, tags))[0]
+        translator = PatternTranslator(catalog.graph, dedup_relationships=False)
+        select = translator.translate(pattern)
+        assert all(isinstance(item, TableRef) for item in select.from_items)
+        # and the ablated SQL over-counts: lecturer l1 teaches c1 with two
+        # textbooks, so c1 counts 3 instead of 2
+        rows = dict(execute_sql(db, select).rows)
+        assert rows["c1"] == 3
+
+    def test_aliases_unique(self, setup):
+        db, catalog = setup
+        select, __ = translate_best(catalog, "Green George COUNT Code")
+        aliases = [item.alias for item in select.from_items]
+        assert len(aliases) == len(set(aliases))
+
+
+class TestWhereClause:
+    def test_join_conditions_follow_foreign_keys(self, setup):
+        db, catalog = setup
+        select, __ = translate_best(catalog, "COUNT Student GROUPBY Course")
+        sql = render(select)
+        assert "E1.Sid = S1.Sid" in sql
+        assert "E1.Code = C1.Code" in sql
+
+    def test_conditions_render_contains(self, setup):
+        db, catalog = setup
+        select, __ = translate_best(catalog, "Green SUM Credit")
+        assert "LIKE '%Green%'" in render(select)
+
+    def test_self_join_has_two_enrol_joins(self, setup):
+        db, catalog = setup
+        select, __ = translate_best(
+            catalog, "Green George COUNT Code", distinguish=True
+        )
+        sql = render(select)
+        assert sql.count("Enrol") == 2
+        assert sql.count("Student") == 2
+
+
+class TestNestedAggregates:
+    def test_example7_structure(self, setup):
+        db, catalog = setup
+        select, __ = translate_best(catalog, "AVG COUNT Lecturer GROUPBY Course")
+        # outer query averages the inner count
+        assert len(select.from_items) == 1
+        assert isinstance(select.from_items[0], DerivedTable)
+        sql = render(select)
+        assert "AVG(numLid)" in sql
+        assert "COUNT(L1.Lid) AS numLid" in sql
+
+    def test_example7_answer(self, setup):
+        db, catalog = setup
+        select, __ = translate_best(catalog, "AVG COUNT Lecturer GROUPBY Course")
+        assert execute_sql(db, select).scalar() == pytest.approx(4 / 3)
+
+    def test_double_nesting(self, setup):
+        db, catalog = setup
+        select, __ = translate_best(
+            catalog, "MAX AVG COUNT Lecturer GROUPBY Course"
+        )
+        sql = render(select)
+        assert "MAX(avgnumLid)" in sql
+        assert execute_sql(db, select).scalar() == pytest.approx(4 / 3)
+
+
+class TestComponentRelations:
+    def test_component_attribute_joins_component_relation(self):
+        from repro.relational.database import Database
+        from repro.relational.schema import DatabaseSchema, ForeignKey
+        from repro.relational.types import DataType
+
+        TEXT = DataType.TEXT
+        schema = DatabaseSchema("db")
+        schema.add_relation("Student", [("Sid", TEXT), ("Sname", TEXT)], ["Sid"])
+        schema.add_relation(
+            "StudentHobby",
+            [("Sid", TEXT), ("Hobby", TEXT)],
+            ["Sid", "Hobby"],
+            [ForeignKey(("Sid",), "Student", ("Sid",))],
+        )
+        db = Database(schema)
+        db.load("Student", [("s1", "Green"), ("s2", "Blue")])
+        db.load(
+            "StudentHobby",
+            [("s1", "chess"), ("s1", "tennis"), ("s2", "chess")],
+        )
+        catalog = NormalizedCatalog(db)
+        query = KeywordQuery("Green COUNT Hobby")
+        tags = TermMatcher(catalog).match_query(query)
+        patterns = rank_patterns(PatternGenerator(catalog).generate(query, tags))
+        select = PatternTranslator(catalog.graph).translate(patterns[0])
+        sql = render(select)
+        assert "StudentHobby" in sql
+        assert execute_sql(db, select).scalar() == 2

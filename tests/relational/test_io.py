@@ -1,0 +1,140 @@
+"""Unit tests for database persistence (CSV + schema.json)."""
+
+import json
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.relational.executor import execute_sql
+from repro.relational.io import (
+    export_result_csv,
+    load_database,
+    save_database,
+    schema_from_dict,
+    schema_to_dict,
+)
+
+
+class TestSchemaRoundTrip:
+    def test_round_trip_preserves_structure(self, university_db):
+        document = schema_to_dict(university_db.schema)
+        rebuilt = schema_from_dict(document)
+        assert rebuilt.relation_names == university_db.schema.relation_names
+        teach = rebuilt.relation("Teach")
+        assert teach.primary_key == ("Code", "Lid", "Bid")
+        assert len(teach.foreign_keys) == 3
+
+    def test_document_is_json_serializable(self, university_db):
+        json.dumps(schema_to_dict(university_db.schema))
+
+    def test_malformed_document_rejected(self):
+        with pytest.raises(SchemaError):
+            schema_from_dict({"name": "x"})
+        with pytest.raises(SchemaError):
+            schema_from_dict(
+                {
+                    "name": "x",
+                    "relations": [
+                        {
+                            "name": "R",
+                            "columns": [{"name": "a", "type": "nope"}],
+                            "primary_key": ["a"],
+                        }
+                    ],
+                }
+            )
+
+
+class TestDatabaseRoundTrip:
+    def test_save_and_load_university(self, university_db, tmp_path):
+        save_database(university_db, tmp_path / "uni")
+        reloaded = load_database(tmp_path / "uni")
+        assert reloaded.row_counts() == university_db.row_counts()
+        for relation in university_db.schema:
+            assert (
+                reloaded.table(relation.name).rows
+                == university_db.table(relation.name).rows
+            )
+
+    def test_reloaded_database_answers_queries(self, university_db, tmp_path):
+        save_database(university_db, tmp_path / "uni")
+        reloaded = load_database(tmp_path / "uni")
+        sql = (
+            "SELECT C.Code, COUNT(S.Sid) AS n FROM Student S, Enrol E, Course C "
+            "WHERE E.Sid = S.Sid AND E.Code = C.Code GROUP BY C.Code"
+        )
+        assert execute_sql(reloaded, sql) == execute_sql(university_db, sql)
+
+    def test_reloaded_engine_reproduces_q1(self, university_db, tmp_path):
+        from repro.engine import KeywordSearchEngine
+
+        save_database(university_db, tmp_path / "uni")
+        engine = KeywordSearchEngine(load_database(tmp_path / "uni"))
+        chosen = engine.search("Green SUM Credit").find(distinguishes=True)
+        assert chosen.execute().sorted_rows() == [("s2", 5.0), ("s3", 8.0)]
+
+    def test_null_round_trip(self, tmp_path):
+        from repro.relational.database import Database
+        from repro.relational.schema import DatabaseSchema
+        from repro.relational.types import DataType
+
+        schema = DatabaseSchema("nulls")
+        schema.add_relation(
+            "R",
+            [("id", DataType.INT), ("x", DataType.TEXT), ("y", DataType.FLOAT)],
+            ["id"],
+        )
+        db = Database(schema)
+        db.load("R", [(1, None, None), (2, "a", 1.5)])
+        save_database(db, tmp_path / "n")
+        reloaded = load_database(tmp_path / "n")
+        assert reloaded.table("R").rows == [(1, None, None), (2, "a", 1.5)]
+
+    def test_bool_and_date_round_trip(self, tmp_path):
+        from repro.relational.database import Database
+        from repro.relational.schema import DatabaseSchema
+        from repro.relational.types import DataType
+
+        schema = DatabaseSchema("b")
+        schema.add_relation(
+            "R",
+            [("id", DataType.INT), ("flag", DataType.BOOL), ("d", DataType.DATE)],
+            ["id"],
+        )
+        db = Database(schema)
+        db.load("R", [(1, True, "2020-01-02"), (2, False, None)])
+        save_database(db, tmp_path / "b")
+        assert load_database(tmp_path / "b").table("R").rows == [
+            (1, True, "2020-01-02"),
+            (2, False, None),
+        ]
+
+    def test_missing_schema_file(self, tmp_path):
+        with pytest.raises(SchemaError):
+            load_database(tmp_path)
+
+    def test_missing_data_file(self, university_db, tmp_path):
+        save_database(university_db, tmp_path / "uni")
+        (tmp_path / "uni" / "Student.csv").unlink()
+        with pytest.raises(SchemaError):
+            load_database(tmp_path / "uni")
+
+    def test_header_mismatch_rejected(self, university_db, tmp_path):
+        save_database(university_db, tmp_path / "uni")
+        csv_path = tmp_path / "uni" / "Student.csv"
+        lines = csv_path.read_text().splitlines()
+        lines[0] = "Wrong,Header,Here"
+        csv_path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(SchemaError):
+            load_database(tmp_path / "uni")
+
+
+class TestResultExport:
+    def test_export_result(self, university_db, tmp_path):
+        result = execute_sql(
+            university_db, "SELECT Sname, Age FROM Student ORDER BY Sname"
+        )
+        target = export_result_csv(result, tmp_path / "out.csv")
+        content = target.read_text().splitlines()
+        assert content[0] == "Sname,Age"
+        assert content[1] == "George,22"

@@ -1,0 +1,163 @@
+"""Unit tests for the schema catalog."""
+
+import pytest
+
+from repro.errors import SchemaError, UnknownColumnError, UnknownTableError
+from repro.relational.schema import (
+    Column,
+    DatabaseSchema,
+    ForeignKey,
+    RelationSchema,
+)
+from repro.relational.types import DataType
+
+INT = DataType.INT
+TEXT = DataType.TEXT
+
+
+def make_student() -> RelationSchema:
+    return RelationSchema(
+        "Student",
+        [Column("Sid", TEXT), Column("Sname", TEXT), Column("Age", INT)],
+        ["Sid"],
+    )
+
+
+def make_enrol() -> RelationSchema:
+    return RelationSchema(
+        "Enrol",
+        [Column("Sid", TEXT), Column("Code", TEXT), Column("Grade", TEXT)],
+        ["Sid", "Code"],
+        [
+            ForeignKey(("Sid",), "Student", ("Sid",)),
+            ForeignKey(("Code",), "Course", ("Code",)),
+        ],
+    )
+
+
+class TestRelationSchema:
+    def test_column_lookup(self):
+        student = make_student()
+        assert student.column("Age").dtype is INT
+        assert student.column_index("Sname") == 1
+        assert student.has_column("Sid")
+        assert not student.has_column("Nope")
+
+    def test_unknown_column_raises(self):
+        with pytest.raises(UnknownColumnError):
+            make_student().column("Nope")
+
+    def test_duplicate_column_rejected(self):
+        with pytest.raises(SchemaError):
+            RelationSchema("R", [Column("a", INT), Column("a", INT)], ["a"])
+
+    def test_missing_primary_key_rejected(self):
+        with pytest.raises(SchemaError):
+            RelationSchema("R", [Column("a", INT)], [])
+
+    def test_primary_key_must_exist(self):
+        with pytest.raises(SchemaError):
+            RelationSchema("R", [Column("a", INT)], ["b"])
+
+    def test_fk_columns_must_exist(self):
+        with pytest.raises(SchemaError):
+            RelationSchema(
+                "R",
+                [Column("a", INT)],
+                ["a"],
+                [ForeignKey(("b",), "S", ("b",))],
+            )
+
+    def test_fk_column_arity_checked(self):
+        with pytest.raises(SchemaError):
+            ForeignKey(("a", "b"), "S", ("a",))
+
+    def test_fk_must_be_nonempty(self):
+        with pytest.raises(SchemaError):
+            ForeignKey((), "S", ())
+
+    def test_fk_columns_helpers(self):
+        enrol = make_enrol()
+        assert enrol.fk_columns() == ("Sid", "Code")
+        assert enrol.non_key_columns() == ("Grade",)
+        assert enrol.key_is_all_foreign()
+        assert len(enrol.fks_within_key()) == 2
+        assert enrol.fks_outside_key() == ()
+
+    def test_fks_outside_key(self):
+        lecturer = RelationSchema(
+            "Lecturer",
+            [Column("Lid", TEXT), Column("Did", TEXT)],
+            ["Lid"],
+            [ForeignKey(("Did",), "Department", ("Did",))],
+        )
+        assert not lecturer.key_is_all_foreign()
+        assert len(lecturer.fks_outside_key()) == 1
+
+
+class TestDatabaseSchema:
+    def test_add_and_lookup(self):
+        schema = DatabaseSchema("db")
+        schema.add(make_student())
+        assert "Student" in schema
+        assert schema.relation("Student").name == "Student"
+        assert len(schema) == 1
+
+    def test_duplicate_relation_rejected(self):
+        schema = DatabaseSchema("db")
+        schema.add(make_student())
+        with pytest.raises(SchemaError):
+            schema.add(make_student())
+
+    def test_unknown_relation_raises(self):
+        with pytest.raises(UnknownTableError):
+            DatabaseSchema("db").relation("Nope")
+
+    def test_find_relation_case_insensitive(self):
+        schema = DatabaseSchema("db")
+        schema.add(make_student())
+        assert schema.find_relation("student") is schema.relation("Student")
+        assert schema.find_relation("nope") is None
+
+    def test_validate_rejects_dangling_fk(self):
+        schema = DatabaseSchema("db")
+        schema.add(make_enrol())
+        with pytest.raises(SchemaError):
+            schema.validate()
+
+    def test_validate_rejects_fk_to_non_key(self):
+        schema = DatabaseSchema("db")
+        schema.add_relation("Parent", [("a", INT), ("b", INT)], ["a"])
+        schema.add_relation(
+            "Child",
+            [("c", INT), ("b", INT)],
+            ["c"],
+            [ForeignKey(("b",), "Parent", ("b",))],
+        )
+        with pytest.raises(SchemaError):
+            schema.validate()
+
+    def test_validate_rejects_type_mismatch(self):
+        schema = DatabaseSchema("db")
+        schema.add_relation("Parent", [("a", INT)], ["a"])
+        schema.add_relation(
+            "Child",
+            [("c", INT), ("a", TEXT)],
+            ["c"],
+            [ForeignKey(("a",), "Parent", ("a",))],
+        )
+        with pytest.raises(SchemaError):
+            schema.validate()
+
+    def test_references_between(self):
+        schema = DatabaseSchema("db")
+        schema.add_relation("Student", [("Sid", TEXT)], ["Sid"])
+        schema.add_relation("Course", [("Code", TEXT)], ["Code"])
+        schema.add(make_enrol())
+        refs = schema.references_between("Enrol", "Student")
+        assert len(refs) == 1
+        assert refs[0].columns == ("Sid",)
+        assert schema.references_between("Enrol", "Course")[0].columns == ("Code",)
+
+    def test_university_schema_validates(self, university_db):
+        university_db.schema.validate()

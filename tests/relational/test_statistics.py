@@ -1,0 +1,91 @@
+"""Unit tests for table/column statistics."""
+
+import pytest
+
+from repro.relational.statistics import (
+    analyze_database,
+    analyze_table,
+    estimated_join_selectivity,
+)
+
+
+class TestAnalyzeTable:
+    def test_student_profile(self, university_db):
+        stats = analyze_table(university_db.table("Student"))
+        assert stats.rows == 3
+        sname = stats.column("Sname")
+        assert sname.distinct == 2  # George + Green
+        assert sname.nulls == 0
+        assert sname.minimum == "George" and sname.maximum == "Green"
+        age = stats.column("Age")
+        assert (age.minimum, age.maximum) == (21, 24)
+
+    def test_null_handling(self):
+        from repro.relational.database import Database
+        from repro.relational.schema import DatabaseSchema
+        from repro.relational.types import DataType
+
+        schema = DatabaseSchema("s")
+        schema.add_relation(
+            "R", [("id", DataType.INT), ("x", DataType.INT)], ["id"]
+        )
+        db = Database(schema)
+        db.load("R", [(1, None), (2, 5), (3, None)])
+        stats = analyze_table(db.table("R"))
+        x = stats.column("x")
+        assert x.nulls == 2
+        assert x.distinct == 1
+        assert x.null_fraction(stats.rows) == pytest.approx(2 / 3)
+
+    def test_empty_table(self):
+        from repro.relational.database import Database
+        from repro.relational.schema import DatabaseSchema
+        from repro.relational.types import DataType
+
+        schema = DatabaseSchema("s")
+        schema.add_relation("R", [("id", DataType.INT)], ["id"])
+        stats = analyze_table(Database(schema).table("R"))
+        assert stats.rows == 0
+        assert stats.column("id").minimum is None
+
+    def test_unknown_column_raises(self, university_db):
+        stats = analyze_table(university_db.table("Student"))
+        with pytest.raises(KeyError):
+            stats.column("nope")
+
+    def test_format(self, university_db):
+        text = analyze_table(university_db.table("Student")).format()
+        assert "Student: 3 rows" in text
+        assert "Sname" in text
+
+
+class TestAnalyzeDatabase:
+    def test_profiles_every_table(self, university_db):
+        stats = analyze_database(university_db)
+        assert set(stats) == set(university_db.schema.relation_names)
+        assert stats["Enrol"].rows == 6
+
+    def test_key_columns_have_full_distinct(self, tpch_db):
+        stats = analyze_database(tpch_db)
+        part = stats["Part"]
+        assert part.column("partkey").distinct == part.rows
+
+
+class TestSelectivity:
+    def test_equi_join_selectivity(self, university_db):
+        stats = analyze_database(university_db)
+        selectivity = estimated_join_selectivity(
+            stats["Enrol"], "Sid", stats["Student"], "Sid"
+        )
+        assert selectivity == pytest.approx(1 / 3)
+
+    def test_selectivity_never_zero_division(self):
+        from repro.relational.database import Database
+        from repro.relational.schema import DatabaseSchema
+        from repro.relational.types import DataType
+
+        schema = DatabaseSchema("s")
+        schema.add_relation("R", [("id", DataType.INT)], ["id"])
+        db = Database(schema)
+        stats = analyze_table(db.table("R"))
+        assert estimated_join_selectivity(stats, "id", stats, "id") == 1.0

@@ -1,0 +1,126 @@
+"""Unit tests for the value model (coercion, inference, widening)."""
+
+import pytest
+
+from repro.errors import TypeMismatchError
+from repro.relational.types import (
+    DataType,
+    coerce,
+    common_type,
+    infer_type,
+    is_numeric,
+)
+
+
+class TestCoerce:
+    def test_none_passes_through_any_type(self):
+        for dtype in DataType:
+            assert coerce(None, dtype) is None
+
+    def test_int_accepts_int(self):
+        assert coerce(7, DataType.INT) == 7
+
+    def test_int_accepts_integral_float(self):
+        assert coerce(7.0, DataType.INT) == 7
+
+    def test_int_rejects_fractional_float(self):
+        with pytest.raises(TypeMismatchError):
+            coerce(7.5, DataType.INT)
+
+    def test_int_accepts_numeric_string(self):
+        assert coerce("42", DataType.INT) == 42
+
+    def test_int_rejects_bool(self):
+        with pytest.raises(TypeMismatchError):
+            coerce(True, DataType.INT)
+
+    def test_float_widens_int(self):
+        value = coerce(3, DataType.FLOAT)
+        assert value == 3.0
+        assert isinstance(value, float)
+
+    def test_float_accepts_string(self):
+        assert coerce("2.5", DataType.FLOAT) == 2.5
+
+    def test_float_rejects_bool(self):
+        with pytest.raises(TypeMismatchError):
+            coerce(False, DataType.FLOAT)
+
+    def test_float_rejects_garbage_string(self):
+        with pytest.raises(TypeMismatchError):
+            coerce("abc", DataType.FLOAT)
+
+    def test_text_accepts_string(self):
+        assert coerce("hello", DataType.TEXT) == "hello"
+
+    def test_text_stringifies_numbers(self):
+        assert coerce(12, DataType.TEXT) == "12"
+
+    def test_date_accepts_iso(self):
+        assert coerce("2016-03-15", DataType.DATE) == "2016-03-15"
+
+    def test_date_rejects_non_iso(self):
+        with pytest.raises(TypeMismatchError):
+            coerce("15/03/2016", DataType.DATE)
+
+    def test_date_rejects_numbers(self):
+        with pytest.raises(TypeMismatchError):
+            coerce(20160315, DataType.DATE)
+
+    def test_bool_accepts_bool(self):
+        assert coerce(True, DataType.BOOL) is True
+
+    def test_bool_accepts_zero_one(self):
+        assert coerce(1, DataType.BOOL) is True
+        assert coerce(0, DataType.BOOL) is False
+
+    def test_bool_rejects_other_ints(self):
+        with pytest.raises(TypeMismatchError):
+            coerce(2, DataType.BOOL)
+
+
+class TestInferType:
+    def test_none_is_typeless(self):
+        assert infer_type(None) is None
+
+    def test_bool_before_int(self):
+        assert infer_type(True) is DataType.BOOL
+
+    def test_int(self):
+        assert infer_type(3) is DataType.INT
+
+    def test_float(self):
+        assert infer_type(3.5) is DataType.FLOAT
+
+    def test_plain_text(self):
+        assert infer_type("abc") is DataType.TEXT
+
+    def test_iso_date_string_is_date(self):
+        assert infer_type("1999-12-31") is DataType.DATE
+
+    def test_unsupported_raises(self):
+        with pytest.raises(TypeMismatchError):
+            infer_type([1, 2])
+
+
+class TestCommonType:
+    def test_same_type(self):
+        assert common_type(DataType.INT, DataType.INT) is DataType.INT
+
+    def test_int_float_widens(self):
+        assert common_type(DataType.INT, DataType.FLOAT) is DataType.FLOAT
+
+    def test_date_text_widens(self):
+        assert common_type(DataType.DATE, DataType.TEXT) is DataType.TEXT
+
+    def test_incompatible_raises(self):
+        with pytest.raises(TypeMismatchError):
+            common_type(DataType.INT, DataType.TEXT)
+
+
+def test_is_numeric():
+    assert is_numeric(DataType.INT)
+    assert is_numeric(DataType.FLOAT)
+    assert not is_numeric(DataType.TEXT)
+    assert not is_numeric(DataType.DATE)
+    assert not is_numeric(DataType.BOOL)

@@ -1,0 +1,94 @@
+"""Unit tests for the SQL tokenizer."""
+
+import pytest
+
+from repro.errors import SqlSyntaxError
+from repro.sql.lexer import Token, TokenStream, tokenize
+
+
+class TestTokenize:
+    def test_keywords_uppercased(self):
+        tokens = tokenize("select from")
+        assert [t.kind for t in tokens[:-1]] == ["keyword", "keyword"]
+        assert tokens[0].text == "SELECT"
+
+    def test_identifiers_preserve_case(self):
+        tokens = tokenize("Student Sname")
+        assert tokens[0].text == "Student"
+        assert tokens[0].kind == "ident"
+
+    def test_numbers(self):
+        tokens = tokenize("42 3.14")
+        assert tokens[0].kind == "number" and tokens[0].text == "42"
+        assert tokens[1].kind == "number" and tokens[1].text == "3.14"
+
+    def test_qualified_name_not_a_float(self):
+        tokens = tokenize("S.Sid")
+        assert [t.kind for t in tokens[:-1]] == ["ident", "punct", "ident"]
+
+    def test_string_literal(self):
+        tokens = tokenize("'Green'")
+        assert tokens[0].kind == "string" and tokens[0].text == "Green"
+
+    def test_string_with_escaped_quote(self):
+        tokens = tokenize("'O''Brien'")
+        assert tokens[0].text == "O'Brien"
+
+    def test_unterminated_string(self):
+        with pytest.raises(SqlSyntaxError):
+            tokenize("'abc")
+
+    def test_quoted_identifier(self):
+        tokens = tokenize('"Order"')
+        assert tokens[0].kind == "ident" and tokens[0].text == "Order"
+
+    def test_unterminated_quoted_identifier(self):
+        with pytest.raises(SqlSyntaxError):
+            tokenize('"Order')
+
+    def test_operators(self):
+        tokens = tokenize("<= >= <> != = < >")
+        texts = [t.text for t in tokens[:-1]]
+        assert texts == ["<=", ">=", "<>", "<>", "=", "<", ">"]
+
+    def test_punctuation(self):
+        tokens = tokenize("(a, b)")
+        kinds = [t.kind for t in tokens[:-1]]
+        assert kinds == ["punct", "ident", "punct", "ident", "punct"]
+
+    def test_unexpected_character(self):
+        with pytest.raises(SqlSyntaxError):
+            tokenize("SELECT ;")
+
+    def test_eof_token(self):
+        assert tokenize("a")[-1].kind == "eof"
+
+
+class TestTokenStream:
+    def test_accept_and_expect(self):
+        stream = TokenStream(tokenize("SELECT a"))
+        assert stream.accept_keyword("SELECT")
+        assert not stream.accept_keyword("FROM")
+        assert stream.expect_ident().text == "a"
+        assert stream.at_end()
+
+    def test_expect_keyword_error(self):
+        stream = TokenStream(tokenize("a"))
+        with pytest.raises(SqlSyntaxError):
+            stream.expect_keyword("SELECT")
+
+    def test_expect_punct_error(self):
+        stream = TokenStream(tokenize("a"))
+        with pytest.raises(SqlSyntaxError):
+            stream.expect_punct("(")
+
+    def test_peek_does_not_advance(self):
+        stream = TokenStream(tokenize("a b"))
+        assert stream.peek().text == "b"
+        assert stream.current.text == "a"
+
+    def test_advance_stops_at_eof(self):
+        stream = TokenStream(tokenize("a"))
+        stream.advance()
+        stream.advance()
+        assert stream.current.kind == "eof"

@@ -1,0 +1,151 @@
+"""Unit tests for the SQL parser."""
+
+import pytest
+
+from repro.errors import SqlSyntaxError
+from repro.sql.ast import (
+    BinaryOp,
+    ColumnRef,
+    Contains,
+    DerivedTable,
+    FuncCall,
+    IsNull,
+    Literal,
+    Select,
+    Star,
+    TableRef,
+)
+from repro.sql.parser import parse
+
+
+class TestSelectStructure:
+    def test_minimal(self):
+        select = parse("SELECT a FROM R")
+        assert isinstance(select.items[0].expr, ColumnRef)
+        assert isinstance(select.from_items[0], TableRef)
+        assert select.where is None
+
+    def test_distinct(self):
+        assert parse("SELECT DISTINCT a FROM R").distinct
+
+    def test_alias_with_as(self):
+        select = parse("SELECT a AS x FROM R")
+        assert select.items[0].alias == "x"
+
+    def test_alias_without_as(self):
+        select = parse("SELECT a x FROM R")
+        assert select.items[0].alias == "x"
+
+    def test_table_alias(self):
+        select = parse("SELECT S.a FROM Student S")
+        item = select.from_items[0]
+        assert item.table == "Student" and item.alias == "S"
+
+    def test_derived_table(self):
+        select = parse("SELECT R.n FROM (SELECT COUNT(*) AS n FROM T) R")
+        derived = select.from_items[0]
+        assert isinstance(derived, DerivedTable)
+        assert derived.alias == "R"
+        assert derived.select.items[0].alias == "n"
+
+    def test_group_by_multiple(self):
+        select = parse("SELECT a, b FROM R GROUP BY a, b")
+        assert len(select.group_by) == 2
+
+    def test_order_by_desc(self):
+        select = parse("SELECT a FROM R ORDER BY a DESC")
+        assert select.order_by[0].descending
+
+    def test_limit(self):
+        assert parse("SELECT a FROM R LIMIT 5").limit == 5
+
+    def test_limit_requires_number(self):
+        with pytest.raises(SqlSyntaxError):
+            parse("SELECT a FROM R LIMIT x")
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(SqlSyntaxError):
+            parse("SELECT a FROM R extra stuff ok (")
+
+    def test_quoted_table_name(self):
+        select = parse('SELECT a FROM "Order"')
+        assert select.from_items[0].table == "Order"
+
+
+class TestExpressions:
+    def test_comparison_operators(self):
+        for op in ("=", "<>", "<", "<=", ">", ">="):
+            select = parse(f"SELECT a FROM R WHERE a {op} 1")
+            assert select.where.op == op
+
+    def test_and_or_precedence(self):
+        select = parse("SELECT a FROM R WHERE a = 1 OR b = 2 AND c = 3")
+        assert select.where.op == "OR"
+        assert select.where.right.op == "AND"
+
+    def test_parenthesised_or(self):
+        select = parse("SELECT a FROM R WHERE (a = 1 OR b = 2) AND c = 3")
+        assert select.where.op == "AND"
+        assert select.where.left.op == "OR"
+
+    def test_like_becomes_contains(self):
+        select = parse("SELECT a FROM R WHERE name LIKE '%green%'")
+        assert isinstance(select.where, Contains)
+        assert select.where.phrase == "green"
+
+    def test_like_requires_contains_pattern(self):
+        with pytest.raises(SqlSyntaxError):
+            parse("SELECT a FROM R WHERE name LIKE 'green%'")
+
+    def test_is_null(self):
+        select = parse("SELECT a FROM R WHERE a IS NULL")
+        assert isinstance(select.where, IsNull) and not select.where.negated
+
+    def test_is_not_null(self):
+        select = parse("SELECT a FROM R WHERE a IS NOT NULL")
+        assert select.where.negated
+
+    def test_arithmetic_precedence(self):
+        select = parse("SELECT a + b * c FROM R")
+        expr = select.items[0].expr
+        assert expr.op == "+"
+        assert expr.right.op == "*"
+
+    def test_count_star(self):
+        expr = parse("SELECT COUNT(*) FROM R").items[0].expr
+        assert isinstance(expr, FuncCall)
+        assert isinstance(expr.args[0], Star)
+
+    def test_count_distinct(self):
+        expr = parse("SELECT COUNT(DISTINCT a) FROM R").items[0].expr
+        assert expr.distinct
+
+    def test_aggregate_names_canonicalised(self):
+        expr = parse("SELECT count(a) FROM R").items[0].expr
+        assert expr.name == "COUNT"
+
+    def test_literals(self):
+        select = parse("SELECT 1, 2.5, 'x', NULL, TRUE, FALSE FROM R")
+        values = [item.expr.value for item in select.items]
+        assert values == [1, 2.5, "x", None, True, False]
+
+    def test_qualified_column(self):
+        expr = parse("SELECT S.Sid FROM Student S").items[0].expr
+        assert expr.qualifier == "S" and expr.name == "Sid"
+
+
+class TestAstHelpers:
+    def test_where_conjuncts_flattening(self):
+        select = parse(
+            "SELECT a FROM R WHERE a = 1 AND b = 2 AND c LIKE '%x%'"
+        )
+        conjuncts = select.where_conjuncts()
+        assert len(conjuncts) == 3
+
+    def test_has_aggregates(self):
+        assert parse("SELECT COUNT(a) FROM R").has_aggregates()
+        assert not parse("SELECT a FROM R").has_aggregates()
+
+    def test_subqueries(self):
+        select = parse("SELECT R.a FROM (SELECT a FROM T) R, S")
+        assert len(select.subqueries()) == 1

@@ -1,0 +1,122 @@
+"""Unit tests for the SQL renderer."""
+
+from repro.sql.ast import (
+    BinaryOp,
+    ColumnRef,
+    Contains,
+    DerivedTable,
+    FuncCall,
+    IsNull,
+    Literal,
+    OrderItem,
+    Select,
+    SelectItem,
+    Star,
+    TableRef,
+    agg,
+    column,
+    count_star,
+    eq,
+)
+from repro.sql.render import escape_string, quote_identifier, render, render_pretty, render_expr
+
+
+class TestRenderExpr:
+    def test_column(self):
+        assert render_expr(column("Sid", "S")) == "S.Sid"
+
+    def test_literal_string_escaped(self):
+        assert render_expr(Literal("O'Brien")) == "'O''Brien'"
+
+    def test_literal_null_and_bools(self):
+        assert render_expr(Literal(None)) == "NULL"
+        assert render_expr(Literal(True)) == "TRUE"
+
+    def test_contains_renders_like(self):
+        assert (
+            render_expr(Contains(column("Sname", "S"), "Green"))
+            == "S.Sname LIKE '%Green%'"
+        )
+
+    def test_aggregate(self):
+        assert render_expr(agg("COUNT", column("Sid"))) == "COUNT(Sid)"
+        assert render_expr(count_star()) == "COUNT(*)"
+        assert (
+            render_expr(agg("COUNT", column("a"), distinct=True))
+            == "COUNT(DISTINCT a)"
+        )
+
+    def test_is_null(self):
+        assert render_expr(IsNull(column("a"))) == "a IS NULL"
+        assert render_expr(IsNull(column("a"), True)) == "a IS NOT NULL"
+
+    def test_precedence_parentheses(self):
+        # (a OR b) AND c needs parens on the OR side
+        a = eq(column("a"), Literal(1))
+        b = eq(column("b"), Literal(2))
+        c = eq(column("c"), Literal(3))
+        expr = BinaryOp("AND", BinaryOp("OR", a, b), c)
+        assert render_expr(expr) == "(a = 1 OR b = 2) AND c = 3"
+
+    def test_arithmetic_no_spurious_parens(self):
+        expr = BinaryOp("+", column("a"), BinaryOp("*", column("b"), column("c")))
+        assert render_expr(expr) == "a + b * c"
+
+
+class TestQuoting:
+    def test_keyword_table_name_quoted(self):
+        assert quote_identifier("Order") == '"Order"'
+        assert quote_identifier("Student") == "Student"
+
+    def test_render_quotes_order_table(self):
+        select = Select(
+            items=(SelectItem(column("orderkey", "O")),),
+            from_items=(TableRef("Order", "O"),),
+        )
+        assert render(select) == 'SELECT O.orderkey FROM "Order" O'
+
+    def test_escape_string(self):
+        assert escape_string("a'b") == "'a''b'"
+
+
+class TestRenderSelect:
+    def test_full_clause_order(self):
+        select = Select(
+            items=(SelectItem(agg("COUNT", column("Sid", "S")), alias="n"),),
+            from_items=(TableRef("Student", "S"),),
+            where=Contains(column("Sname", "S"), "Green"),
+            group_by=(column("Sname", "S"),),
+            order_by=(OrderItem(column("n"), descending=True),),
+            limit=3,
+        )
+        assert render(select) == (
+            "SELECT COUNT(S.Sid) AS n FROM Student S "
+            "WHERE S.Sname LIKE '%Green%' GROUP BY S.Sname "
+            "ORDER BY n DESC LIMIT 3"
+        )
+
+    def test_derived_table_compact(self):
+        inner = Select(
+            items=(SelectItem(column("Code")), SelectItem(column("Bid"))),
+            from_items=(TableRef.of("Teach"),),
+            distinct=True,
+        )
+        outer = Select(
+            items=(SelectItem(count_star(), alias="n"),),
+            from_items=(DerivedTable(inner, "T"),),
+        )
+        assert render(outer) == (
+            "SELECT COUNT(*) AS n FROM (SELECT DISTINCT Code, Bid FROM Teach) T"
+        )
+
+    def test_pretty_renders_multiline(self):
+        inner = Select(
+            items=(SelectItem(column("a")),), from_items=(TableRef.of("T"),)
+        )
+        outer = Select(
+            items=(SelectItem(count_star()),),
+            from_items=(DerivedTable(inner, "R"),),
+        )
+        pretty = render_pretty(outer)
+        assert "\n" in pretty
+        assert "SELECT a" in pretty

@@ -1,0 +1,142 @@
+"""Property-based tests: render -> parse -> render is a fixpoint.
+
+Hypothesis builds random ASTs in the dialect the translators emit; the
+round-trip property pins down both the renderer and the parser at once.
+"""
+
+from __future__ import annotations
+
+import string
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sql.ast import (
+    BinaryOp,
+    ColumnRef,
+    Contains,
+    DerivedTable,
+    FuncCall,
+    IsNull,
+    Literal,
+    OrderItem,
+    Select,
+    SelectItem,
+    Star,
+    TableRef,
+)
+from repro.sql.parser import parse
+from repro.sql.render import render
+
+_IDENT_START = string.ascii_letters + "_"
+_IDENT_REST = string.ascii_letters + string.digits + "_"
+
+identifiers = st.builds(
+    lambda first, rest: first + rest,
+    st.sampled_from(list(_IDENT_START)),
+    st.text(alphabet=_IDENT_REST, min_size=0, max_size=8),
+)
+
+aliases = identifiers
+
+columns = st.builds(
+    ColumnRef,
+    name=identifiers,
+    qualifier=st.one_of(st.none(), identifiers),
+)
+
+literals = st.one_of(
+    st.integers(min_value=0, max_value=10**6).map(Literal),
+    st.booleans().map(Literal),
+    st.just(Literal(None)),
+    st.text(
+        alphabet=string.ascii_letters + string.digits + " '._-", max_size=12
+    ).map(Literal),
+)
+
+comparison_ops = st.sampled_from(["=", "<>", "<", "<=", ">", ">="])
+
+scalar_exprs = st.one_of(columns, literals)
+
+predicates = st.one_of(
+    st.builds(BinaryOp, comparison_ops, columns, scalar_exprs),
+    st.builds(
+        Contains,
+        columns,
+        st.text(alphabet=string.ascii_letters + " ", min_size=1, max_size=10),
+    ),
+    st.builds(IsNull, columns, st.booleans()),
+)
+
+aggregates = st.builds(
+    FuncCall,
+    st.sampled_from(["COUNT", "SUM", "AVG", "MIN", "MAX"]),
+    st.tuples(columns),
+    st.booleans(),
+)
+
+select_items = st.builds(
+    SelectItem,
+    st.one_of(columns, aggregates, st.just(FuncCall("COUNT", (Star(),)))),
+    st.one_of(st.none(), identifiers),
+)
+
+
+def _conjunction(preds):
+    expr = None
+    for pred in preds:
+        expr = pred if expr is None else BinaryOp("AND", expr, pred)
+    return expr
+
+
+where_clauses = st.lists(predicates, max_size=3).map(_conjunction)
+
+
+@st.composite
+def selects(draw, depth: int = 1) -> Select:
+    items = tuple(draw(st.lists(select_items, min_size=1, max_size=3)))
+    from_count = draw(st.integers(min_value=1, max_value=2))
+    from_items = []
+    used_aliases = set()
+    for index in range(from_count):
+        alias = draw(aliases.filter(lambda a: a not in used_aliases))
+        used_aliases.add(alias)
+        if depth > 0 and draw(st.booleans()):
+            from_items.append(DerivedTable(draw(selects(depth=depth - 1)), alias))
+        else:
+            from_items.append(TableRef(draw(identifiers), alias))
+    where = draw(where_clauses)
+    group_by = tuple(draw(st.lists(columns, max_size=2)))
+    order_by = tuple(
+        draw(st.lists(st.builds(OrderItem, columns, st.booleans()), max_size=1))
+    )
+    limit = draw(st.one_of(st.none(), st.integers(min_value=0, max_value=99)))
+    distinct = draw(st.booleans())
+    return Select(
+        items=items,
+        from_items=tuple(from_items),
+        where=where,
+        group_by=group_by,
+        order_by=order_by,
+        limit=limit,
+        distinct=distinct,
+    )
+
+
+@settings(max_examples=150, deadline=None)
+@given(selects(depth=2))
+def test_render_parse_roundtrip_is_fixpoint(select: Select) -> None:
+    text = render(select)
+    reparsed = parse(text)
+    assert render(reparsed) == text
+
+
+@settings(max_examples=150, deadline=None)
+@given(selects(depth=1))
+def test_parse_of_render_preserves_structure_counts(select: Select) -> None:
+    reparsed = parse(render(select))
+    assert len(reparsed.items) == len(select.items)
+    assert len(reparsed.from_items) == len(select.from_items)
+    assert len(reparsed.group_by) == len(select.group_by)
+    assert reparsed.distinct == select.distinct
+    assert reparsed.limit == select.limit

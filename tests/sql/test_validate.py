@@ -1,0 +1,155 @@
+"""Tests for the static SQL validator, including the pipeline invariant
+that all generated SQL validates against its schema."""
+
+import pytest
+
+from repro.sql.parser import parse
+from repro.sql.validate import is_valid, validate_select
+
+
+def issues_of(university_db, sql: str):
+    return [str(issue) for issue in validate_select(parse(sql), university_db.schema)]
+
+
+class TestFromClause:
+    def test_unknown_table(self, university_db):
+        issues = issues_of(university_db, "SELECT x FROM Nope")
+        assert any("unknown table" in issue for issue in issues)
+
+    def test_duplicate_alias(self, university_db):
+        issues = issues_of(university_db, "SELECT S.Sid FROM Student S, Course S")
+        assert any("duplicate alias" in issue for issue in issues)
+
+    def test_derived_table_scope(self, university_db):
+        assert is_valid(
+            parse("SELECT R.n FROM (SELECT COUNT(*) AS n FROM Student) R"),
+            university_db.schema,
+        )
+
+    def test_nested_issue_carries_path(self, university_db):
+        issues = issues_of(
+            university_db, "SELECT R.n FROM (SELECT Nope AS n FROM Student) R"
+        )
+        assert any("subquery R" in issue for issue in issues)
+
+
+class TestColumnResolution:
+    def test_unknown_column(self, university_db):
+        issues = issues_of(university_db, "SELECT Nope FROM Student")
+        assert any("unknown column" in issue for issue in issues)
+
+    def test_unknown_alias(self, university_db):
+        issues = issues_of(university_db, "SELECT X.Sid FROM Student S")
+        assert any("unknown alias" in issue for issue in issues)
+
+    def test_ambiguous_column(self, university_db):
+        issues = issues_of(university_db, "SELECT Sid FROM Student S, Enrol E")
+        assert any("ambiguous" in issue for issue in issues)
+
+    def test_qualified_disambiguation_ok(self, university_db):
+        assert is_valid(
+            parse("SELECT S.Sid FROM Student S, Enrol E WHERE E.Sid = S.Sid"),
+            university_db.schema,
+        )
+
+    def test_derived_output_names_visible(self, university_db):
+        issues = issues_of(
+            university_db,
+            "SELECT R.total FROM (SELECT SUM(Credit) AS total FROM Course) R",
+        )
+        assert issues == []
+
+
+class TestAggregateDiscipline:
+    def test_stray_column_outside_group_by(self, university_db):
+        issues = issues_of(
+            university_db, "SELECT Sname, COUNT(Sid) FROM Student"
+        )
+        assert any("not in GROUP BY" in issue for issue in issues)
+
+    def test_grouped_column_accepted(self, university_db):
+        assert is_valid(
+            parse("SELECT Sname, COUNT(Sid) FROM Student GROUP BY Sname"),
+            university_db.schema,
+        )
+
+    def test_aggregate_in_where_rejected(self, university_db):
+        issues = issues_of(
+            university_db, "SELECT Sid FROM Student WHERE COUNT(Sid) > 1"
+        )
+        assert any("WHERE" in issue for issue in issues)
+
+    def test_nested_aggregate_rejected(self, university_db):
+        from repro.sql.ast import ColumnRef, FuncCall, Select, SelectItem, TableRef, agg
+
+        inner = agg("COUNT", ColumnRef("Sid"))
+        outer = FuncCall("MAX", (inner,))
+        select = Select(
+            items=(SelectItem(outer),), from_items=(TableRef.of("Student"),)
+        )
+        issues = validate_select(select, university_db.schema)
+        assert any("nested aggregate" in str(issue) for issue in issues)
+
+    def test_count_star_ok(self, university_db):
+        assert is_valid(
+            parse("SELECT COUNT(*) FROM Student"), university_db.schema
+        )
+
+    def test_bare_star_rejected(self, university_db):
+        from repro.sql.ast import Select, SelectItem, Star, TableRef
+
+        select = Select(
+            items=(SelectItem(Star()),), from_items=(TableRef.of("Student"),)
+        )
+        issues = validate_select(select, university_db.schema)
+        assert any("COUNT(*)" in str(issue) for issue in issues)
+
+    def test_order_by_output_name_ok(self, university_db):
+        assert is_valid(
+            parse(
+                "SELECT Sname, COUNT(Sid) AS n FROM Student "
+                "GROUP BY Sname ORDER BY n DESC"
+            ),
+            university_db.schema,
+        )
+
+
+class TestPipelineInvariant:
+    """Every SQL statement either engine generates must validate."""
+
+    QUERIES = [
+        "Green SUM Credit",
+        "Java SUM Price",
+        "COUNT Lecturer GROUPBY Course",
+        "Green George COUNT Code",
+        "AVG COUNT Lecturer GROUPBY Course",
+    ]
+
+    @pytest.mark.parametrize("text", QUERIES)
+    def test_semantic_sql_validates(self, university_engine, university_db, text):
+        for interpretation in university_engine.compile(text):
+            issues = validate_select(interpretation.select, university_db.schema)
+            assert issues == [], interpretation.sql_compact
+
+    @pytest.mark.parametrize("text", QUERIES)
+    def test_sqak_sql_validates(self, university_sqak, university_db, text):
+        statement = university_sqak.compile(text)
+        issues = validate_select(statement.select, university_db.schema)
+        assert issues == [], statement.sql_compact
+
+    def test_unnormalized_sql_validates(self, enrolment_engine, enrolment_db):
+        for interpretation in enrolment_engine.compile("Green George COUNT Code"):
+            issues = validate_select(
+                interpretation.select, enrolment_db.schema
+            )
+            assert issues == [], interpretation.sql_compact
+
+    def test_tpch_sql_validates(self, tpch_engine, tpch_db):
+        from repro.experiments import TPCH_QUERIES
+
+        for spec in TPCH_QUERIES:
+            for interpretation in tpch_engine.compile(spec.text):
+                issues = validate_select(
+                    interpretation.select, tpch_db.schema
+                )
+                assert issues == [], (spec.qid, interpretation.sql_compact)

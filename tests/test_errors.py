@@ -1,0 +1,59 @@
+"""The exception hierarchy: everything derives from ReproError so callers
+can catch one base class, and sub-hierarchies group sensibly."""
+
+import pytest
+
+from repro import errors
+
+
+ALL_ERRORS = [
+    errors.SchemaError,
+    errors.IntegrityError,
+    errors.DuplicateKeyError,
+    errors.ForeignKeyError,
+    errors.TypeMismatchError,
+    errors.UnknownTableError,
+    errors.UnknownColumnError,
+    errors.SqlError,
+    errors.SqlSyntaxError,
+    errors.SqlExecutionError,
+    errors.KeywordQueryError,
+    errors.InvalidQueryError,
+    errors.NoMatchError,
+    errors.NoPatternError,
+    errors.UnsupportedQueryError,
+    errors.NormalizationError,
+]
+
+
+@pytest.mark.parametrize("exc", ALL_ERRORS, ids=lambda e: e.__name__)
+def test_all_errors_derive_from_repro_error(exc):
+    assert issubclass(exc, errors.ReproError)
+
+
+def test_sql_sub_hierarchy():
+    assert issubclass(errors.SqlSyntaxError, errors.SqlError)
+    assert issubclass(errors.SqlExecutionError, errors.SqlError)
+
+
+def test_integrity_sub_hierarchy():
+    assert issubclass(errors.DuplicateKeyError, errors.IntegrityError)
+    assert issubclass(errors.ForeignKeyError, errors.IntegrityError)
+    assert issubclass(errors.TypeMismatchError, errors.IntegrityError)
+
+
+def test_keyword_sub_hierarchy():
+    for exc in (
+        errors.InvalidQueryError,
+        errors.NoMatchError,
+        errors.NoPatternError,
+        errors.UnsupportedQueryError,
+    ):
+        assert issubclass(exc, errors.KeywordQueryError)
+
+
+def test_catching_base_class_covers_pipeline_failures(university_engine):
+    with pytest.raises(errors.ReproError):
+        university_engine.search("zzznothing COUNT Code")
+    with pytest.raises(errors.ReproError):
+        university_engine.search("Green SUM")

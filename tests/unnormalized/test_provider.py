@@ -1,0 +1,117 @@
+"""Unit tests for the unnormalized source provider (fragment subqueries)."""
+
+import pytest
+
+from repro.orm import RelationType
+from repro.patterns.pattern import QueryPattern
+from repro.sql.ast import DerivedTable, TableRef
+from repro.sql.render import render
+from repro.unnormalized import UnnormalizedSourceProvider
+
+
+def node_for(view, relation_name):
+    pattern = QueryPattern()
+    node_type = view.graph.node(relation_name).type
+    return pattern.add_node(relation_name, relation_name, node_type)
+
+
+class TestSingleFragment:
+    def test_distinct_added_when_key_not_retained(self, enrolment_engine):
+        view = enrolment_engine.view
+        student_rel = next(
+            rel.name for rel in view.relations.values() if rel.key == ("Sid",)
+        )
+        provider = UnnormalizedSourceProvider(view)
+        item = provider.from_item(
+            node_for(view, student_rel), ["Sname"], False, "S1"
+        )
+        assert isinstance(item, DerivedTable)
+        assert item.select.distinct
+        # the view key is always retained
+        names = [i.expr.name for i in item.select.items]
+        assert "Sid" in names and "Sname" in names
+
+    def test_no_distinct_when_source_key_retained(self, enrolment_engine):
+        view = enrolment_engine.view
+        enrol_rel = next(
+            rel.name for rel in view.relations.values() if len(rel.key) == 2
+        )
+        provider = UnnormalizedSourceProvider(view)
+        item = provider.from_item(
+            node_for(view, enrol_rel), ["Sid", "Code"], False, "E1"
+        )
+        assert isinstance(item, DerivedTable)
+        assert not item.select.distinct
+
+    def test_force_distinct_restricts_to_requested(self, tpch_unnorm_engine):
+        view = tpch_unnorm_engine.view
+        provider = UnnormalizedSourceProvider(view)
+        item = provider.from_item(
+            node_for(view, "Lineitem"), ["partkey", "suppkey"], True, "L1"
+        )
+        assert isinstance(item, DerivedTable)
+        assert item.select.distinct
+        names = [i.expr.name for i in item.select.items]
+        assert names == ["partkey", "suppkey"]  # no orderkey added
+
+    def test_whole_relation_becomes_table_ref(self, tpch_unnorm_engine):
+        # Region survived denormalization; reading all its columns needs no
+        # subquery
+        view = tpch_unnorm_engine.view
+        provider = UnnormalizedSourceProvider(view)
+        item = provider.from_item(
+            node_for(view, "Region"), ["regionkey", "rname"], False, "R1"
+        )
+        assert isinstance(item, TableRef)
+        assert item.table == "Region"
+
+    def test_fragment_use_metadata_recorded(self, enrolment_engine):
+        view = enrolment_engine.view
+        provider = UnnormalizedSourceProvider(view)
+        student_rel = next(
+            rel.name for rel in view.relations.values() if rel.key == ("Sid",)
+        )
+        provider.from_item(node_for(view, student_rel), ["Sname"], False, "S1")
+        use = provider.fragment_uses["S1"]
+        assert use.source == "Enrolment"
+        assert use.view_key == ("Sid",)
+        assert use.distinct
+
+
+class TestJoinedFragments:
+    def test_merged_view_relation_joins_fragments(self, fig2_engine):
+        # Department needs Dname (from Department) and Fid (from Lecturer)
+        view = fig2_engine.view
+        provider = UnnormalizedSourceProvider(view)
+        item = provider.from_item(
+            node_for(view, "Department"), ["Did", "Dname", "Fid"], False, "D1"
+        )
+        assert isinstance(item, DerivedTable)
+        sql = render(item.select)
+        assert "Department" in sql and "Lecturer" in sql
+        assert "F1.Did = F2.Did" in sql
+
+    def test_single_fragment_preferred_when_sufficient(self, fig2_engine):
+        view = fig2_engine.view
+        provider = UnnormalizedSourceProvider(view)
+        item = provider.from_item(
+            node_for(view, "Department"), ["Did", "Fid"], False, "D1"
+        )
+        # (Did, Fid) is covered by the Lecturer fragment alone
+        assert isinstance(item, DerivedTable)
+        sql = render(item.select)
+        assert "Lecturer" in sql and "Department" not in sql
+
+
+class TestNaiveMode:
+    def test_naive_projects_all_fragment_attributes(self, enrolment_engine):
+        view = enrolment_engine.view
+        provider = UnnormalizedSourceProvider(view, naive=True)
+        student_rel = next(
+            rel.name for rel in view.relations.values() if rel.key == ("Sid",)
+        )
+        item = provider.from_item(
+            node_for(view, student_rel), ["Sname"], False, "S1"
+        )
+        names = [i.expr.name for i in item.select.items]
+        assert set(names) == {"Sid", "Sname", "Age"}

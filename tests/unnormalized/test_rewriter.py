@@ -1,0 +1,194 @@
+"""Unit tests for SQL rewriting Rules 1-3 (Section 4.1, Example 10)."""
+
+import pytest
+
+from repro.relational.executor import execute_sql
+from repro.sql.ast import DerivedTable, TableRef
+from repro.sql.render import render
+from repro.unnormalized.rewriter import (
+    apply_rule1,
+    apply_rule2,
+    apply_rule3,
+    referenced_columns,
+    rewrite_qualifiers,
+)
+from repro.sql.parser import parse
+from repro.unnormalized.provider import FragmentUse
+
+
+def example9_sql() -> str:
+    """The paper's Example 9 SQL (5 subqueries over Enrolment)."""
+    return (
+        "SELECT S1.Sid, COUNT(C1.Code) AS numCode FROM "
+        "(SELECT DISTINCT Code, Title, Credit FROM Enrolment) C1, "
+        "(SELECT Sid, Code, Grade FROM Enrolment) E1, "
+        "(SELECT DISTINCT Sid, Sname, Age FROM Enrolment) S1, "
+        "(SELECT Sid, Code, Grade FROM Enrolment) E2, "
+        "(SELECT DISTINCT Sid, Sname, Age FROM Enrolment) S2 "
+        "WHERE C1.Code = E1.Code AND C1.Code = E2.Code "
+        "AND S1.Sid = E1.Sid AND S1.Sname LIKE '%Green%' "
+        "AND S2.Sid = E2.Sid AND S2.Sname LIKE '%George%' "
+        "GROUP BY S1.Sid"
+    )
+
+
+def example9_uses() -> dict:
+    course = FragmentUse("C1", "Enrolment", ("Code", "Title", "Credit"), ("Code",), True)
+    enrol1 = FragmentUse("E1", "Enrolment", ("Sid", "Code", "Grade"), ("Sid", "Code"), False)
+    student1 = FragmentUse("S1", "Enrolment", ("Sid", "Sname", "Age"), ("Sid",), True)
+    enrol2 = FragmentUse("E2", "Enrolment", ("Sid", "Code", "Grade"), ("Sid", "Code"), False)
+    student2 = FragmentUse("S2", "Enrolment", ("Sid", "Sname", "Age"), ("Sid",), True)
+    return {u.alias: u for u in (course, enrol1, student1, enrol2, student2)}
+
+
+class TestRule3:
+    def test_example10_collapses_to_two_scans(self, enrolment_db):
+        select = parse(example9_sql())
+        rewritten = apply_rule3(
+            select, example9_uses(), enrolment_db.schema
+        )
+        tables = [
+            item for item in rewritten.from_items if isinstance(item, TableRef)
+        ]
+        assert len(tables) == 2
+        assert all(t.table == "Enrolment" for t in tables)
+        sql = render(rewritten)
+        assert "U1.Code = U2.Code" in sql or "U2.Code = U1.Code" in sql
+        assert "(SELECT" not in sql  # no subqueries remain
+
+    def test_example10_preserves_answers(self, enrolment_db):
+        original = parse(example9_sql())
+        rewritten = apply_rule3(original, example9_uses(), enrolment_db.schema)
+        assert execute_sql(enrolment_db, original) == execute_sql(
+            enrolment_db, rewritten
+        )
+        rows = execute_sql(enrolment_db, rewritten).sorted_rows()
+        assert rows == [("s2", 1), ("s3", 2)]
+
+    def test_same_role_never_merged(self, enrolment_db):
+        # E1 and E2 are the same projection role: they must end up in
+        # different units (a genuine self-join), never one scan
+        select = parse(example9_sql())
+        rewritten = apply_rule3(select, example9_uses(), enrolment_db.schema)
+        assert len(rewritten.from_items) == 2
+
+    def test_no_merge_without_lossless_join(self, enrolment_db):
+        # join S1-C1 on nothing shared: no equality edge, so no merge
+        sql = (
+            "SELECT S1.Sname, C1.Title FROM "
+            "(SELECT DISTINCT Sid, Sname FROM Enrolment) S1, "
+            "(SELECT DISTINCT Code, Title FROM Enrolment) C1"
+        )
+        uses = {
+            "S1": FragmentUse("S1", "Enrolment", ("Sid", "Sname"), ("Sid",), True),
+            "C1": FragmentUse("C1", "Enrolment", ("Code", "Title"), ("Code",), True),
+        }
+        select = parse(sql)
+        assert apply_rule3(select, uses, enrolment_db.schema) is select
+
+    def test_union_must_cover_source_key(self, enrolment_db):
+        # S1 x S1b joined on Sid but neither holds Code: union misses the
+        # Enrolment key, so replacement would change multiplicity
+        sql = (
+            "SELECT S1.Sname FROM "
+            "(SELECT DISTINCT Sid, Sname FROM Enrolment) S1, "
+            "(SELECT DISTINCT Sid, Age FROM Enrolment) S2 "
+            "WHERE S1.Sid = S2.Sid"
+        )
+        uses = {
+            "S1": FragmentUse("S1", "Enrolment", ("Sid", "Sname"), ("Sid",), True),
+            "S2": FragmentUse("S2", "Enrolment", ("Sid", "Age"), ("Sid",), True),
+        }
+        select = parse(sql)
+        assert apply_rule3(select, uses, enrolment_db.schema) is select
+
+
+class TestRule1:
+    def test_unused_attributes_pruned(self):
+        sql = (
+            "SELECT C1.Code FROM "
+            "(SELECT DISTINCT Code, Title, Credit FROM Enrolment) C1"
+        )
+        uses = {
+            "C1": FragmentUse(
+                "C1", "Enrolment", ("Code", "Title", "Credit"), ("Code",), True
+            )
+        }
+        rewritten = apply_rule1(parse(sql), uses)
+        inner = rewritten.from_items[0].select
+        assert [item.expr.name for item in inner.items] == ["Code"]
+
+    def test_view_key_never_pruned(self):
+        sql = (
+            "SELECT S1.Sname FROM "
+            "(SELECT DISTINCT Sid, Sname, Age FROM Enrolment) S1"
+        )
+        uses = {
+            "S1": FragmentUse(
+                "S1", "Enrolment", ("Sid", "Sname", "Age"), ("Sid",), True
+            )
+        }
+        rewritten = apply_rule1(parse(sql), uses)
+        inner = rewritten.from_items[0].select
+        names = [item.expr.name for item in inner.items]
+        assert "Sid" in names  # key kept, Age dropped
+        assert "Age" not in names
+
+    def test_untracked_subqueries_left_alone(self):
+        sql = "SELECT R.a FROM (SELECT a, b FROM T) R"
+        rewritten = apply_rule1(parse(sql), {})
+        assert len(rewritten.from_items[0].select.items) == 2
+
+
+class TestRule2:
+    def test_condition_pushed_into_subquery(self):
+        sql = (
+            "SELECT S1.Sid FROM "
+            "(SELECT DISTINCT Sid, Sname FROM Enrolment) S1 "
+            "WHERE S1.Sname LIKE '%Green%'"
+        )
+        rewritten = apply_rule2(parse(sql))
+        assert rewritten.where is None
+        inner = rewritten.from_items[0].select
+        assert "LIKE '%Green%'" in render(inner)
+
+    def test_condition_on_base_table_not_pushed(self):
+        sql = "SELECT S.Sid FROM Student S WHERE S.Sname LIKE '%Green%'"
+        select = parse(sql)
+        assert apply_rule2(select) is select
+
+    def test_condition_on_unprojected_column_not_pushed(self):
+        sql = (
+            "SELECT S1.Sid FROM (SELECT Sid FROM Enrolment) S1 "
+            "WHERE S1.Sname LIKE '%Green%'"
+        )
+        rewritten = apply_rule2(parse(sql))
+        assert rewritten.where is not None
+
+
+class TestUtilities:
+    def test_rewrite_qualifiers(self):
+        from repro.sql.render import render_expr
+
+        select = parse("SELECT A.x FROM T A WHERE A.y = 1 AND B.z = 2")
+        new_where = rewrite_qualifiers(select.where, {"A": "U"})
+        text = render_expr(new_where)
+        assert "U.y" in text and "B.z" in text
+
+    def test_rewrite_qualifiers_handles_contains_and_funcs(self):
+        from repro.sql.render import render_expr
+
+        select = parse(
+            "SELECT COUNT(A.x) FROM T A WHERE A.name LIKE '%g%'"
+        )
+        rewritten_item = rewrite_qualifiers(select.items[0].expr, {"A": "U"})
+        rewritten_where = rewrite_qualifiers(select.where, {"A": "U"})
+        assert render_expr(rewritten_item) == "COUNT(U.x)"
+        assert "U.name LIKE" in render_expr(rewritten_where)
+
+    def test_referenced_columns(self):
+        select = parse(
+            "SELECT R.a, COUNT(R.b) FROM (SELECT a, b, c FROM T) R "
+            "WHERE R.c = 1 GROUP BY R.a"
+        )
+        assert referenced_columns(select, "R") == {"a", "b", "c"}

@@ -1,0 +1,133 @@
+"""Unit tests for the normalized 3NF view (Algorithm 1)."""
+
+import pytest
+
+from repro.unnormalized import NormalizedView, ViewCatalog, database_is_normalized
+
+
+class TestNormalizedDetection:
+    def test_figure1_is_normalized(self, university_db):
+        assert database_is_normalized(university_db)
+
+    def test_enrolment_is_unnormalized(self, enrolment_db, enrolment_fds):
+        assert not database_is_normalized(enrolment_db, enrolment_fds)
+
+    def test_enrolment_without_fds_looks_normalized(self, enrolment_db):
+        # without declared FDs only the key FD holds, and that is 3NF
+        assert database_is_normalized(enrolment_db)
+
+    def test_figure2_is_unnormalized(self, fig2_db):
+        assert not database_is_normalized(
+            fig2_db, {"Lecturer": ["Did -> Fid"]}
+        )
+
+
+class TestExample8View:
+    @pytest.fixture(scope="class")
+    def view(self, enrolment_db, enrolment_fds):
+        return NormalizedView.build(enrolment_db, enrolment_fds)
+
+    def test_three_view_relations(self, view):
+        assert len(view.relations) == 3
+        keys = {rel.key for rel in view.relations.values()}
+        assert keys == {("Sid",), ("Code",), ("Sid", "Code")}
+
+    def test_fragments_are_projections_of_enrolment(self, view):
+        for rel in view.relations.values():
+            assert [f.source for f in rel.fragments] == ["Enrolment"]
+
+    def test_student_fragment_attributes(self, view):
+        student = next(
+            rel for rel in view.relations.values() if rel.key == ("Sid",)
+        )
+        assert set(student.column_names) == {"Sid", "Sname", "Age"}
+
+    def test_inferred_foreign_keys(self, view):
+        enrol = view.schema.relation(
+            next(r.name for r in view.relations.values() if len(r.key) == 2)
+        )
+        targets = {fk.ref_table for fk in enrol.foreign_keys}
+        assert len(targets) == 2
+
+    def test_orm_graph_shape(self, view):
+        relationship = [
+            name
+            for name, node in view.graph.nodes.items()
+            if node.type.value == "relationship"
+        ]
+        assert len(relationship) == 1
+        assert len(view.graph.object_like_neighbors(relationship[0])) == 2
+
+    def test_describe_mentions_projections(self, view):
+        assert "pi_{" in view.describe()
+
+
+class TestFigure2View:
+    def test_department_merges_lecturer_fragment(self, fig2_engine):
+        view = fig2_engine.view
+        department = view.relation("Department")
+        sources = {f.source for f in department.fragments}
+        assert sources == {"Department", "Lecturer"}
+        assert set(department.column_names) == {"Did", "Dname", "Fid"}
+
+    def test_faculty_untouched(self, fig2_engine):
+        faculty = fig2_engine.view.relation("Faculty")
+        assert len(faculty.fragments) == 1
+        assert faculty.fragments[0].source == "Faculty"
+
+
+class TestTpchView:
+    def test_name_hints_applied(self, tpch_unnorm_engine):
+        view = tpch_unnorm_engine.view
+        for name in ("Part", "Supplier", "Order", "Lineitem", "Customer", "Nation"):
+            assert name in view.relations, name
+
+    def test_nation_merges_three_sources(self, tpch_unnorm_engine):
+        nation = tpch_unnorm_engine.view.relation("Nation")
+        sources = {f.source for f in nation.fragments}
+        assert sources == {"Ordering", "Customer", "Nation"}
+        assert set(nation.column_names) == {"nationkey", "nname", "regionkey"}
+
+    def test_lineitem_is_relationship(self, tpch_unnorm_engine):
+        graph = tpch_unnorm_engine.view.graph
+        assert graph.node("Lineitem").type.value == "relationship"
+        assert graph.object_like_neighbors("Lineitem") == [
+            "Order",
+            "Part",
+            "Supplier",
+        ]
+
+    def test_view_orm_graph_isomorphic_to_normalized(
+        self, tpch_unnorm_engine, tpch_engine
+    ):
+        unnorm = tpch_unnorm_engine.graph
+        norm = tpch_engine.graph
+        assert set(unnorm.nodes) == set(norm.nodes)
+        for name in norm.nodes:
+            assert unnorm.neighbors(name) == norm.neighbors(name)
+
+
+class TestViewCatalog:
+    def test_value_match_maps_to_owner(self, enrolment_engine):
+        catalog = enrolment_engine.catalog
+        hits = catalog.value_matches("Green")
+        assert len(hits) == 1
+        assert hits[0].attribute == "Sname"
+        assert hits[0].distinct_objects == 2
+
+    def test_key_value_match_prefers_identified_relation(self, enrolment_engine):
+        # 'c1' is a Code value; its owner is the course view relation
+        catalog = enrolment_engine.catalog
+        hits = catalog.value_matches("c1")
+        assert any(
+            catalog.view.relation(hit.relation).key == ("Code",) for hit in hits
+        )
+
+    def test_distinct_object_count(self, enrolment_engine):
+        catalog = enrolment_engine.catalog
+        student_rel = next(
+            rel.name
+            for rel in catalog.view.relations.values()
+            if rel.key == ("Sid",)
+        )
+        assert catalog.distinct_object_count(student_rel, "Sname", "Green") == 2

@@ -1,0 +1,50 @@
+"""ViewCatalog extras: suggestions and numeric matching on the view."""
+
+import pytest
+
+from repro.keywords.suggest import complete_term, suggest_queries
+
+
+class TestViewCatalogCompletions:
+    def test_value_completions_come_from_stored_data(self, enrolment_engine):
+        catalog = enrolment_engine.catalog
+        tokens = catalog.value_completions("gre")
+        assert "green" in tokens
+
+    def test_complete_term_on_view(self, enrolment_engine):
+        suggestions = complete_term(enrolment_engine.catalog, "gre")
+        values = [s for s in suggestions if s.kind == "value"]
+        assert values
+        assert "2 objects" in values[0].detail
+
+    def test_metadata_completions_use_view_names(self, tpch_unnorm_engine):
+        suggestions = complete_term(tpch_unnorm_engine.catalog, "sup")
+        assert any(
+            s.kind == "relation" and s.text == "Supplier" for s in suggestions
+        )
+
+    def test_suggest_queries_on_view_run(self, tpch_unnorm_engine):
+        for text in suggest_queries(tpch_unnorm_engine.catalog, limit=4):
+            result = tpch_unnorm_engine.search(text, k=1)
+            assert result.best.execute() is not None
+
+
+class TestViewCatalogNumericMatching:
+    def test_numeric_hit_maps_to_view_owner(self, enrolment_engine):
+        hits = [
+            hit
+            for hit in enrolment_engine.catalog.value_matches("24")
+            if hit.value is not None
+        ]
+        assert hits
+        assert hits[0].attribute == "Age"
+        assert hits[0].distinct_objects == 1  # only s2 is 24
+
+    def test_numeric_distinct_counts_by_view_identifier(self, enrolment_engine):
+        # Credit 5.0 belongs to one course (c1) though it appears in 3 rows
+        hits = [
+            hit
+            for hit in enrolment_engine.catalog.value_matches("5")
+            if hit.attribute == "Credit"
+        ]
+        assert hits and hits[0].distinct_objects == 1
