@@ -15,11 +15,29 @@ import pytest
 
 from repro.errors import UnsupportedQueryError
 from repro.experiments import ACMDL_QUERIES, TPCH_QUERIES
+from repro.observability import Tracer
 
 
 @pytest.fixture(scope="module")
 def series():
     return {"TPCH": {}, "ACMDL": {}}
+
+
+def _semantic_stages_ms(engine, text):
+    """Per-stage milliseconds for one traced run of the semantic engine."""
+    trace = engine.search(text, trace=True).trace
+    return {name: round(s * 1000.0, 3) for name, s in trace.stage_times().items()}
+
+
+def _sqak_stages_ms(sqak, text):
+    """Per-stage milliseconds for one traced SQAK compile."""
+    tracer = Tracer()
+    with tracer.span("search", query=text):
+        sqak.compile(text, tracer=tracer)
+    return {
+        name: round(s * 1000.0, 3)
+        for name, s in tracer.trace.stage_times().items()
+    }
 
 
 @pytest.mark.parametrize("spec", TPCH_QUERIES, ids=lambda s: f"{s.qid}-ours")
@@ -29,6 +47,7 @@ def test_fig11a_semantic_generation(benchmark, spec, tpch_engine, series):
     series["TPCH"].setdefault(spec.qid, {})["ours"] = benchmark.stats.stats.mean
     benchmark.extra_info["system"] = "proposed"
     benchmark.extra_info["query"] = spec.text
+    benchmark.extra_info["stages_ms"] = _semantic_stages_ms(tpch_engine, spec.text)
 
 
 @pytest.mark.parametrize("spec", TPCH_QUERIES, ids=lambda s: f"{s.qid}-sqak")
@@ -40,6 +59,7 @@ def test_fig11a_sqak_generation(benchmark, spec, tpch_sqak, series):
     series["TPCH"].setdefault(spec.qid, {})["sqak"] = benchmark.stats.stats.mean
     benchmark.extra_info["system"] = "SQAK"
     benchmark.extra_info["query"] = spec.text
+    benchmark.extra_info["stages_ms"] = _sqak_stages_ms(tpch_sqak, spec.text)
 
 
 @pytest.mark.parametrize("spec", ACMDL_QUERIES, ids=lambda s: f"{s.qid}-ours")
@@ -49,6 +69,7 @@ def test_fig11b_semantic_generation(benchmark, spec, acmdl_engine, series):
     series["ACMDL"].setdefault(spec.qid, {})["ours"] = benchmark.stats.stats.mean
     benchmark.extra_info["system"] = "proposed"
     benchmark.extra_info["query"] = spec.text
+    benchmark.extra_info["stages_ms"] = _semantic_stages_ms(acmdl_engine, spec.text)
 
 
 @pytest.mark.parametrize("spec", ACMDL_QUERIES, ids=lambda s: f"{s.qid}-sqak")
@@ -60,6 +81,7 @@ def test_fig11b_sqak_generation(benchmark, spec, acmdl_sqak, series):
     series["ACMDL"].setdefault(spec.qid, {})["sqak"] = benchmark.stats.stats.mean
     benchmark.extra_info["system"] = "SQAK"
     benchmark.extra_info["query"] = spec.text
+    benchmark.extra_info["stages_ms"] = _sqak_stages_ms(acmdl_sqak, spec.text)
 
 
 def _format_series(series) -> str:

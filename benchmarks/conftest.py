@@ -6,9 +6,20 @@ reproduced answer rows are attached to the benchmark records via
 contains the same rows/series the paper reports (run with ``-s`` to see
 them live, or read ``examples/reproduce_paper.py`` for a standalone
 report).
+
+Every engine fixture also registers itself for the observability hook
+below: after the benches finish, :func:`pytest_terminal_summary` traces
+the engine's evaluation-query set (``engine.search(..., trace=True)``)
+and prints a per-stage breakdown table, so each headline benchmark
+number can be decomposed into match/generate/disambiguate/rank/translate
+time.  The disabled-mode cost of that instrumentation is checked by
+``benchmarks/check_overhead.py`` (collected with the benches through the
+``check_*.py`` pattern in ``pyproject.toml``).
 """
 
 from __future__ import annotations
+
+from typing import Dict, List, Tuple
 
 import pytest
 
@@ -21,6 +32,36 @@ from repro.datasets import (
     university_database,
 )
 from repro.engine import KeywordSearchEngine
+from repro.experiments import ACMDL_QUERIES, TPCH_QUERIES
+from repro.observability import stage_breakdown
+
+#: Engines the session actually built, with the query set to trace:
+#: label -> (engine, [query text, ...]).  Filled by the fixtures.
+_STAGE_SUITES: Dict[str, Tuple[KeywordSearchEngine, List[str]]] = {}
+
+
+def _register(label: str, engine: KeywordSearchEngine, specs) -> KeywordSearchEngine:
+    _STAGE_SUITES[label] = (engine, [spec.text for spec in specs])
+    return engine
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    """Per-stage pipeline breakdown for every engine the benches used."""
+    if not _STAGE_SUITES:
+        return
+    terminalreporter.section("per-stage pipeline breakdown (traced)")
+    for label in sorted(_STAGE_SUITES):
+        engine, queries = _STAGE_SUITES[label]
+        try:
+            table = stage_breakdown(
+                engine, queries, f"{label} - evaluation query set"
+            )
+        except Exception as exc:  # the breakdown must never fail the run
+            terminalreporter.write_line(f"{label}: breakdown failed ({exc})")
+            continue
+        for line in table.splitlines():
+            terminalreporter.write_line(line)
+        terminalreporter.write_line("")
 
 
 @pytest.fixture(scope="session")
@@ -40,7 +81,7 @@ def acmdl_db():
 
 @pytest.fixture(scope="session")
 def tpch_engine(tpch_db):
-    return KeywordSearchEngine(tpch_db)
+    return _register("TPCH", KeywordSearchEngine(tpch_db), TPCH_QUERIES)
 
 
 @pytest.fixture(scope="session")
@@ -50,7 +91,7 @@ def tpch_sqak(tpch_db):
 
 @pytest.fixture(scope="session")
 def acmdl_engine(acmdl_db):
-    return KeywordSearchEngine(acmdl_db)
+    return _register("ACMDL", KeywordSearchEngine(acmdl_db), ACMDL_QUERIES)
 
 
 @pytest.fixture(scope="session")
@@ -65,10 +106,14 @@ def tpch_unnorm(tpch_db):
 
 @pytest.fixture(scope="session")
 def tpch_unnorm_engine(tpch_unnorm):
-    return KeywordSearchEngine(
-        tpch_unnorm.database,
-        fds=tpch_unnorm.fds,
-        name_hints=tpch_unnorm.name_hints,
+    return _register(
+        "TPCH' (unnormalized)",
+        KeywordSearchEngine(
+            tpch_unnorm.database,
+            fds=tpch_unnorm.fds,
+            name_hints=tpch_unnorm.name_hints,
+        ),
+        TPCH_QUERIES,
     )
 
 
@@ -84,10 +129,14 @@ def acmdl_unnorm(acmdl_db):
 
 @pytest.fixture(scope="session")
 def acmdl_unnorm_engine(acmdl_unnorm):
-    return KeywordSearchEngine(
-        acmdl_unnorm.database,
-        fds=acmdl_unnorm.fds,
-        name_hints=acmdl_unnorm.name_hints,
+    return _register(
+        "ACMDL' (unnormalized)",
+        KeywordSearchEngine(
+            acmdl_unnorm.database,
+            fds=acmdl_unnorm.fds,
+            name_hints=acmdl_unnorm.name_hints,
+        ),
+        ACMDL_QUERIES,
     )
 
 

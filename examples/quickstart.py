@@ -70,6 +70,19 @@ def main() -> None:
     print(chosen.sql)
     print(chosen.execute().format_table())
 
+    # ------------------------------------------------------------------
+    # where does the time go?  trace=True returns a per-stage span tree
+    # ------------------------------------------------------------------
+    print()
+    print("=" * 72)
+    print('Traced = engine.search("COUNT Lecturer GROUPBY Course", trace=True)')
+    result = engine.search("COUNT Lecturer GROUPBY Course", trace=True)
+    result.best.execute()          # lazy execution joins the same trace
+    print(result.trace.render())
+    print("\nper-stage milliseconds:")
+    for stage, seconds in result.trace.stage_times().items():
+        print(f"  {stage:<14}{seconds * 1000.0:8.3f}")
+
 
 if __name__ == "__main__":
     main()

@@ -1,11 +1,17 @@
 #!/usr/bin/env python3
 """Regenerate every table and figure of the paper's evaluation in one run.
 
-Prints Tables 5, 6, 8 and 9 and both Figure-11 timing series, in the same
+Prints Tables 5, 6, 8 and 9, both Figure-11 timing series and a traced
+per-stage pipeline breakdown for each evaluation query set, in the same
 row/series structure as the paper.  Absolute values differ (synthetic data,
 different hardware); the qualitative shape — who is correct, who
 over-counts, what is N.A. — is the reproduction target and is also checked
 by ``tests/experiments``.
+
+The closing breakdown tables come from the observability layer
+(``docs/OBSERVABILITY.md``): every query is re-run with ``trace=True`` and
+the per-stage span timings are aggregated, so each Figure-11 headline
+number can be decomposed into parse/match/generate/.../translate time.
 
 Usage::
 

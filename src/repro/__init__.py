@@ -12,10 +12,12 @@ Public entry points:
 * :class:`~repro.engine.KeywordSearchEngine` — the paper's system;
 * :class:`~repro.baselines.sqak.SqakEngine` — the SQAK baseline;
 * :mod:`repro.datasets` — university / TPC-H / ACMDL datasets;
-* :mod:`repro.experiments` — the paper's evaluation harness.
+* :mod:`repro.experiments` — the paper's evaluation harness;
+* :mod:`repro.observability` — pipeline tracing, metrics, EXPLAIN trees.
 """
 
 from repro.engine import Interpretation, KeywordSearchEngine, SearchResult
+from repro.observability import MetricsRegistry, Trace, Tracer
 from repro.relational import Database, DatabaseSchema, DataType, ForeignKey, QueryResult
 
 __version__ = "1.0.0"
@@ -27,7 +29,10 @@ __all__ = [
     "ForeignKey",
     "Interpretation",
     "KeywordSearchEngine",
+    "MetricsRegistry",
     "QueryResult",
     "SearchResult",
+    "Trace",
+    "Tracer",
     "__version__",
 ]

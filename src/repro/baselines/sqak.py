@@ -32,6 +32,7 @@ from repro.baselines.schema_graph import SchemaGraph
 from repro.errors import NoMatchError, UnsupportedQueryError
 from repro.keywords.matcher import name_match_score
 from repro.keywords.query import KeywordQuery, OperatorApplication, Term
+from repro.observability import NULL_TRACER
 from repro.relational.database import Database
 from repro.relational.executor import Executor, QueryResult
 from repro.sql.ast import (
@@ -114,14 +115,31 @@ class SqakEngine:
     # ------------------------------------------------------------------
     # Compilation
     # ------------------------------------------------------------------
-    def compile(self, query_text: str) -> SqakStatement:
-        """Generate SQAK's SQL; raises UnsupportedQueryError for N.A."""
-        query = KeywordQuery(query_text)
-        matches = {
-            term.position: self.match_term(term) for term in query.basic_terms
-        }
-        self._check_supported(query, matches)
+    def compile(self, query_text: str, tracer=NULL_TRACER) -> SqakStatement:
+        """Generate SQAK's SQL; raises UnsupportedQueryError for N.A.
 
+        *tracer* records the same span/counter names as the semantic
+        engine (``match``/``translate``, ``terms_matched``,
+        ``patterns_translated``) so per-stage baseline comparisons line
+        up metric for metric.
+        """
+        with tracer.span("parse"):
+            query = KeywordQuery(query_text)
+        with tracer.span("match"):
+            matches = {
+                term.position: self.match_term(term) for term in query.basic_terms
+            }
+            tracer.count("terms_matched", len(matches))
+            tracer.count("tags_produced", len(matches))
+        self._check_supported(query, matches)
+        with tracer.span("translate"):
+            statement = self._build_statement(query, matches)
+        tracer.count("patterns_translated")
+        return statement
+
+    def _build_statement(
+        self, query: KeywordQuery, matches: Dict[int, SqakMatch]
+    ) -> SqakStatement:
         relations = list(
             dict.fromkeys(match.relation for match in matches.values())
         )

@@ -34,6 +34,7 @@ from repro.datasets import (
 )
 from repro.engine import KeywordSearchEngine
 from repro.errors import ReproError, UnsupportedQueryError
+from repro.observability import NULL_TRACER, Tracer
 from repro.relational.database import Database
 from repro.relational.io import load_database
 
@@ -80,7 +81,10 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--explain",
         action="store_true",
-        help="show interpretations and SQL without executing",
+        help=(
+            "show interpretations, SQL and the traced pipeline span tree "
+            "(per-stage timings and counters) without executing"
+        ),
     )
     parser.add_argument(
         "--sqak",
@@ -139,7 +143,7 @@ def _load_source(args: argparse.Namespace) -> Tuple[Database, dict, dict, tuple]
 def _run_semantic(
     engine: KeywordSearchEngine, query: str, top: int, explain: bool, out
 ) -> int:
-    result = engine.search(query, k=top)
+    result = engine.search(query, k=top, trace=explain)
     for interpretation in result.interpretations:
         print(f"-- interpretation #{interpretation.rank}: "
               f"{interpretation.description}", file=out)
@@ -149,18 +153,27 @@ def _run_semantic(
         if not explain:
             print(interpretation.execute().format_table(), file=out)
         print(file=out)
+    if explain and result.trace is not None:
+        print("-- trace", file=out)
+        print(result.trace.render(), file=out)
     return 0
 
 
 def _run_sqak(sqak: SqakEngine, query: str, explain: bool, out) -> int:
+    tracer = Tracer() if explain else NULL_TRACER
     try:
-        statement = sqak.compile(query)
+        with tracer.span("search", query=query):
+            statement = sqak.compile(query, tracer=tracer)
     except UnsupportedQueryError as exc:
         print(f"SQAK: N.A. ({exc})", file=out)
         return 1
     print(statement.sql, file=out)
     if not explain:
         print(sqak.executor.execute(statement.select).format_table(), file=out)
+    if explain and tracer.trace is not None:
+        print(file=out)
+        print("-- trace", file=out)
+        print(tracer.trace.render(), file=out)
     return 0
 
 

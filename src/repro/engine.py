@@ -25,6 +25,7 @@ from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 from repro.errors import KeywordQueryError
 from repro.keywords.matcher import Catalog, NormalizedCatalog, TermMatcher
 from repro.keywords.query import KeywordQuery
+from repro.observability import NULL_TRACER, MetricsRegistry, Trace, Tracer
 from repro.patterns.disambiguator import disambiguate_all
 from repro.patterns.generator import PatternGenerator
 from repro.patterns.pattern import QueryPattern
@@ -59,6 +60,7 @@ class Interpretation:
     description: str
     _executor: Executor = field(repr=False, compare=False, default=None)  # type: ignore[assignment]
     _result: Optional[QueryResult] = field(default=None, repr=False, compare=False)
+    _tracer: object = field(default=None, repr=False, compare=False)
 
     @property
     def sql(self) -> str:
@@ -73,9 +75,12 @@ class Interpretation:
         return self.pattern.distinguishes
 
     def execute(self) -> QueryResult:
-        """Run the SQL (cached)."""
+        """Run the SQL (cached).  When the interpretation came from a
+        traced ``search()``, execution spans attach to the same trace."""
         if self._result is None:
-            self._result = self._executor.execute(self.select)
+            self._result = self._executor.execute(
+                self.select, tracer=self._tracer or NULL_TRACER
+            )
         return self._result
 
     def rows(self) -> List[Tuple]:
@@ -84,10 +89,16 @@ class Interpretation:
 
 @dataclass
 class SearchResult:
-    """Ranked interpretations of one keyword query."""
+    """Ranked interpretations of one keyword query.
+
+    ``trace`` is populated by ``search(..., trace=True)``: the span tree
+    of the pipeline run (see ``docs/OBSERVABILITY.md``).  Executing an
+    interpretation afterwards appends ``execute`` spans to it.
+    """
 
     query: KeywordQuery
     interpretations: List[Interpretation]
+    trace: Optional[Trace] = None
 
     @property
     def best(self) -> Interpretation:
@@ -125,6 +136,8 @@ class KeywordSearchEngine:
     ) -> None:
         self.database = database
         self.top_k = top_k
+        # cross-query metrics sink; traced searches report into it too
+        self.metrics = MetricsRegistry()
         # ablation knobs (see DESIGN.md section 5)
         self.dedup_relationships = dedup_relationships
         self.disambiguate = disambiguate
@@ -153,18 +166,32 @@ class KeywordSearchEngine:
     def parse(self, query_text: str) -> KeywordQuery:
         return KeywordQuery(query_text)
 
-    def patterns(self, query_text: str) -> List[QueryPattern]:
-        """Ranked, disambiguated query patterns for a query (cached)."""
+    def patterns(self, query_text: str, tracer=NULL_TRACER) -> List[QueryPattern]:
+        """Ranked, disambiguated query patterns for a query (cached).
+
+        A traced run bypasses the cache read (the spans must reflect a
+        real pipeline run, not a dictionary lookup) but still refreshes
+        the cached entry.
+        """
         cached = self._pattern_cache.get(query_text)
-        if cached is not None:
+        if cached is not None and not tracer.enabled:
+            self.metrics.increment("pattern_cache_hits")
             return cached
+        if cached is not None:
+            tracer.count("pattern_cache_bypassed")
+        else:
+            self.metrics.increment("pattern_cache_misses")
         query = self.parse(query_text)
-        matcher = TermMatcher(self.catalog)
-        tags = matcher.match_query(query)
-        generated = self.generator.generate(query, tags)
+        with tracer.span("match"):
+            matcher = TermMatcher(self.catalog)
+            tags = matcher.match_query(query, tracer=tracer)
+        with tracer.span("generate"):
+            generated = self.generator.generate(query, tags, tracer=tracer)
         if self.disambiguate:
-            generated = disambiguate_all(generated, self.catalog)
-        ranked = rank_patterns(generated)
+            with tracer.span("disambiguate"):
+                generated = disambiguate_all(generated, self.catalog, tracer=tracer)
+        with tracer.span("rank"):
+            ranked = rank_patterns(generated, tracer=tracer)
         if len(self._pattern_cache) >= self.cache_size:
             self._pattern_cache.pop(next(iter(self._pattern_cache)))
         self._pattern_cache[query_text] = ranked
@@ -174,24 +201,28 @@ class KeywordSearchEngine:
         """Drop cached patterns (after mutating the underlying data)."""
         self._pattern_cache.clear()
 
-    def compile(self, query_text: str, k: Optional[int] = None) -> List[Interpretation]:
+    def compile(
+        self, query_text: str, k: Optional[int] = None, tracer=NULL_TRACER
+    ) -> List[Interpretation]:
         """Generate SQL for the top-k interpretations of a query."""
-        ranked = self.patterns(query_text)[: (k or self.top_k)]
+        ranked = self.patterns(query_text, tracer=tracer)[: (k or self.top_k)]
         interpretations: List[Interpretation] = []
-        for rank, pattern in enumerate(ranked, start=1):
-            select = self.translate(pattern)
-            interpretations.append(
-                Interpretation(
-                    rank=rank,
-                    pattern=pattern,
-                    select=select,
-                    description=describe_pattern(pattern),
-                    _executor=self.executor,
+        with tracer.span("translate"):
+            for rank, pattern in enumerate(ranked, start=1):
+                select = self.translate(pattern, tracer=tracer)
+                interpretations.append(
+                    Interpretation(
+                        rank=rank,
+                        pattern=pattern,
+                        select=select,
+                        description=describe_pattern(pattern),
+                        _executor=self.executor,
+                        _tracer=tracer if tracer.enabled else None,
+                    )
                 )
-            )
         return interpretations
 
-    def translate(self, pattern: QueryPattern) -> Select:
+    def translate(self, pattern: QueryPattern, tracer=NULL_TRACER) -> Select:
         """Translate one pattern to SQL (with rewriting when unnormalized)."""
         if self.is_normalized:
             translator = PatternTranslator(
@@ -199,22 +230,41 @@ class KeywordSearchEngine:
                 NormalizedSourceProvider(),
                 dedup_relationships=self.dedup_relationships,
             )
-            return translator.translate(pattern)
+            return translator.translate(pattern, tracer=tracer)
         assert self.view is not None
         provider = UnnormalizedSourceProvider(self.view)
         translator = PatternTranslator(
             self.graph, provider, dedup_relationships=self.dedup_relationships
         )
-        select = translator.translate(pattern)
+        select = translator.translate(pattern, tracer=tracer)
         if not self.rewrite_sql:
             return select
-        return rewrite(select, provider.fragment_uses, self.database.schema)
+        with tracer.span("rewrite"):
+            return rewrite(
+                select, provider.fragment_uses, self.database.schema, tracer=tracer
+            )
 
-    def search(self, query_text: str, k: Optional[int] = None) -> SearchResult:
-        """Compile a query and return its ranked interpretations."""
+    def search(
+        self, query_text: str, k: Optional[int] = None, trace: bool = False
+    ) -> SearchResult:
+        """Compile a query and return its ranked interpretations.
+
+        With ``trace=True`` the run is instrumented: the returned
+        :class:`SearchResult` carries a :class:`~repro.observability.Trace`
+        span tree (parse/match/generate/disambiguate/rank/translate, plus
+        execute spans as interpretations are executed), and all counters
+        also flow into ``engine.metrics``.
+        """
+        tracer = Tracer(registry=self.metrics) if trace else NULL_TRACER
+        with tracer.span("search", query=query_text):
+            with tracer.span("parse"):
+                query = self.parse(query_text)
+            interpretations = self.compile(query_text, k, tracer=tracer)
+            tracer.count("interpretations", len(interpretations))
         return SearchResult(
-            query=self.parse(query_text),
-            interpretations=self.compile(query_text, k),
+            query=query,
+            interpretations=interpretations,
+            trace=tracer.trace,
         )
 
     def execute(self, query_text: str) -> QueryResult:

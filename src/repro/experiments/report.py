@@ -20,17 +20,17 @@ from repro.engine import KeywordSearchEngine
 from repro.experiments.queries import ACMDL_QUERIES, TPCH_QUERIES
 from repro.experiments.reporting import format_answer_table, format_timing_series
 from repro.experiments.runner import run_suite
+from repro.observability import stage_breakdown
 
 
 def full_report(out: Optional[TextIO] = None) -> None:
-    """Print Tables 5, 6, 8, 9 and both Figure-11 series."""
+    """Print Tables 5, 6, 8, 9, both Figure-11 series and stage breakdowns."""
     out = out or sys.stdout
     tpch = generate_tpch()
     acmdl = generate_acmdl()
 
-    tpch_outcomes = run_suite(
-        KeywordSearchEngine(tpch), SqakEngine(tpch), TPCH_QUERIES
-    )
+    tpch_engine = KeywordSearchEngine(tpch)
+    tpch_outcomes = run_suite(tpch_engine, SqakEngine(tpch), TPCH_QUERIES)
     print(
         format_answer_table(
             "Table 5 - answers of queries for normalized TPCH", tpch_outcomes
@@ -39,9 +39,8 @@ def full_report(out: Optional[TextIO] = None) -> None:
     )
     print(file=out)
 
-    acmdl_outcomes = run_suite(
-        KeywordSearchEngine(acmdl), SqakEngine(acmdl), ACMDL_QUERIES
-    )
+    acmdl_engine = KeywordSearchEngine(acmdl)
+    acmdl_outcomes = run_suite(acmdl_engine, SqakEngine(acmdl), ACMDL_QUERIES)
     print(
         format_answer_table(
             "Table 6 - answers of queries for normalized ACMDL", acmdl_outcomes
@@ -98,6 +97,25 @@ def full_report(out: Optional[TextIO] = None) -> None:
     print(
         format_timing_series(
             "Figure 11(b) - SQL generation time, ACMDL queries", acmdl_outcomes
+        ),
+        file=out,
+    )
+    print(file=out)
+
+    print(
+        stage_breakdown(
+            tpch_engine,
+            [spec.text for spec in TPCH_QUERIES],
+            "Per-stage pipeline breakdown (traced) - TPCH query set",
+        ),
+        file=out,
+    )
+    print(file=out)
+    print(
+        stage_breakdown(
+            acmdl_engine,
+            [spec.text for spec in ACMDL_QUERIES],
+            "Per-stage pipeline breakdown (traced) - ACMDL query set",
         ),
         file=out,
     )

@@ -15,6 +15,7 @@ from typing import Any, Dict, Iterable, List, Optional, Sequence, Set, Tuple
 from repro.errors import NoMatchError
 from repro.keywords.query import KeywordQuery, Term
 from repro.keywords.tags import Tag, TagKind
+from repro.observability import NULL_TRACER
 from repro.orm.graph import OrmSchemaGraph
 from repro.relational.database import Database
 from repro.relational.schema import RelationSchema
@@ -163,7 +164,7 @@ class TermMatcher:
         tags.extend(self._value_tags(term))
         return tags
 
-    def match_query(self, query: KeywordQuery) -> Dict[int, List[Tag]]:
+    def match_query(self, query: KeywordQuery, tracer=NULL_TRACER) -> Dict[int, List[Tag]]:
         """Tags per basic-term position; raises when a term matches nothing."""
         result: Dict[int, List[Tag]] = {}
         for term in query.basic_terms:
@@ -173,6 +174,8 @@ class TermMatcher:
                     f"term {term.text!r} matches nothing in the database"
                 )
             result[term.position] = tags
+            tracer.count("terms_matched")
+            tracer.count("tags_produced", len(tags))
         return result
 
     # ------------------------------------------------------------------

@@ -1,0 +1,38 @@
+"""Pipeline observability: structured tracing, metrics, EXPLAIN trees.
+
+See ``docs/OBSERVABILITY.md`` for the span/counter catalogue and the
+user-facing API (``engine.search(..., trace=True)``,
+``repro --explain``).
+"""
+
+from repro.observability.report import (
+    STAGE_ORDER,
+    aggregate_counters,
+    aggregate_stages,
+    collect_traces,
+    format_stage_table,
+    stage_breakdown,
+)
+from repro.observability.tracer import (
+    NULL_TRACER,
+    MetricsRegistry,
+    NullTracer,
+    Span,
+    Trace,
+    Tracer,
+)
+
+__all__ = [
+    "MetricsRegistry",
+    "NULL_TRACER",
+    "NullTracer",
+    "STAGE_ORDER",
+    "Span",
+    "Trace",
+    "Tracer",
+    "aggregate_counters",
+    "aggregate_stages",
+    "collect_traces",
+    "format_stage_table",
+    "stage_breakdown",
+]

@@ -1,0 +1,110 @@
+"""Per-stage breakdown tables built from traces.
+
+Shared by the benchmark harness (``benchmarks/conftest.py``), the full
+reproduction report (``repro --reproduce``) and the examples: run a set
+of queries with tracing enabled, aggregate the stage timings and
+counters, and format one compact table so every headline number can be
+decomposed into its pipeline stages.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.observability.tracer import Trace
+
+#: Pipeline-stage display order (spans directly under the ``search`` root).
+STAGE_ORDER: Tuple[str, ...] = (
+    "parse",
+    "match",
+    "generate",
+    "disambiguate",
+    "rank",
+    "translate",
+    "execute",
+)
+
+
+def collect_traces(engine, queries: Iterable[str]) -> List[Trace]:
+    """Run each query with tracing enabled and return the traces.
+
+    *engine* is a :class:`~repro.engine.KeywordSearchEngine`; queries
+    that fail (no match, no pattern) are skipped — the breakdown should
+    never break the harness it decorates.
+    """
+    from repro.errors import ReproError
+
+    traces: List[Trace] = []
+    for text in queries:
+        try:
+            result = engine.search(text, trace=True)
+        except ReproError:
+            continue
+        if result.trace is not None:
+            traces.append(result.trace)
+    return traces
+
+
+def aggregate_stages(traces: Sequence[Trace]) -> Dict[str, Dict[str, float]]:
+    """Total seconds and call counts per stage over many traces."""
+    stages: Dict[str, Dict[str, float]] = {}
+    for trace in traces:
+        for name, seconds in trace.stage_times().items():
+            entry = stages.setdefault(name, {"total_s": 0.0, "calls": 0})
+            entry["total_s"] += seconds
+            entry["calls"] += 1
+    return stages
+
+
+def aggregate_counters(traces: Sequence[Trace]) -> Dict[str, int]:
+    totals: Dict[str, int] = {}
+    for trace in traces:
+        for name, value in trace.counters().items():
+            totals[name] = totals.get(name, 0) + value
+    return totals
+
+
+def format_stage_table(
+    title: str,
+    traces: Sequence[Trace],
+    counters: Optional[Sequence[str]] = None,
+) -> str:
+    """One breakdown table: stage, total ms, share of traced time.
+
+    *counters* selects counter totals to append below the table (all of
+    them when None).
+    """
+    stages = aggregate_stages(traces)
+    traced_total = sum(entry["total_s"] for entry in stages.values())
+    ordered = [name for name in STAGE_ORDER if name in stages]
+    ordered += sorted(name for name in stages if name not in STAGE_ORDER)
+
+    lines = [title]
+    lines.append(f"{'stage':<14}{'total (ms)':>12}{'share':>8}{'calls':>8}")
+    for name in ordered:
+        entry = stages[name]
+        share = entry["total_s"] / traced_total if traced_total else 0.0
+        lines.append(
+            f"{name:<14}{entry['total_s'] * 1000.0:>12.3f}"
+            f"{share:>7.1%}{int(entry['calls']):>8}"
+        )
+    lines.append(
+        f"{'(sum)':<14}{traced_total * 1000.0:>12.3f}{'':>8}{len(traces):>8}"
+    )
+
+    counter_totals = aggregate_counters(traces)
+    if counters is not None:
+        counter_totals = {
+            name: counter_totals[name]
+            for name in counters
+            if name in counter_totals
+        }
+    if counter_totals:
+        pairs = [f"{name}={value}" for name, value in sorted(counter_totals.items())]
+        lines.append("counters: " + " ".join(pairs))
+    return "\n".join(lines)
+
+
+def stage_breakdown(engine, queries: Iterable[str], title: str) -> str:
+    """Convenience: trace *queries* on *engine* and format the table."""
+    return format_stage_table(title, collect_traces(engine, queries))

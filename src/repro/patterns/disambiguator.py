@@ -13,6 +13,7 @@ from __future__ import annotations
 from typing import List, Optional
 
 from repro.keywords.matcher import Catalog
+from repro.observability import NULL_TRACER
 from repro.patterns.pattern import GroupByAnnotation, PatternNode, QueryPattern
 
 
@@ -91,7 +92,9 @@ def _identifier_of(node: PatternNode, catalog, pattern: QueryPattern):
 
 
 def disambiguate_all(
-    patterns: List[QueryPattern], catalog: Optional[Catalog] = None
+    patterns: List[QueryPattern],
+    catalog: Optional[Catalog] = None,
+    tracer=NULL_TRACER,
 ) -> List[QueryPattern]:
     """Disambiguate every pattern, deduplicating by signature."""
     result: List[QueryPattern] = []
@@ -100,7 +103,10 @@ def disambiguate_all(
         for variant in disambiguate_pattern(pattern, catalog):
             signature = variant.signature()
             if signature in seen:
+                tracer.count("variants_deduped")
                 continue
             seen.add(signature)
             result.append(variant)
+    tracer.count("patterns_disambiguated", len(patterns))
+    tracer.count("variants_added", len(result) - len(patterns))
     return result

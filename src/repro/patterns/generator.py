@@ -34,6 +34,7 @@ from repro.errors import NoPatternError
 from repro.keywords.matcher import Catalog
 from repro.keywords.query import KeywordQuery, OperatorApplication, Term
 from repro.keywords.tags import Tag, TagKind
+from repro.observability import NULL_TRACER
 from repro.orm.graph import OrmSchemaGraph
 from repro.patterns.pattern import (
     AggregateAnnotation,
@@ -85,8 +86,18 @@ class PatternGenerator:
     # ------------------------------------------------------------------
     # Entry point
     # ------------------------------------------------------------------
-    def generate(self, query: KeywordQuery, tags: Dict[int, List[Tag]]) -> List[QueryPattern]:
-        """All distinct patterns over the tag combinations, unranked."""
+    def generate(
+        self,
+        query: KeywordQuery,
+        tags: Dict[int, List[Tag]],
+        tracer=NULL_TRACER,
+    ) -> List[QueryPattern]:
+        """All distinct patterns over the tag combinations, unranked.
+
+        ``patterns_pruned`` counts tag combinations that produced no new
+        pattern: invalid terminal combinations, disconnected terminals,
+        and duplicates of an already-seen pattern signature.
+        """
         basic_terms = query.basic_terms
         positions = [term.position for term in basic_terms]
         choice_lists = [tags[position] for position in positions]
@@ -96,19 +107,23 @@ class PatternGenerator:
             itertools.product(*choice_lists), self.max_tag_combinations
         )
         for combination in combinations:
+            tracer.count("tag_combinations")
             tag_choice = dict(zip(positions, combination))
             terminals = self.build_terminals(query, tag_choice)
             if terminals is None:
+                tracer.count("patterns_pruned")
                 continue
             try:
                 pattern = self.connect_terminals(terminals)
             except NoPatternError:
+                tracer.count("patterns_pruned")
                 continue
             pattern.tag_exactness = 1.0
             for tag in combination:
                 pattern.tag_exactness *= tag.exactness
             signature = pattern.signature()
             if signature in seen_signatures:
+                tracer.count("patterns_pruned")
                 continue
             seen_signatures.add(signature)
             patterns.append(pattern)
@@ -118,6 +133,7 @@ class PatternGenerator:
             raise NoPatternError(
                 f"no connected query pattern for {query.raw!r}"
             )
+        tracer.count("patterns_generated", len(patterns))
         return patterns
 
     # ------------------------------------------------------------------

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from typing import List, Sequence, Tuple
 
+from repro.observability import NULL_TRACER
 from repro.patterns.pattern import QueryPattern
 
 
@@ -37,9 +38,12 @@ def pattern_score(pattern: QueryPattern) -> Tuple:
     )
 
 
-def rank_patterns(patterns: Sequence[QueryPattern]) -> List[QueryPattern]:
+def rank_patterns(
+    patterns: Sequence[QueryPattern], tracer=NULL_TRACER
+) -> List[QueryPattern]:
     """Patterns sorted best-first; disambiguation variants stay adjacent to
     their base pattern because they share every score component."""
+    tracer.count("patterns_ranked", len(patterns))
     return sorted(patterns, key=pattern_score)
 
 

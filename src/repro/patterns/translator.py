@@ -27,6 +27,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import SchemaError
+from repro.observability import NULL_TRACER
 from repro.orm.classify import RelationType
 from repro.orm.graph import OrmSchemaGraph
 from repro.patterns.pattern import PatternNode, QueryPattern
@@ -100,7 +101,7 @@ class PatternTranslator:
     # ------------------------------------------------------------------
     # Entry point
     # ------------------------------------------------------------------
-    def translate(self, pattern: QueryPattern) -> Select:
+    def translate(self, pattern: QueryPattern, tracer=NULL_TRACER) -> Select:
         aliases = self._assign_aliases(pattern)
         component_aliases: Dict[Tuple[int, str], str] = {}
 
@@ -110,9 +111,12 @@ class PatternTranslator:
         # FROM entries per node (with relationship dedup projections)
         for node in pattern.nodes:
             needed, force_distinct = self._needed_attributes(pattern, node)
+            if force_distinct:
+                tracer.count("distinct_projections")
             from_items.append(
                 self.provider.from_item(node, needed, force_distinct, aliases[node.id])
             )
+        tracer.count("patterns_translated")
 
         # component relations referenced by annotations
         self._add_component_relations(

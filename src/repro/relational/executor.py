@@ -14,6 +14,7 @@ from __future__ import annotations
 from typing import Any, Dict, List, Optional, Sequence, Set, Tuple, Union
 
 from repro.errors import SqlExecutionError
+from repro.observability import NULL_TRACER
 from repro.relational.algebra import (
     Rowset,
     cross_join,
@@ -121,29 +122,39 @@ class Executor:
     benchmark (DESIGN.md section 5).
     """
 
-    def __init__(self, database: Database, use_hash_joins: bool = True) -> None:
+    def __init__(
+        self, database: Database, use_hash_joins: bool = True, tracer=None
+    ) -> None:
         self.database = database
         self.use_hash_joins = use_hash_joins
+        self.tracer = tracer or NULL_TRACER
 
     # ------------------------------------------------------------------
     # Public API
     # ------------------------------------------------------------------
-    def execute(self, query: Union[Select, str]) -> QueryResult:
-        """Execute a :class:`Select` AST or SQL text."""
+    def execute(self, query: Union[Select, str], tracer=None) -> QueryResult:
+        """Execute a :class:`Select` AST or SQL text.
+
+        *tracer* overrides the executor-level tracer for this call: an
+        ``execute`` span with per-operator row counters (``rows_scanned``,
+        ``hash_join_rows``, ``rows_output``, ...).
+        """
+        tracer = tracer or self.tracer
         select = parse(query) if isinstance(query, str) else query
-        return self._execute_select(select)
+        with tracer.span("execute"):
+            return self._execute_select(select, tracer)
 
     # ------------------------------------------------------------------
     # Planning
     # ------------------------------------------------------------------
-    def _execute_select(self, select: Select) -> QueryResult:
-        components = self._load_from_items(select)
+    def _execute_select(self, select: Select, tracer=NULL_TRACER) -> QueryResult:
+        components = self._load_from_items(select, tracer)
         pending = select.where_conjuncts()
-        pending = self._apply_local_predicates(components, pending)
-        merged = self._join_components(components, pending)
-        return self._project(select, merged.rowset)
+        pending = self._apply_local_predicates(components, pending, tracer)
+        merged = self._join_components(components, pending, tracer)
+        return self._project(select, merged.rowset, tracer)
 
-    def _load_from_items(self, select: Select) -> List[_Component]:
+    def _load_from_items(self, select: Select, tracer=NULL_TRACER) -> List[_Component]:
         if not select.from_items:
             raise SqlExecutionError("FROM clause is empty")
         components: List[_Component] = []
@@ -156,8 +167,9 @@ class Executor:
                 table = self.database.table(item.table)
                 labels = [(item.alias, name) for name in table.schema.column_names]
                 rowset = Rowset(Binding(labels), list(table.rows))
+                tracer.count("rows_scanned", len(rowset))
             elif isinstance(item, DerivedTable):
-                inner = self._execute_select(item.select)
+                inner = self._execute_select(item.select, tracer)
                 labels = [(item.alias, name) for name in inner.columns]
                 rowset = Rowset(Binding(labels), inner.rows)
             else:  # pragma: no cover - defensive
@@ -194,7 +206,10 @@ class Executor:
         return aliases
 
     def _apply_local_predicates(
-        self, components: List[_Component], conjuncts: List[Expr]
+        self,
+        components: List[_Component],
+        conjuncts: List[Expr],
+        tracer=NULL_TRACER,
     ) -> List[Expr]:
         """Push single-component predicates down; return the remainder."""
         remaining: List[Expr] = []
@@ -206,13 +221,19 @@ class Executor:
                     owner = component
                     break
             if owner is not None:
+                before = len(owner.rowset)
                 owner.rowset = select_rows(owner.rowset, conjunct)
+                tracer.count("predicates_pushed")
+                tracer.count("rows_filtered", before - len(owner.rowset))
             else:
                 remaining.append(conjunct)
         return remaining
 
     def _join_components(
-        self, components: List[_Component], pending: List[Expr]
+        self,
+        components: List[_Component],
+        pending: List[Expr],
+        tracer=NULL_TRACER,
     ) -> _Component:
         """Merge components with hash joins until one remains."""
         while len(components) > 1:
@@ -228,6 +249,8 @@ class Executor:
                 merged_rowset = cross_join(left.rowset, right.rowset)
                 merged = _Component(left.aliases | right.aliases, merged_rowset)
                 components = [merged] + components[2:]
+                tracer.count("cross_joins")
+                tracer.count("cross_join_rows", len(merged_rowset))
             else:
                 left, right = pair
                 merged = self._hash_join_pair(left, right, pending, components)
@@ -237,7 +260,9 @@ class Executor:
                     if component is not left and component is not right
                 ]
                 components.append(merged)
-            pending = self._apply_local_predicates(components, pending)
+                tracer.count("hash_joins")
+                tracer.count("hash_join_rows", len(merged.rowset))
+            pending = self._apply_local_predicates(components, pending, tracer)
         if pending:
             # every alias is now in one component; apply what is left
             only = components[0]
@@ -316,7 +341,9 @@ class Executor:
     # ------------------------------------------------------------------
     # Projection / grouping
     # ------------------------------------------------------------------
-    def _project(self, select: Select, rowset: Rowset) -> QueryResult:
+    def _project(
+        self, select: Select, rowset: Rowset, tracer=NULL_TRACER
+    ) -> QueryResult:
         binding = rowset.binding
         columns = [
             item.output_name(default=f"col{i + 1}")
@@ -325,6 +352,7 @@ class Executor:
         aggregated = select.has_aggregates() or bool(select.group_by)
         if aggregated:
             groups = self._group_rows(select, rowset)
+            tracer.count("groups_formed", len(groups))
             out_rows = [
                 tuple(
                     evaluate_with_aggregates(item.expr, group_rows, binding)
@@ -355,6 +383,7 @@ class Executor:
         rows = result.rows
         if select.limit is not None:
             rows = rows[: select.limit]
+        tracer.count("rows_output", len(rows))
         return QueryResult(columns, rows)
 
     def _order_value(

@@ -22,6 +22,7 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
+from repro.observability import NULL_TRACER
 from repro.relational.schema import DatabaseSchema
 from repro.sql.ast import (
     BinaryOp,
@@ -351,6 +352,7 @@ def rewrite(
     select: Select,
     fragment_uses: Dict[str, FragmentUse],
     base_schema: DatabaseSchema,
+    tracer=NULL_TRACER,
 ) -> Select:
     """Apply Rules 3, 1, 2 (in that order) to one SELECT level.
 
@@ -362,7 +364,7 @@ def rewrite(
     for item in select.from_items:
         if isinstance(item, DerivedTable) and item.select.has_aggregates():
             # a nested-aggregate inner query: rewrite it recursively
-            new_inner = rewrite(item.select, fragment_uses, base_schema)
+            new_inner = rewrite(item.select, fragment_uses, base_schema, tracer=tracer)
             inner_rewritten.append(DerivedTable(new_inner, item.alias))
             changed = changed or new_inner is not item.select
         else:
@@ -370,7 +372,16 @@ def rewrite(
     if changed:
         select = replace(select, from_items=tuple(inner_rewritten))
 
+    fragments_before = sum(
+        1 for item in select.from_items if item.alias in fragment_uses
+    )
     select = apply_rule3(select, fragment_uses, base_schema)
+    fragments_after = sum(
+        1 for item in select.from_items if item.alias in fragment_uses
+    )
+    if fragments_before > fragments_after:
+        tracer.count("fragments_collapsed", fragments_before - fragments_after)
     select = apply_rule1(select, fragment_uses)
     select = apply_rule2(select)
+    tracer.count("rewrites")
     return select

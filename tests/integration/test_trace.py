@@ -1,0 +1,165 @@
+"""End-to-end tracing: engine.search(trace=True), the EXPLAIN CLI and SQAK."""
+
+from __future__ import annotations
+
+import io
+
+from repro.cli import main
+from repro.observability import NULL_TRACER, Trace, Tracer
+
+QUERY = "COUNT Lecturer GROUPBY Course"
+
+
+def run_cli(*argv):
+    out = io.StringIO()
+    code = main(list(argv), out=out)
+    return code, out.getvalue()
+
+
+# ----------------------------------------------------------------------
+# engine.search(trace=True)
+# ----------------------------------------------------------------------
+class TestSearchTrace:
+    def test_untraced_search_has_no_trace(self, university_engine):
+        result = university_engine.search(QUERY)
+        assert result.trace is None
+
+    def test_trace_covers_every_pipeline_stage(self, university_engine):
+        result = university_engine.search(QUERY, trace=True)
+        trace = result.trace
+        assert trace is not None
+        assert trace.root.name == "search"
+        assert trace.root.attributes["query"] == QUERY
+        stage_names = [child.name for child in trace.root.children]
+        for stage in (
+            "parse",
+            "match",
+            "generate",
+            "disambiguate",
+            "rank",
+            "translate",
+        ):
+            assert stage in stage_names, stage
+        # stages appear in pipeline order
+        order = [stage_names.index(s) for s in ("parse", "match", "generate")]
+        assert order == sorted(order)
+        assert trace.duration_ms > 0.0
+
+    def test_pipeline_counters_are_populated(self, university_engine):
+        trace = university_engine.search(QUERY, trace=True).trace
+        assert trace.find("match").counters["terms_matched"] >= 2
+        assert trace.find("match").counters["tags_produced"] >= 1
+        assert trace.find("generate").counters["patterns_generated"] >= 1
+        assert trace.find("rank").counters["patterns_ranked"] >= 1
+        assert trace.counter("patterns_translated") >= 1
+        assert trace.counter("interpretations") >= 1
+
+    def test_execute_span_joins_the_same_trace(self, university_engine):
+        result = university_engine.search(QUERY, trace=True)
+        assert result.trace.find("execute") is None
+        rows = result.best.execute()
+        assert rows.rows
+        execute = result.trace.find("execute")
+        assert execute is not None
+        assert execute.counters["rows_scanned"] > 0
+        # rows_output sums every select in the plan (derived tables included),
+        # so the final result size is a lower bound
+        assert execute.counters["rows_output"] >= len(rows.rows)
+
+    def test_trace_round_trips_through_json(self, university_engine):
+        trace = university_engine.search(QUERY, trace=True).trace
+        restored = Trace.from_json(trace.to_json())
+        assert restored.to_dict() == trace.to_dict()
+        assert restored.counters() == trace.counters()
+
+    def test_render_names_the_stages(self, university_engine):
+        result = university_engine.search(QUERY, trace=True)
+        result.best.execute()
+        text = result.trace.render()
+        for stage in ("search", "parse", "generate", "translate", "execute"):
+            assert stage in text
+        assert "ms" in text
+
+    def test_traced_results_match_untraced(self, university_engine):
+        untraced = university_engine.search(QUERY)
+        traced = university_engine.search(QUERY, trace=True)
+        assert [i.sql for i in traced.interpretations] == [
+            i.sql for i in untraced.interpretations
+        ]
+
+    def test_search_feeds_the_engine_registry(self, university_engine):
+        university_engine.metrics.reset()
+        university_engine.search(QUERY, trace=True)
+        assert university_engine.metrics.counter("patterns_generated") >= 1
+        assert university_engine.metrics.timing("span.search")["count"] == 1
+
+    def test_rewrite_span_on_unnormalized_schema(self, enrolment_engine):
+        trace = enrolment_engine.search("Green SUM Credit", trace=True).trace
+        translate = trace.find("translate")
+        assert translate is not None
+        assert translate.find("rewrite") is not None
+        assert trace.counter("rewrites") >= 1
+
+
+# ----------------------------------------------------------------------
+# repro --explain
+# ----------------------------------------------------------------------
+class TestExplainCli:
+    def test_explain_prints_the_span_tree(self):
+        code, text = run_cli("--dataset", "university", "--explain", QUERY)
+        assert code == 0
+        assert "-- trace" in text
+        assert "search" in text
+        for stage in ("parse", "match", "generate", "translate"):
+            assert stage in text
+        assert "ms" in text
+
+    def test_plain_run_prints_no_trace(self):
+        code, text = run_cli("--dataset", "university", QUERY)
+        assert code == 0
+        assert "-- trace" not in text
+
+    def test_sqak_explain_prints_the_span_tree(self):
+        code, text = run_cli(
+            "--dataset", "university", "--sqak", "--explain", "Lecturer COUNT Course"
+        )
+        assert code == 0
+        assert "-- trace" in text
+        for stage in ("parse", "match", "translate"):
+            assert stage in text
+
+
+# ----------------------------------------------------------------------
+# SQAK shares the vocabulary
+# ----------------------------------------------------------------------
+class TestSqakTrace:
+    def test_sqak_compile_uses_shared_metric_names(self, university_sqak):
+        tracer = Tracer()
+        with tracer.span("search"):
+            university_sqak.compile("Lecturer COUNT Course", tracer=tracer)
+        trace = tracer.trace
+        assert trace.find("parse") is not None
+        assert trace.find("match") is not None
+        assert trace.find("translate") is not None
+        assert trace.counter("terms_matched") >= 2
+        assert trace.counter("patterns_translated") == 1
+
+    def test_sqak_untraced_by_default(self, university_sqak):
+        statement = university_sqak.compile(
+            "Lecturer COUNT Course", tracer=NULL_TRACER
+        )
+        assert statement.sql
+
+
+# ----------------------------------------------------------------------
+# Cache interaction
+# ----------------------------------------------------------------------
+class TestTraceVsCache:
+    def test_traced_run_bypasses_cache_read(self, university_engine):
+        university_engine.clear_cache()
+        university_engine.metrics.reset()
+        university_engine.search(QUERY)  # warm the cache
+        trace = university_engine.search(QUERY, trace=True).trace
+        # a cache hit would leave the stage spans empty; bypass keeps them real
+        assert trace.find("generate").counters["patterns_generated"] >= 1
+        assert university_engine.metrics.counter("pattern_cache_bypassed") == 1
