@@ -12,7 +12,8 @@ import pytest
 
 from repro.datasets import TpchConfig, generate_tpch
 from repro.engine import KeywordSearchEngine
-from repro.experiments import pick_interpretation, spec_by_id
+from repro.experiments import TPCH_QUERIES, pick_interpretation, spec_by_id
+from repro.relational.executor import Executor
 
 SCALES = {
     "small": TpchConfig(seed=42, parts=80, suppliers=30, customers=60, orders=300),
@@ -53,3 +54,29 @@ def test_execution_time_grows_with_data(benchmark, scale, engines):
     assert len(result) > 0
     benchmark.extra_info["scale"] = scale
     benchmark.extra_info["suppliers"] = len(result)
+
+
+@pytest.mark.parametrize("mode", ["compiled", "interpreted"])
+def test_execution_by_mode(benchmark, mode, engines):
+    """Compiled plans vs per-row AST interpretation on the large scale.
+
+    Same Select, same database, same results — the compiled path swaps
+    tree-walk evaluation for closures and index-backed scans.
+    """
+    engine = engines["large"]
+    chosen = pick_interpretation(engine.compile(T6.text), T6)
+    select = chosen.select
+    executor = Executor(engine.database, compile_plans=(mode == "compiled"))
+    executor.execute(select)  # warm plan cache / build indexes
+    result = benchmark(lambda: executor.execute(select))
+    assert result == Executor(engine.database, compile_plans=False).execute(select)
+    benchmark.extra_info["mode"] = mode
+
+
+def test_search_many_batch(benchmark, engines):
+    """Warm-cache batch search over the experiment query mix."""
+    engine = engines["large"]
+    texts = [spec.text for spec in TPCH_QUERIES] * 2
+    engine.search_many(texts, parallel=4)  # warm the caches
+    results = benchmark(lambda: engine.search_many(texts, parallel=4))
+    assert len(results) == len(texts)

@@ -1,0 +1,170 @@
+"""Compiled-plan speedup regression check on the large TPC-H scale.
+
+The compiled physical plans (closure predicates, index-backed scans, plan
+caching — see ``docs/PERFORMANCE.md``) must keep end-to-end keyword search
+at least ``MIN_SPEEDUP``x faster than the interpreted ablation path, and
+must not give back more than ``TOLERANCE`` of the speedup recorded in the
+committed baseline (``BENCH_scaling_baseline.json``).
+
+The measurement is *relative* — both paths run on the same process, data
+and query mix, so the speedup ratio is stable across machines in a way raw
+timings are not (the same trick ``check_overhead.py`` uses).  Each run
+writes its numbers to ``BENCH_scaling.json`` next to this file; refresh the
+baseline by copying that file over the committed one after an intentional
+performance change.
+
+Run standalone (``python benchmarks/check_regression.py``) or as part of
+the bench suite (``pytest benchmarks/`` collects ``check_*.py`` via
+``pyproject.toml``).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+from typing import Dict, List, Tuple
+
+from repro.datasets import TpchConfig, generate_tpch
+from repro.engine import KeywordSearchEngine
+from repro.errors import ReproError
+from repro.experiments import TPCH_QUERIES, pick_interpretation
+
+MIN_SPEEDUP = 3.0  # compiled must beat interpreted by at least this factor
+TOLERANCE = 0.20  # allowed fraction of baseline speedup to give back
+_MIX_REPEATS = 3  # best-of-N to shed scheduler noise
+
+LARGE = TpchConfig(seed=42, parts=320, suppliers=120, customers=240, orders=2400)
+
+_HERE = Path(__file__).resolve().parent
+RESULT_PATH = _HERE / "BENCH_scaling.json"
+BASELINE_PATH = _HERE / "BENCH_scaling_baseline.json"
+
+
+def _build_engines() -> Tuple[KeywordSearchEngine, KeywordSearchEngine]:
+    database = generate_tpch(LARGE)
+    compiled = KeywordSearchEngine(database)
+    interpreted = KeywordSearchEngine(database, compile_plans=False)
+    return compiled, interpreted
+
+
+def _query_mix(engine: KeywordSearchEngine) -> List:
+    specs = []
+    for spec in TPCH_QUERIES:
+        try:
+            engine.compile(spec.text)
+        except ReproError:
+            continue
+        specs.append(spec)
+    return specs
+
+
+def _run_mix(engine: KeywordSearchEngine, specs) -> None:
+    """One end-to-end pass: search + pick + execute every query."""
+    for spec in specs:
+        interpretations = engine.compile(spec.text)
+        chosen = pick_interpretation(interpretations, spec)
+        chosen.execute()
+
+
+def _time_mix(engine: KeywordSearchEngine, specs) -> float:
+    best = float("inf")
+    for _ in range(_MIX_REPEATS):
+        start = time.perf_counter()
+        _run_mix(engine, specs)
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def measure() -> Dict[str, object]:
+    """Measure the compiled-vs-interpreted end-to-end speedup.
+
+    Both engines are warmed first (pattern caches, plan cache, indexes):
+    the scenario is repeated query traffic against loaded data, which is
+    where the plan cache is designed to win.
+    """
+    compiled, interpreted = _build_engines()
+    specs = _query_mix(compiled)
+    assert specs, "no runnable TPC-H experiment queries"
+    _query_mix(interpreted)
+
+    # results must agree before timings mean anything
+    for spec in specs:
+        fast = pick_interpretation(compiled.compile(spec.text), spec).execute()
+        slow = pick_interpretation(interpreted.compile(spec.text), spec).execute()
+        assert fast == slow, f"{spec.qid}: compiled and interpreted results differ"
+
+    _run_mix(compiled, specs)  # warm both paths once more before timing
+    _run_mix(interpreted, specs)
+    compiled_s = _time_mix(compiled, specs)
+    interpreted_s = _time_mix(interpreted, specs)
+    return {
+        "scale": "large",
+        "queries": len(specs),
+        "compiled_ms": compiled_s * 1000.0,
+        "interpreted_ms": interpreted_s * 1000.0,
+        "speedup": interpreted_s / compiled_s if compiled_s else float("inf"),
+    }
+
+
+def check(result: Dict[str, object]) -> List[str]:
+    """Failure messages (empty when the check passes)."""
+    failures: List[str] = []
+    speedup = float(result["speedup"])
+    if speedup < MIN_SPEEDUP:
+        failures.append(
+            f"compiled path is only {speedup:.2f}x faster than interpreted "
+            f"(required: {MIN_SPEEDUP:.1f}x)"
+        )
+    if BASELINE_PATH.exists():
+        with open(BASELINE_PATH, encoding="utf-8") as handle:
+            baseline = json.load(handle)
+        floor = float(baseline["speedup"]) * (1.0 - TOLERANCE)
+        if speedup < floor:
+            failures.append(
+                f"speedup regressed: {speedup:.2f}x vs baseline "
+                f"{baseline['speedup']:.2f}x (floor {floor:.2f}x)"
+            )
+    return failures
+
+
+def write_result(result: Dict[str, object]) -> None:
+    with open(RESULT_PATH, "w", encoding="utf-8") as handle:
+        json.dump(result, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def format_result(result: Dict[str, object]) -> str:
+    return (
+        f"large TPC-H, {result['queries']} queries/mix: "
+        f"compiled {result['compiled_ms']:.1f} ms, "
+        f"interpreted {result['interpreted_ms']:.1f} ms "
+        f"-> {result['speedup']:.1f}x"
+    )
+
+
+# ----------------------------------------------------------------------
+# pytest wiring (collected by `pytest benchmarks/`)
+# ----------------------------------------------------------------------
+def test_compiled_speedup_no_regression():
+    result = measure()
+    write_result(result)
+    failures = check(result)
+    assert not failures, "; ".join(failures) + " | " + format_result(result)
+
+
+def main() -> int:
+    result = measure()
+    write_result(result)
+    print(format_result(result))
+    print(f"wrote {RESULT_PATH}")
+    failures = check(result)
+    for failure in failures:
+        print(f"FAIL: {failure}")
+    if not failures:
+        print("OK")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -150,7 +150,15 @@ def _run_semantic(
         if explain:
             print(interpretation.pattern.render_tree(), file=out)
         print(interpretation.sql, file=out)
-        if not explain:
+        if explain:
+            # compile (but do not execute) the physical plan, inside the
+            # search trace so plan counters show up in the span tree
+            tracer = interpretation._tracer or NULL_TRACER
+            with tracer.span("plan"):
+                plan = engine.executor.plan_for(interpretation.select, tracer)
+            print("-- physical plan", file=out)
+            print(plan.explain(), file=out)
+        else:
             print(interpretation.execute().format_table(), file=out)
         print(file=out)
     if explain and result.trace is not None:
@@ -168,7 +176,12 @@ def _run_sqak(sqak: SqakEngine, query: str, explain: bool, out) -> int:
         print(f"SQAK: N.A. ({exc})", file=out)
         return 1
     print(statement.sql, file=out)
-    if not explain:
+    if explain:
+        with tracer.span("plan"):
+            plan = sqak.executor.plan_for(statement.select, tracer)
+        print("-- physical plan", file=out)
+        print(plan.explain(), file=out)
+    else:
         print(sqak.executor.execute(statement.select).format_table(), file=out)
     if explain and tracer.trace is not None:
         print(file=out)

@@ -19,6 +19,9 @@ Typical use::
 
 from __future__ import annotations
 
+import threading
+from collections import OrderedDict
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
@@ -133,6 +136,8 @@ class KeywordSearchEngine:
         disambiguate: bool = True,
         rewrite_sql: bool = True,
         check_fds: bool = False,
+        compile_plans: bool = True,
+        use_hash_joins: bool = True,
     ) -> None:
         self.database = database
         self.top_k = top_k
@@ -142,7 +147,9 @@ class KeywordSearchEngine:
         self.dedup_relationships = dedup_relationships
         self.disambiguate = disambiguate
         self.rewrite_sql = rewrite_sql
-        self.executor = Executor(database)
+        self.executor = Executor(
+            database, use_hash_joins=use_hash_joins, compile_plans=compile_plans
+        )
         self.is_normalized = database_is_normalized(database, fds)
         self.view: Optional[NormalizedView] = None
         if self.is_normalized:
@@ -154,10 +161,13 @@ class KeywordSearchEngine:
             self.catalog = ViewCatalog(self.view)
         self.graph = self.catalog.graph
         self.generator = PatternGenerator(self.catalog, max_patterns=max_patterns)
-        # compile cache: query text -> ranked patterns.  Patterns are
-        # immutable after ranking, and translation copies nothing the
-        # caller may mutate, so caching per query text is safe.
-        self._pattern_cache: Dict[str, List[QueryPattern]] = {}
+        # compile cache: query text -> ranked patterns, true LRU (a hit
+        # refreshes the entry; eviction drops the least recently used).
+        # Patterns are immutable after ranking, and translation copies
+        # nothing the caller may mutate, so caching per query text is safe.
+        # The lock makes cache bookkeeping safe under search_many().
+        self._pattern_cache: "OrderedDict[str, List[QueryPattern]]" = OrderedDict()
+        self._pattern_cache_lock = threading.Lock()
         self.cache_size = 128
 
     # ------------------------------------------------------------------
@@ -173,10 +183,12 @@ class KeywordSearchEngine:
         real pipeline run, not a dictionary lookup) but still refreshes
         the cached entry.
         """
-        cached = self._pattern_cache.get(query_text)
-        if cached is not None and not tracer.enabled:
-            self.metrics.increment("pattern_cache_hits")
-            return cached
+        with self._pattern_cache_lock:
+            cached = self._pattern_cache.get(query_text)
+            if cached is not None and not tracer.enabled:
+                self._pattern_cache.move_to_end(query_text)
+                self.metrics.increment("pattern_cache_hits")
+                return cached
         if cached is not None:
             tracer.count("pattern_cache_bypassed")
         else:
@@ -192,14 +204,19 @@ class KeywordSearchEngine:
                 generated = disambiguate_all(generated, self.catalog, tracer=tracer)
         with tracer.span("rank"):
             ranked = rank_patterns(generated, tracer=tracer)
-        if len(self._pattern_cache) >= self.cache_size:
-            self._pattern_cache.pop(next(iter(self._pattern_cache)))
-        self._pattern_cache[query_text] = ranked
+        with self._pattern_cache_lock:
+            self._pattern_cache[query_text] = ranked
+            self._pattern_cache.move_to_end(query_text)
+            while len(self._pattern_cache) > self.cache_size:
+                self._pattern_cache.popitem(last=False)
         return ranked
 
     def clear_cache(self) -> None:
-        """Drop cached patterns (after mutating the underlying data)."""
-        self._pattern_cache.clear()
+        """Drop cached patterns and compiled plans (after mutating the
+        underlying data)."""
+        with self._pattern_cache_lock:
+            self._pattern_cache.clear()
+        self.executor.clear_plan_cache()
 
     def compile(
         self, query_text: str, k: Optional[int] = None, tracer=NULL_TRACER
@@ -266,6 +283,34 @@ class KeywordSearchEngine:
             interpretations=interpretations,
             trace=tracer.trace,
         )
+
+    def search_many(
+        self,
+        query_texts: Sequence[str],
+        k: Optional[int] = None,
+        parallel: int = 4,
+        trace: bool = False,
+    ) -> List[SearchResult]:
+        """Batch :meth:`search`, one :class:`SearchResult` per input query.
+
+        Duplicate query texts are compiled once and share the same result
+        object; distinct queries run on a thread pool of *parallel* workers
+        (the pattern and plan caches are lock-protected, so workers warm
+        them for each other).  Results come back in input order.
+        """
+        if parallel < 1:
+            raise ValueError(f"parallel must be >= 1, got {parallel}")
+        unique = list(dict.fromkeys(query_texts))
+        self.metrics.increment("batch_searches")
+        self.metrics.increment("batch_queries", len(query_texts))
+        self.metrics.increment("batch_deduped", len(query_texts) - len(unique))
+        if parallel == 1 or len(unique) <= 1:
+            by_text = {text: self.search(text, k, trace=trace) for text in unique}
+        else:
+            with ThreadPoolExecutor(max_workers=parallel) as pool:
+                results = pool.map(lambda text: self.search(text, k, trace=trace), unique)
+                by_text = dict(zip(unique, results))
+        return [by_text[text] for text in query_texts]
 
     def execute(self, query_text: str) -> QueryResult:
         """Execute the top-ranked interpretation."""

@@ -135,6 +135,12 @@ class NormalizedCatalog(Catalog):
     def distinct_object_count(
         self, relation: str, attribute: str, phrase: str
     ) -> int:
+        positions = self.database.text_index.positions_for_contains(
+            relation, attribute, phrase
+        )
+        if positions is not None:
+            return self._distinct_ids(relation, positions)
+        # non-text attribute (or tokenless phrase): fall back to a scan
         table = self.database.table(relation)
         attr_idx = table.schema.column_index(attribute)
         key_idx = [

@@ -2,7 +2,8 @@
 
 from repro.relational.database import Database
 from repro.relational.executor import Executor, QueryResult, execute_sql
-from repro.relational.index import HashIndex, InvertedIndex
+from repro.relational.index import HashIndex, InvertedIndex, NumericIndex
+from repro.relational.plan import CompiledPlan
 from repro.relational.io import (
     export_result_csv,
     load_database,
@@ -24,10 +25,12 @@ from repro.relational.types import DataType
 __all__ = [
     "Column",
     "ColumnStatistics",
+    "CompiledPlan",
     "DataType",
     "Database",
     "DatabaseSchema",
     "Executor",
+    "NumericIndex",
     "ForeignKey",
     "HashIndex",
     "InvertedIndex",

@@ -8,6 +8,7 @@ by the hash-join planner in :mod:`repro.relational.executor`.
 
 from __future__ import annotations
 
+from operator import itemgetter
 from typing import Any, Callable, Iterable, List, Optional, Sequence, Tuple
 
 from repro.relational.expressions import Binding, ColumnLabel, evaluate
@@ -89,23 +90,63 @@ def hash_join(
         build, probe = right, left
         build_positions, probe_positions = list(right_positions), list(left_positions)
         swapped = True
-    table: dict = {}
-    for row in build.rows:
-        key = tuple(row[i] for i in build_positions)
-        if any(part is None for part in key):
-            continue
-        table.setdefault(key, []).append(row)
     binding = left.binding.merge(right.binding)
     out: List[Tuple[Any, ...]] = []
-    for probe_row in probe.rows:
-        key = tuple(probe_row[i] for i in probe_positions)
-        if any(part is None for part in key):
-            continue
-        for build_row in table.get(key, ()):
-            if swapped:
-                out.append(probe_row + build_row)
+    append = out.append
+    table: dict = {}
+    if len(build_positions) == 1:
+        # single-key joins (the overwhelmingly common case) skip tuple-key
+        # construction and the per-part NULL scan entirely
+        build_pos = build_positions[0]
+        probe_pos = probe_positions[0]
+        for row in build.rows:
+            key = row[build_pos]
+            if key is None:
+                continue
+            bucket = table.get(key)
+            if bucket is None:
+                table[key] = [row]
             else:
-                out.append(build_row + probe_row)
+                bucket.append(row)
+        lookup = table.get
+        if swapped:
+            for probe_row in probe.rows:
+                bucket = lookup(probe_row[probe_pos])
+                if bucket is not None:
+                    for build_row in bucket:
+                        append(probe_row + build_row)
+        else:
+            for probe_row in probe.rows:
+                bucket = lookup(probe_row[probe_pos])
+                if bucket is not None:
+                    for build_row in bucket:
+                        append(build_row + probe_row)
+        return Rowset(binding, out)
+    build_key = itemgetter(*build_positions)
+    probe_key = itemgetter(*probe_positions)
+    for row in build.rows:
+        key = build_key(row)
+        if None in key:
+            continue
+        bucket = table.get(key)
+        if bucket is None:
+            table[key] = [row]
+        else:
+            bucket.append(row)
+    lookup = table.get
+    for probe_row in probe.rows:
+        key = probe_key(probe_row)
+        if None in key:
+            continue
+        bucket = lookup(key)
+        if bucket is None:
+            continue
+        if swapped:
+            for build_row in bucket:
+                append(probe_row + build_row)
+        else:
+            for build_row in bucket:
+                append(build_row + probe_row)
     return Rowset(binding, out)
 
 

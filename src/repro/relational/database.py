@@ -7,6 +7,7 @@ translator emits SQL that the executor runs against its tables.
 
 from __future__ import annotations
 
+import threading
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.errors import ForeignKeyError, SchemaError, UnknownTableError
@@ -28,6 +29,13 @@ class Database:
         self._text_index: Optional[InvertedIndex] = None
         self._numeric_index: Optional[NumericIndex] = None
         self._hash_indexes: Dict[Tuple[str, Tuple[str, ...]], HashIndex] = {}
+        # data-version bookkeeping: bumped on bulk loads and combined with
+        # the total row count, so direct table appends are detected too.
+        # The executor's compiled-plan cache and the lazy indexes key their
+        # freshness off this value.
+        self._mutation_counter = 0
+        self._index_version: Optional[Tuple[int, int]] = None
+        self._index_lock = threading.RLock()
 
     # ------------------------------------------------------------------
     # Construction helpers
@@ -98,35 +106,68 @@ class Database:
     # ------------------------------------------------------------------
     # Indexes
     # ------------------------------------------------------------------
+    @property
+    def data_version(self) -> Tuple[int, int]:
+        """A value that changes whenever table data changes.
+
+        Combines an explicit mutation counter (bumped by :meth:`load`) with
+        the total row count, which also catches rows appended directly via
+        ``db.table(name).insert(...)``.  Rows are append-only, so equal
+        versions imply identical data.
+        """
+        return (
+            self._mutation_counter,
+            sum(len(table) for table in self._tables.values()),
+        )
+
     def _invalidate_indexes(self) -> None:
-        self._text_index = None
-        self._numeric_index = None
-        self._hash_indexes.clear()
+        with self._index_lock:
+            self._mutation_counter += 1
+            self._text_index = None
+            self._numeric_index = None
+            self._hash_indexes.clear()
+            self._index_version = None
+
+    def _refresh_indexes(self) -> None:
+        """Drop lazy indexes built against a stale data version (caller
+        must hold the index lock)."""
+        version = self.data_version
+        if self._index_version != version:
+            self._text_index = None
+            self._numeric_index = None
+            self._hash_indexes.clear()
+            self._index_version = version
 
     @property
     def text_index(self) -> InvertedIndex:
         """Lazily built full-text index over every text column."""
-        if self._text_index is None:
-            index = InvertedIndex()
-            index.add_tables(self._tables.values())
-            self._text_index = index
-        return self._text_index
+        with self._index_lock:
+            self._refresh_indexes()
+            if self._text_index is None:
+                index = InvertedIndex()
+                index.add_tables(self._tables.values())
+                self._text_index = index
+            return self._text_index
 
     @property
     def numeric_index(self) -> NumericIndex:
         """Lazily built exact-value index over every numeric column."""
-        if self._numeric_index is None:
-            index = NumericIndex()
-            index.add_tables(self._tables.values())
-            self._numeric_index = index
-        return self._numeric_index
+        with self._index_lock:
+            self._refresh_indexes()
+            if self._numeric_index is None:
+                index = NumericIndex()
+                index.add_tables(self._tables.values())
+                self._numeric_index = index
+            return self._numeric_index
 
     def hash_index(self, table_name: str, columns: Sequence[str]) -> HashIndex:
         """Lazily built hash index on ``table(columns)``."""
-        key = (table_name, tuple(columns))
-        if key not in self._hash_indexes:
-            self._hash_indexes[key] = HashIndex(self.table(table_name), columns)
-        return self._hash_indexes[key]
+        with self._index_lock:
+            self._refresh_indexes()
+            key = (table_name, tuple(columns))
+            if key not in self._hash_indexes:
+                self._hash_indexes[key] = HashIndex(self.table(table_name), columns)
+            return self._hash_indexes[key]
 
     # ------------------------------------------------------------------
     # Introspection

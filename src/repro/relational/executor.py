@@ -11,6 +11,8 @@ nested aggregates — at the dataset scales of the evaluation.
 
 from __future__ import annotations
 
+import threading
+from collections import OrderedDict
 from typing import Any, Dict, List, Optional, Sequence, Set, Tuple, Union
 
 from repro.errors import SqlExecutionError
@@ -29,6 +31,8 @@ from repro.relational.expressions import (
     evaluate,
     evaluate_with_aggregates,
 )
+from repro.relational.plan import CompiledPlan
+from repro.relational.result import QueryResult
 from repro.sql.ast import (
     BinaryOp,
     ColumnRef,
@@ -38,69 +42,9 @@ from repro.sql.ast import (
     TableRef,
 )
 from repro.sql.parser import parse
+from repro.sql.render import render
 
-
-class QueryResult:
-    """Materialized result of a query: column names plus row tuples."""
-
-    def __init__(self, columns: Sequence[str], rows: List[Tuple[Any, ...]]) -> None:
-        self.columns: Tuple[str, ...] = tuple(columns)
-        self.rows = rows
-
-    def __len__(self) -> int:
-        return len(self.rows)
-
-    def __iter__(self):
-        return iter(self.rows)
-
-    def __eq__(self, other: object) -> bool:
-        if not isinstance(other, QueryResult):
-            return NotImplemented
-        return self.columns == other.columns and sorted(
-            self.rows, key=lambda r: tuple(map(null_safe_sort_key, r))
-        ) == sorted(other.rows, key=lambda r: tuple(map(null_safe_sort_key, r)))
-
-    def to_dicts(self) -> List[Dict[str, Any]]:
-        return [dict(zip(self.columns, row)) for row in self.rows]
-
-    def scalar(self) -> Any:
-        """The single value of a single-row, single-column result."""
-        if len(self.rows) != 1 or len(self.columns) != 1:
-            raise SqlExecutionError(
-                f"scalar() needs a 1x1 result, got {len(self.rows)}x{len(self.columns)}"
-            )
-        return self.rows[0][0]
-
-    def column(self, name: str) -> List[Any]:
-        try:
-            index = self.columns.index(name)
-        except ValueError:
-            raise SqlExecutionError(f"no result column {name!r}") from None
-        return [row[index] for row in self.rows]
-
-    def sorted_rows(self) -> List[Tuple[Any, ...]]:
-        """Rows in a deterministic order, for comparisons in tests."""
-        return sorted(self.rows, key=lambda r: tuple(map(null_safe_sort_key, r)))
-
-    def format_table(self, max_rows: int = 20) -> str:
-        """ASCII rendering for examples and experiment reports."""
-        shown = self.rows[:max_rows]
-        cells = [[str(col) for col in self.columns]] + [
-            ["NULL" if v is None else str(v) for v in row] for row in shown
-        ]
-        widths = [max(len(row[i]) for row in cells) for i in range(len(self.columns))]
-        lines = []
-        header, *body = cells
-        lines.append(" | ".join(h.ljust(w) for h, w in zip(header, widths)))
-        lines.append("-+-".join("-" * w for w in widths))
-        for row in body:
-            lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
-        if len(self.rows) > max_rows:
-            lines.append(f"... ({len(self.rows) - max_rows} more rows)")
-        return "\n".join(lines)
-
-    def __repr__(self) -> str:  # pragma: no cover - cosmetic
-        return f"QueryResult(columns={self.columns}, rows={len(self.rows)})"
+__all__ = ["Executor", "QueryResult", "execute_sql"]
 
 
 class _Component:
@@ -116,18 +60,34 @@ class _Component:
 class Executor:
     """Executes SELECT statements against one database.
 
-    ``use_hash_joins=False`` disables the equi-join planner: components are
-    combined with cartesian products and filtered afterwards.  Semantically
-    identical, asymptotically worse — kept for the planner ablation
-    benchmark (DESIGN.md section 5).
+    By default every ``Select`` is compiled once into a
+    :class:`~repro.relational.plan.CompiledPlan` (closure predicates,
+    index-backed scans) and cached by its rendered SQL; cache entries are
+    invalidated when :attr:`Database.data_version` changes and by
+    :meth:`clear_plan_cache`.  ``compile_plans=False`` selects the original
+    interpreted path (per-row AST walks), kept as the ablation baseline.
+
+    ``use_hash_joins=False`` disables the equi-join planner in both paths:
+    components are combined with cartesian products and filtered afterwards.
+    Semantically identical, asymptotically worse — kept for the planner
+    ablation benchmark (DESIGN.md section 5).
     """
 
+    plan_cache_size = 256
+
     def __init__(
-        self, database: Database, use_hash_joins: bool = True, tracer=None
+        self,
+        database: Database,
+        use_hash_joins: bool = True,
+        tracer=None,
+        compile_plans: bool = True,
     ) -> None:
         self.database = database
         self.use_hash_joins = use_hash_joins
         self.tracer = tracer or NULL_TRACER
+        self.compile_plans = compile_plans
+        self._plan_cache: "OrderedDict[str, Tuple[Any, CompiledPlan]]" = OrderedDict()
+        self._plan_lock = threading.Lock()
 
     # ------------------------------------------------------------------
     # Public API
@@ -142,7 +102,45 @@ class Executor:
         tracer = tracer or self.tracer
         select = parse(query) if isinstance(query, str) else query
         with tracer.span("execute"):
+            if self.compile_plans:
+                plan = self.plan_for(select, tracer)
+                return plan.execute(tracer)
             return self._execute_select(select, tracer)
+
+    def plan_for(self, select: Select, tracer=NULL_TRACER) -> CompiledPlan:
+        """The cached :class:`CompiledPlan` for *select*, compiling on miss.
+
+        Keyed by the statement's canonical rendered SQL, so structurally
+        identical ASTs share one plan.  An entry is stale — and recompiled —
+        once the database's data version moves past the one it was compiled
+        under (index-backed position sets would otherwise be wrong).
+        """
+        key = render(select)
+        version = self.database.data_version
+        with self._plan_lock:
+            entry = self._plan_cache.get(key)
+            if entry is not None and entry[0] == version:
+                self._plan_cache.move_to_end(key)
+                tracer.count("plan_cache_hits")
+                return entry[1]
+        plan = CompiledPlan(select, self.database, use_hash_joins=self.use_hash_joins)
+        tracer.count("plan_cache_misses")
+        tracer.count("compiled_predicates", plan.compiled_predicates)
+        with self._plan_lock:
+            self._plan_cache[key] = (version, plan)
+            self._plan_cache.move_to_end(key)
+            while len(self._plan_cache) > self.plan_cache_size:
+                self._plan_cache.popitem(last=False)
+        return plan
+
+    def clear_plan_cache(self) -> None:
+        with self._plan_lock:
+            self._plan_cache.clear()
+
+    @property
+    def plan_cache_len(self) -> int:
+        with self._plan_lock:
+            return len(self._plan_cache)
 
     # ------------------------------------------------------------------
     # Planning
@@ -186,20 +184,14 @@ class Executor:
             if node.qualifier is not None:
                 aliases.add(node.qualifier)
                 continue
-            owners = [
-                component
-                for component in components
-                for q, name in component.rowset.binding.labels
-                if name.lower() == node.name.lower()
-            ]
-            if not owners:
-                raise SqlExecutionError(f"unknown column {node}")
             owner_aliases = {
                 q
                 for component in components
                 for q, name in component.rowset.binding.labels
                 if name.lower() == node.name.lower()
             }
+            if not owner_aliases:
+                raise SqlExecutionError(f"unknown column {node}")
             if len(owner_aliases) > 1:
                 raise SqlExecutionError(f"ambiguous column {node}")
             aliases.add(next(iter(owner_aliases)))

@@ -9,7 +9,8 @@ yield NULL.
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+import operator
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import SqlExecutionError
 from repro.sql.ast import (
@@ -226,3 +227,217 @@ def evaluate_with_aggregates(
     if not group_rows:
         return None
     return evaluate(expr, group_rows[0], binding)
+
+
+# ----------------------------------------------------------------------
+# Closure compilation
+# ----------------------------------------------------------------------
+# The compiled physical plans (repro.relational.plan) evaluate expressions
+# through closures built once per (expression, binding) pair instead of
+# walking the AST and re-resolving column references on every row.  The
+# closures mirror :func:`evaluate` / :func:`evaluate_aggregate` exactly —
+# including NULL comparison semantics, type alignment errors and
+# division-by-zero — so the interpreted and compiled paths are
+# interchangeable.
+
+ScalarFn = Callable[[Sequence[Any]], Any]
+GroupFn = Callable[[Sequence[Sequence[Any]]], Any]
+
+_COMPARISON_OPS = {
+    "=": operator.eq,
+    "<>": operator.ne,
+    "<": operator.lt,
+    "<=": operator.le,
+    ">": operator.gt,
+    ">=": operator.ge,
+}
+
+
+def _raising(message: str) -> ScalarFn:
+    """A closure that raises at call time, matching the interpreter's
+    behaviour of only surfacing evaluation errors when a row is evaluated."""
+
+    def fail(_row: Sequence[Any]) -> Any:
+        raise SqlExecutionError(message)
+
+    return fail
+
+
+def _raising_group(message: str) -> GroupFn:
+    def fail(_rows: Sequence[Sequence[Any]]) -> Any:
+        raise SqlExecutionError(message)
+
+    return fail
+
+
+def compile_scalar(expr: Expr, binding: Binding) -> ScalarFn:
+    """Compile a scalar expression into a ``row -> value`` closure."""
+    if isinstance(expr, Literal):
+        value = expr.value
+        return lambda row: value
+    if isinstance(expr, ColumnRef):
+        try:
+            index = binding.resolve(expr)
+        except SqlExecutionError as exc:
+            return _raising(str(exc))
+        return operator.itemgetter(index)
+    if isinstance(expr, Contains):
+        operand = compile_scalar(expr.column, binding)
+        needle = expr.phrase.lower()
+
+        def contains(row: Sequence[Any]) -> bool:
+            value = operand(row)
+            if value is None:
+                return False
+            return needle in str(value).lower()
+
+        return contains
+    if isinstance(expr, IsNull):
+        operand = compile_scalar(expr.operand, binding)
+        if expr.negated:
+            return lambda row: operand(row) is not None
+        return lambda row: operand(row) is None
+    if isinstance(expr, BinaryOp):
+        return _compile_binary(expr, binding)
+    if isinstance(expr, FuncCall):
+        if expr.is_aggregate:
+            return _raising(
+                f"aggregate {expr.name} used outside GROUP BY evaluation"
+            )
+        return _raising(f"unknown function {expr.name!r}")
+    if isinstance(expr, Star):
+        return _raising("'*' is only valid inside COUNT(*)")
+    return _raising(f"cannot evaluate expression {expr!r}")
+
+
+def _compile_binary(expr: BinaryOp, binding: Binding) -> ScalarFn:
+    op = expr.op.upper()
+    left = compile_scalar(expr.left, binding)
+    right = compile_scalar(expr.right, binding)
+    if op == "AND":
+        return lambda row: bool(left(row)) and bool(right(row))
+    if op == "OR":
+        return lambda row: bool(left(row)) or bool(right(row))
+    compare = _COMPARISON_OPS.get(op)
+    if compare is not None:
+
+        def comparison(row: Sequence[Any]) -> bool:
+            a = left(row)
+            b = right(row)
+            if a is None or b is None:
+                return False  # SQL UNKNOWN, treated as not-satisfied
+            a, b = _align_comparable(a, b)
+            return compare(a, b)
+
+        return comparison
+    if op in ("+", "-", "*", "/"):
+        combine = {
+            "+": operator.add,
+            "-": operator.sub,
+            "*": operator.mul,
+        }.get(op)
+
+        def arithmetic(row: Sequence[Any]) -> Any:
+            a = left(row)
+            b = right(row)
+            if a is None or b is None:
+                return None
+            if not isinstance(a, (int, float)) or not isinstance(b, (int, float)):
+                raise SqlExecutionError(
+                    f"arithmetic on non-numeric values {a!r}, {b!r}"
+                )
+            if combine is not None:
+                return combine(a, b)
+            if b == 0:
+                raise SqlExecutionError("division by zero")
+            return a / b
+
+        return arithmetic
+    return _raising(f"unknown operator {expr.op!r}")
+
+
+def compile_predicate(expr: Expr, binding: Binding) -> ScalarFn:
+    """Compile a WHERE conjunct; the result is used for truthiness, exactly
+    like :func:`evaluate` inside ``select_rows``."""
+    return compile_scalar(expr, binding)
+
+
+def _compile_aggregate_call(call: FuncCall, binding: Binding) -> GroupFn:
+    name = call.name.upper()
+    if name == "COUNT":
+        if len(call.args) == 1 and isinstance(call.args[0], Star):
+            return len
+        arg = compile_scalar(call.args[0], binding)
+        if call.distinct:
+            return lambda rows: len(
+                {value for value in map(arg, rows) if value is not None}
+            )
+        return lambda rows: sum(1 for row in rows if arg(row) is not None)
+    if len(call.args) != 1:
+        return _raising_group(f"{name} takes exactly one argument")
+    arg = compile_scalar(call.args[0], binding)
+    use_distinct = call.distinct
+
+    def gather(rows: Sequence[Sequence[Any]]) -> List[Any]:
+        values = [value for value in map(arg, rows) if value is not None]
+        if use_distinct:
+            values = list(set(values))
+        return values
+
+    if name == "SUM":
+
+        def agg_sum(rows: Sequence[Sequence[Any]]) -> Any:
+            values = gather(rows)
+            if not values:
+                return None
+            _require_numeric(values, "SUM")
+            return sum(values)
+
+        return agg_sum
+    if name == "AVG":
+
+        def agg_avg(rows: Sequence[Sequence[Any]]) -> Any:
+            values = gather(rows)
+            if not values:
+                return None
+            _require_numeric(values, "AVG")
+            return sum(values) / len(values)
+
+        return agg_avg
+    if name == "MIN":
+        return lambda rows: min(gather(rows), default=None)
+    if name == "MAX":
+        return lambda rows: max(gather(rows), default=None)
+    return _raising_group(f"unknown aggregate {name!r}")
+
+
+def compile_aggregate(expr: Expr, binding: Binding) -> GroupFn:
+    """Compile an output expression that may mix aggregates and scalars
+    into a ``group_rows -> value`` closure (the compiled counterpart of
+    :func:`evaluate_with_aggregates`)."""
+    if isinstance(expr, FuncCall) and expr.is_aggregate:
+        return _compile_aggregate_call(expr, binding)
+    if isinstance(expr, BinaryOp) and expr.contains_aggregate():
+        op = expr.op.upper()
+        if op in ("AND", "OR"):
+            return _raising_group("boolean aggregates are not supported")
+        left = compile_aggregate(expr.left, binding)
+        right = compile_aggregate(expr.right, binding)
+        template = expr.op
+
+        def combine(rows: Sequence[Sequence[Any]]) -> Any:
+            return _evaluate_binary(
+                BinaryOp(template, Literal(left(rows)), Literal(right(rows))),
+                (),
+                binding,
+            )
+
+        return combine
+    scalar = compile_scalar(expr, binding)
+
+    def first_row(rows: Sequence[Sequence[Any]]) -> Any:
+        if not rows:
+            return None
+        return scalar(rows[0])
+
+    return first_row

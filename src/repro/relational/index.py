@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import re
 from collections import defaultdict
-from typing import Any, Dict, Iterable, List, Sequence, Set, Tuple
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.relational.schema import RelationSchema
 from repro.relational.table import Row, Table
@@ -44,6 +44,10 @@ class HashIndex:
         positions = self._buckets.get(tuple(key), [])
         rows = self.table.rows
         return [rows[pos] for pos in positions]
+
+    def positions(self, key: Tuple[Any, ...]) -> Set[int]:
+        """Row positions holding *key* (used for index-backed scans)."""
+        return set(self._buckets.get(tuple(key), ()))
 
     def __len__(self) -> int:
         return len(self._buckets)
@@ -98,6 +102,22 @@ class NumericIndex:
         ]
         results.sort(key=lambda match: (match.relation, match.attribute))
         return results
+
+    def positions_for_value(
+        self, relation: str, attribute: str, value: Any
+    ) -> Optional[Set[int]]:
+        """Candidate row positions where ``relation.attribute == value``.
+
+        Postings are keyed by ``float(value)``, so the set is a superset of
+        the exact-equality rows (two large integers can share one float key);
+        callers verify candidates against the actual predicate.  Returns
+        None when *value* is not a number.
+        """
+        try:
+            needle = float(value)
+        except (TypeError, ValueError):
+            return None
+        return set(self._postings.get(needle, {}).get((relation, attribute), ()))
 
 
 class ValueMatch:
@@ -192,6 +212,48 @@ class InvertedIndex:
                 results.append(ValueMatch(relation, attribute, verified))
         results.sort(key=lambda match: (match.relation, match.attribute))
         return results
+
+    def positions_for_contains(
+        self, relation: str, attribute: str, phrase: str
+    ) -> Optional[Set[int]]:
+        """Exact row positions where ``relation.attribute`` contains *phrase*
+        as a case-insensitive substring (SQL ``contains`` / ``LIKE '%p%'``).
+
+        Candidate generation is sound for substring semantics: if the phrase
+        occurs inside a value, the phrase's first token — a maximal
+        alphanumeric run — lies within a single token of that value, so
+        scanning the vocabulary for tokens containing it as a substring
+        covers every possible match.  Candidates are then verified with the
+        actual substring test.  Returns None when the phrase has no tokens
+        or the relation is not indexed (callers fall back to a scan).
+        """
+        table = self._tables.get(relation)
+        if table is None:
+            return None
+        if table.schema.column(attribute).dtype not in (DataType.TEXT, DataType.DATE):
+            return None  # only text columns are indexed; scan instead
+        tokens = tokenize_text(phrase)
+        if not tokens:
+            return None
+        first = tokens[0]
+        slot = (relation, attribute)
+        candidates: Set[int] = set()
+        for token, slots in self._postings.items():
+            if first in token:
+                hit = slots.get(slot)
+                if hit:
+                    candidates |= hit
+        if not candidates:
+            return set()
+        col_idx = table.schema.column_index(attribute)
+        needle = phrase.lower()
+        rows = table.rows
+        return {
+            pos
+            for pos in candidates
+            if rows[pos][col_idx] is not None
+            and needle in str(rows[pos][col_idx]).lower()
+        }
 
     def tokens_with_prefix(self, prefix: str, limit: int = 20) -> List[str]:
         """Indexed tokens starting with *prefix* (sorted, capped)."""

@@ -1,0 +1,715 @@
+"""Compiled physical query plans.
+
+A :class:`CompiledPlan` is built once from a :class:`~repro.sql.ast.Select`
+and executed many times.  Compilation does everything that is independent of
+the data up front:
+
+* every WHERE conjunct is classified (single-table pushdown vs. join
+  predicate vs. residual filter) and its referenced aliases are resolved
+  once — the interpreted executor re-derives them on every execution;
+* pushed-down ``contains`` and equality predicates are matched to an index
+  strategy (:class:`~repro.relational.index.InvertedIndex`,
+  :class:`~repro.relational.index.NumericIndex` or a per-table
+  :class:`~repro.relational.index.HashIndex`) so scans start from index row
+  positions instead of the full table;
+* predicates, projections, GROUP BY keys and aggregate outputs are compiled
+  into closures (:func:`~repro.relational.expressions.compile_scalar` and
+  friends), eliminating the per-row AST walk and column re-resolution.
+
+Join *order* stays a greedy runtime decision (smallest size product first),
+exactly mirroring the interpreted executor, so both paths produce identical
+results — the semantics-equivalence tests run every experiment query
+through both.  Executor-level caching and invalidation (by rendered SQL and
+:attr:`Database.data_version`) live in
+:class:`~repro.relational.executor.Executor`.
+"""
+
+from __future__ import annotations
+
+import operator
+from typing import Any, Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.errors import SqlExecutionError
+from repro.observability import NULL_TRACER
+from repro.relational.algebra import (
+    Rowset,
+    cross_join,
+    distinct,
+    hash_join,
+    null_safe_sort_key,
+)
+from repro.relational.database import Database
+from repro.relational.expressions import (
+    Binding,
+    ColumnLabel,
+    compile_aggregate,
+    compile_predicate,
+    compile_scalar,
+)
+from repro.relational.result import QueryResult
+from repro.relational.types import DataType
+from repro.sql.render import render_expr
+from repro.sql.ast import (
+    BinaryOp,
+    ColumnRef,
+    Contains,
+    DerivedTable,
+    Expr,
+    Literal,
+    Select,
+    TableRef,
+)
+
+_TEXT_TYPES = (DataType.TEXT, DataType.DATE)
+_NUMERIC_TYPES = (DataType.INT, DataType.FLOAT)
+
+
+class IndexLookup:
+    """How one pushed-down predicate is answered from an index.
+
+    ``positions()`` returns candidate row positions (a superset of the
+    matching rows for ``numeric-eq``, exact for the others) or None when the
+    index cannot answer; the scan verifies candidates with the compiled
+    predicate closures either way.  Results are memoized per data version.
+    """
+
+    __slots__ = ("kind", "table", "column", "value", "_cached", "_cached_version")
+
+    def __init__(self, kind: str, table: str, column: str, value: Any) -> None:
+        self.kind = kind  # 'contains' | 'numeric-eq' | 'hash-eq' | 'never'
+        self.table = table
+        self.column = column
+        self.value = value
+        self._cached: Optional[Set[int]] = None
+        self._cached_version: Any = None
+
+    def positions(self, database: Database) -> Optional[Set[int]]:
+        version = database.data_version
+        if self._cached_version == version:
+            return self._cached
+        if self.kind == "contains":
+            found = database.text_index.positions_for_contains(
+                self.table, self.column, self.value
+            )
+        elif self.kind == "numeric-eq":
+            found = database.numeric_index.positions_for_value(
+                self.table, self.column, self.value
+            )
+        elif self.kind == "hash-eq":
+            found = database.hash_index(self.table, (self.column,)).positions(
+                (self.value,)
+            )
+        else:  # 'never': comparison against NULL matches nothing
+            found = set()
+        self._cached = found
+        self._cached_version = version
+        return found
+
+    def describe(self) -> str:
+        if self.kind == "never":
+            return "never (NULL comparison)"
+        index_name = {
+            "contains": "InvertedIndex",
+            "numeric-eq": "NumericIndex",
+            "hash-eq": "HashIndex",
+        }[self.kind]
+        return f"{index_name}[{self.table}.{self.column} ~ {self.value!r}]"
+
+
+class _Pushed:
+    """A single-scan predicate: compiled closure plus optional index path."""
+
+    __slots__ = ("expr", "closure", "lookup")
+
+    def __init__(self, expr: Expr, closure, lookup: Optional[IndexLookup]) -> None:
+        self.expr = expr
+        self.closure = closure
+        self.lookup = lookup
+
+
+class _TableScan:
+    """Scan of one base table, with pushed-down predicates."""
+
+    def __init__(self, item: TableRef, database: Database) -> None:
+        table = database.table(item.table)
+        self.table_name = item.table
+        self.alias = item.alias
+        self.schema = table.schema
+        self.labels: Tuple[ColumnLabel, ...] = tuple(
+            (item.alias, name) for name in table.schema.column_names
+        )
+        self.binding = Binding(self.labels)
+        self.pushed: List[_Pushed] = []
+
+    def push(self, expr: Expr, database: Database) -> None:
+        self.pushed.append(
+            _Pushed(
+                expr,
+                compile_predicate(expr, self.binding),
+                self._index_strategy(expr),
+            )
+        )
+
+    def _index_strategy(self, expr: Expr) -> Optional[IndexLookup]:
+        """Match a pushed conjunct to an index, when sound.
+
+        Gated on column/literal type agreement so the index path can never
+        diverge from the interpreter (which may raise on mixed-type
+        comparisons that a hash lookup would silently miss)."""
+        if isinstance(expr, Contains):
+            column = self._own_column(expr.column)
+            if column is not None and self._dtype(column) in _TEXT_TYPES:
+                return IndexLookup("contains", self.table_name, column, expr.phrase)
+            return None
+        if isinstance(expr, BinaryOp) and expr.op == "=":
+            sides = (expr.left, expr.right)
+            for ref, literal in (sides, sides[::-1]):
+                if not isinstance(ref, ColumnRef) or not isinstance(literal, Literal):
+                    continue
+                column = self._own_column(ref)
+                if column is None:
+                    continue
+                value = literal.value
+                if value is None:
+                    return IndexLookup("never", self.table_name, column, None)
+                dtype = self._dtype(column)
+                if dtype in _NUMERIC_TYPES and isinstance(
+                    value, (int, float)
+                ) and not isinstance(value, bool):
+                    return IndexLookup(
+                        "numeric-eq", self.table_name, column, value
+                    )
+                if dtype in _TEXT_TYPES and isinstance(value, str):
+                    return IndexLookup("hash-eq", self.table_name, column, value)
+                return None
+        return None
+
+    def _own_column(self, expr: Expr) -> Optional[str]:
+        """The scan's column name referenced by *expr*, or None."""
+        if not isinstance(expr, ColumnRef):
+            return None
+        if expr.qualifier is not None and expr.qualifier != self.alias:
+            return None
+        if not self.schema.has_column(expr.name):
+            for name in self.schema.column_names:
+                if name.lower() == expr.name.lower():
+                    return name
+            return None
+        return expr.name
+
+    def _dtype(self, column: str) -> DataType:
+        return self.schema.column(column).dtype
+
+    def execute(self, database: Database, tracer=NULL_TRACER) -> Rowset:
+        table = database.table(self.table_name)
+        rows = table.rows
+        positions: Optional[Set[int]] = None
+        lookups = 0
+        for pred in self.pushed:
+            if pred.lookup is None:
+                continue
+            found = pred.lookup.positions(database)
+            if found is None:
+                continue
+            lookups += 1
+            positions = found if positions is None else positions & found
+        if positions is not None:
+            tracer.count("index_scans", lookups)
+            tracer.count("rows_skipped_by_index", len(rows) - len(positions))
+            selected: List[Tuple[Any, ...]] = [rows[pos] for pos in sorted(positions)]
+        else:
+            selected = list(rows)
+        tracer.count("rows_scanned", len(selected))
+        for pred in self.pushed:
+            before = len(selected)
+            fn = pred.closure
+            selected = [row for row in selected if fn(row)]
+            tracer.count("predicates_pushed")
+            tracer.count("rows_filtered", before - len(selected))
+        return Rowset(self.binding, selected)
+
+    def describe(self, indent: str = "") -> List[str]:
+        lines = [f"{indent}scan {self.table_name} AS {self.alias}"]
+        for pred in self.pushed:
+            via = pred.lookup.describe() if pred.lookup else "compiled filter"
+            lines.append(f"{indent}  push {render_expr(pred.expr)} via {via}")
+        return lines
+
+
+class _DerivedScan:
+    """A derived table: a nested compiled sub-plan."""
+
+    def __init__(self, item: DerivedTable, database: Database, use_hash_joins: bool) -> None:
+        self.alias = item.alias
+        self.subplan = CompiledPlan(item.select, database, use_hash_joins=use_hash_joins)
+        self.labels: Tuple[ColumnLabel, ...] = tuple(
+            (item.alias, name) for name in self.subplan.output_columns
+        )
+        self.binding = Binding(self.labels)
+        self.pushed: List[_Pushed] = []
+
+    def push(self, expr: Expr, database: Database) -> None:
+        self.pushed.append(_Pushed(expr, compile_predicate(expr, self.binding), None))
+
+    def execute(self, database: Database, tracer=NULL_TRACER) -> Rowset:
+        inner = self.subplan.execute(tracer)
+        selected = inner.rows
+        for pred in self.pushed:
+            before = len(selected)
+            fn = pred.closure
+            selected = [row for row in selected if fn(row)]
+            tracer.count("predicates_pushed")
+            tracer.count("rows_filtered", before - len(selected))
+        return Rowset(self.binding, selected)
+
+    def describe(self, indent: str = "") -> List[str]:
+        lines = [f"{indent}derived {self.alias}:"]
+        lines.extend(self.subplan.describe(indent + "  "))
+        for pred in self.pushed:
+            lines.append(
+                f"{indent}  push {render_expr(pred.expr)} via compiled filter"
+            )
+        return lines
+
+
+class _Conjunct:
+    """A WHERE conjunct spanning several FROM items, with its alias set and
+    equi-join shape resolved at compile time."""
+
+    __slots__ = (
+        "expr",
+        "aliases",
+        "is_equi",
+        "left_ref",
+        "right_ref",
+        "left_alias",
+        "_closures",
+    )
+
+    def __init__(
+        self,
+        expr: Expr,
+        aliases: frozenset,
+        is_equi: bool,
+        left_ref: Optional[ColumnRef] = None,
+        right_ref: Optional[ColumnRef] = None,
+        left_alias: Optional[str] = None,
+    ) -> None:
+        self.expr = expr
+        self.aliases = aliases
+        self.is_equi = is_equi
+        self.left_ref = left_ref
+        self.right_ref = right_ref
+        self.left_alias = left_alias
+        self._closures: Dict[Tuple[ColumnLabel, ...], Callable] = {}
+
+    def closure_for(self, binding: Binding):
+        key = binding.labels
+        fn = self._closures.get(key)
+        if fn is None:
+            fn = self._closures.setdefault(key, compile_predicate(self.expr, binding))
+        return fn
+
+
+class _Component:
+    """A connected group of FROM items during join execution."""
+
+    __slots__ = ("aliases", "rowset")
+
+    def __init__(self, aliases: Set[str], rowset: Rowset) -> None:
+        self.aliases = aliases
+        self.rowset = rowset
+
+
+class CompiledPlan:
+    """A reusable physical plan for one ``Select`` over one database."""
+
+    def __init__(
+        self, select: Select, database: Database, use_hash_joins: bool = True
+    ) -> None:
+        self.select = select
+        self.database = database
+        self.use_hash_joins = use_hash_joins
+        self.output_columns: List[str] = [
+            item.output_name(default=f"col{i + 1}")
+            for i, item in enumerate(select.items)
+        ]
+        self._output_binding = Binding([(None, name) for name in self.output_columns])
+        self._aggregated = select.has_aggregates() or bool(select.group_by)
+        self.scans: List[Any] = []
+        self.pending: List[_Conjunct] = []
+        self._build_scans()
+        self._alias_owners = self._column_owner_map()
+        self._classify_conjuncts()
+        self._order_keys = [
+            (self._compile_order_value(item.expr), item.descending)
+            for item in select.order_by
+        ]
+        # lazy per-binding caches; bindings after joins depend on the
+        # runtime join order, so these are keyed by the binding's labels
+        self._projector_cache: Dict[Tuple[ColumnLabel, ...], Callable] = {}
+        self._group_key_cache: Dict[Tuple[ColumnLabel, ...], Callable] = {}
+        self._aggregate_cache: Dict[Tuple[ColumnLabel, ...], List[Callable]] = {}
+
+    # ------------------------------------------------------------------
+    # Compilation
+    # ------------------------------------------------------------------
+    def _build_scans(self) -> None:
+        if not self.select.from_items:
+            raise SqlExecutionError("FROM clause is empty")
+        seen: Set[str] = set()
+        for item in self.select.from_items:
+            if item.alias in seen:
+                raise SqlExecutionError(f"duplicate alias {item.alias!r} in FROM")
+            seen.add(item.alias)
+            if isinstance(item, TableRef):
+                self.scans.append(_TableScan(item, self.database))
+            elif isinstance(item, DerivedTable):
+                self.scans.append(
+                    _DerivedScan(item, self.database, self.use_hash_joins)
+                )
+            else:  # pragma: no cover - defensive
+                raise SqlExecutionError(f"unknown FROM item {item!r}")
+
+    def _column_owner_map(self) -> Dict[str, List[str]]:
+        """lowercased column name -> aliases providing it (for resolving
+        unqualified references, mirroring the interpreted planner)."""
+        owners: Dict[str, List[str]] = {}
+        for scan in self.scans:
+            for alias, name in scan.labels:
+                owners.setdefault(name.lower(), []).append(alias)
+        return owners
+
+    def _aliases_of(self, expr: Expr) -> frozenset:
+        aliases: Set[str] = set()
+        for node in expr.walk():
+            if not isinstance(node, ColumnRef):
+                continue
+            aliases.add(self._alias_of_ref(node))
+        return frozenset(aliases)
+
+    def _alias_of_ref(self, ref: ColumnRef) -> str:
+        if ref.qualifier is not None:
+            return ref.qualifier
+        owners = set(self._alias_owners.get(ref.name.lower(), ()))
+        if not owners:
+            raise SqlExecutionError(f"unknown column {ref}")
+        if len(owners) > 1:
+            raise SqlExecutionError(f"ambiguous column {ref}")
+        return next(iter(owners))
+
+    def _classify_conjuncts(self) -> None:
+        scans_by_alias = {scan.alias: scan for scan in self.scans}
+        for expr in self.select.where_conjuncts():
+            aliases = self._aliases_of(expr)
+            if len(aliases) <= 1:
+                owner = (
+                    scans_by_alias.get(next(iter(aliases)))
+                    if aliases
+                    else self.scans[0]  # constant predicate: first scan,
+                    # as in the interpreted path
+                )
+                if owner is not None:
+                    owner.push(expr, self.database)
+                    continue
+                # unknown qualifier: leave pending; fails per-row at the
+                # end of the join phase, like the interpreter
+                self.pending.append(_Conjunct(expr, aliases, False))
+                continue
+            is_equi = (
+                isinstance(expr, BinaryOp)
+                and expr.op == "="
+                and isinstance(expr.left, ColumnRef)
+                and isinstance(expr.right, ColumnRef)
+            )
+            if is_equi:
+                assert isinstance(expr, BinaryOp)
+                left_ref, right_ref = expr.left, expr.right
+                self.pending.append(
+                    _Conjunct(
+                        expr,
+                        aliases,
+                        True,
+                        left_ref,
+                        right_ref,
+                        self._alias_of_ref(left_ref),
+                    )
+                )
+            else:
+                self.pending.append(_Conjunct(expr, aliases, False))
+
+    @property
+    def compiled_predicates(self) -> int:
+        """Number of predicate closures compiled into this plan (pushed +
+        pending, including nested sub-plans)."""
+        total = len(self.pending)
+        for scan in self.scans:
+            total += len(scan.pushed)
+            if isinstance(scan, _DerivedScan):
+                total += scan.subplan.compiled_predicates
+        return total
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def execute(self, tracer=NULL_TRACER) -> QueryResult:
+        components = [
+            _Component({scan.alias}, scan.execute(self.database, tracer))
+            for scan in self.scans
+        ]
+        pending = list(self.pending)
+        pending = self._apply_pending(components, pending, tracer)
+        merged = self._join(components, pending, tracer)
+        return self._project(merged.rowset, tracer)
+
+    def _apply_pending(
+        self,
+        components: List[_Component],
+        pending: List[_Conjunct],
+        tracer,
+    ) -> List[_Conjunct]:
+        remaining: List[_Conjunct] = []
+        for conjunct in pending:
+            owner = None
+            for component in components:
+                if conjunct.aliases <= component.aliases:
+                    owner = component
+                    break
+            if owner is not None:
+                fn = conjunct.closure_for(owner.rowset.binding)
+                before = len(owner.rowset)
+                owner.rowset = Rowset(
+                    owner.rowset.binding,
+                    [row for row in owner.rowset.rows if fn(row)],
+                )
+                tracer.count("predicates_pushed")
+                tracer.count("rows_filtered", before - len(owner.rowset))
+            else:
+                remaining.append(conjunct)
+        return remaining
+
+    def _join(
+        self,
+        components: List[_Component],
+        pending: List[_Conjunct],
+        tracer,
+    ) -> _Component:
+        while len(components) > 1:
+            pair = (
+                self._pick_join_pair(components, pending)
+                if self.use_hash_joins
+                else None
+            )
+            if pair is None:
+                components.sort(key=lambda component: len(component.rowset))
+                left, right = components[0], components[1]
+                merged_rowset = cross_join(left.rowset, right.rowset)
+                merged = _Component(left.aliases | right.aliases, merged_rowset)
+                components = [merged] + components[2:]
+                tracer.count("cross_joins")
+                tracer.count("cross_join_rows", len(merged_rowset))
+            else:
+                left, right = pair
+                merged = self._hash_join_pair(left, right, pending)
+                components = [
+                    component
+                    for component in components
+                    if component is not left and component is not right
+                ]
+                components.append(merged)
+                tracer.count("hash_joins")
+                tracer.count("hash_join_rows", len(merged.rowset))
+            pending = self._apply_pending(components, pending, tracer)
+        if pending:
+            only = components[0]
+            binding = only.rowset.binding
+            for conjunct in pending:
+                fn = conjunct.closure_for(binding)
+                only.rowset = Rowset(
+                    binding, [row for row in only.rowset.rows if fn(row)]
+                )
+        return components[0]
+
+    def _pick_join_pair(
+        self, components: List[_Component], pending: List[_Conjunct]
+    ) -> Optional[Tuple[_Component, _Component]]:
+        best: Optional[Tuple[_Component, _Component]] = None
+        best_cost: Optional[int] = None
+        for conjunct in pending:
+            if not conjunct.is_equi:
+                continue
+            touched = [
+                component
+                for component in components
+                if conjunct.aliases & component.aliases
+            ]
+            if len(touched) != 2:
+                continue
+            cost = len(touched[0].rowset) * len(touched[1].rowset)
+            if best_cost is None or cost < best_cost:
+                best = (touched[0], touched[1])
+                best_cost = cost
+        return best
+
+    def _hash_join_pair(
+        self, left: _Component, right: _Component, pending: List[_Conjunct]
+    ) -> _Component:
+        left_positions: List[int] = []
+        right_positions: List[int] = []
+        used: List[_Conjunct] = []
+        for conjunct in pending:
+            if not conjunct.is_equi:
+                continue
+            if not (conjunct.aliases & left.aliases and conjunct.aliases & right.aliases):
+                continue
+            if not conjunct.aliases <= (left.aliases | right.aliases):
+                continue
+            if conjunct.left_alias in left.aliases:
+                left_positions.append(left.rowset.binding.resolve(conjunct.left_ref))
+                right_positions.append(right.rowset.binding.resolve(conjunct.right_ref))
+            else:
+                left_positions.append(left.rowset.binding.resolve(conjunct.right_ref))
+                right_positions.append(right.rowset.binding.resolve(conjunct.left_ref))
+            used.append(conjunct)
+        for conjunct in used:
+            pending.remove(conjunct)
+        joined = hash_join(left.rowset, right.rowset, left_positions, right_positions)
+        return _Component(left.aliases | right.aliases, joined)
+
+    # ------------------------------------------------------------------
+    # Projection / grouping
+    # ------------------------------------------------------------------
+    def _projector_for(self, binding: Binding):
+        key = binding.labels
+        projector = self._projector_cache.get(key)
+        if projector is not None:
+            return projector
+        items = self.select.items
+        if all(isinstance(item.expr, ColumnRef) for item in items):
+            positions = [binding.resolve(item.expr) for item in items]
+            if len(positions) == 1:
+                getter = operator.itemgetter(positions[0])
+                projector = lambda row: (getter(row),)  # noqa: E731
+            else:
+                projector = operator.itemgetter(*positions)
+        else:
+            fns = [compile_scalar(item.expr, binding) for item in items]
+            projector = lambda row: tuple(fn(row) for fn in fns)  # noqa: E731
+        return self._projector_cache.setdefault(key, projector)
+
+    def _group_key_for(self, binding: Binding):
+        key = binding.labels
+        keyfn = self._group_key_cache.get(key)
+        if keyfn is not None:
+            return keyfn
+        exprs = self.select.group_by
+        if all(isinstance(expr, ColumnRef) for expr in exprs):
+            positions = [binding.resolve(expr) for expr in exprs]
+            keyfn = operator.itemgetter(*positions)
+        else:
+            fns = [compile_scalar(expr, binding) for expr in exprs]
+            keyfn = lambda row: tuple(fn(row) for fn in fns)  # noqa: E731
+        return self._group_key_cache.setdefault(key, keyfn)
+
+    def _aggregates_for(self, binding: Binding) -> List[Callable]:
+        key = binding.labels
+        fns = self._aggregate_cache.get(key)
+        if fns is not None:
+            return fns
+        fns = [compile_aggregate(item.expr, binding) for item in self.select.items]
+        return self._aggregate_cache.setdefault(key, fns)
+
+    def _group_rows(self, rowset: Rowset) -> List[List[Tuple[Any, ...]]]:
+        if not self.select.group_by:
+            return [rowset.rows]
+        keyfn = self._group_key_for(rowset.binding)
+        groups: Dict[Any, List[Tuple[Any, ...]]] = {}
+        order: List[Any] = []
+        for row in rowset.rows:
+            group_key = keyfn(row)
+            bucket = groups.get(group_key)
+            if bucket is None:
+                groups[group_key] = bucket = []
+                order.append(group_key)
+            bucket.append(row)
+        return [groups[group_key] for group_key in order]
+
+    def _compile_order_value(self, expr: Expr):
+        """Static counterpart of the interpreter's ``_order_value``: an
+        unqualified output-column reference wins, then a select-item match."""
+        if isinstance(expr, ColumnRef) and expr.qualifier is None:
+            try:
+                index = self._output_binding.resolve(expr)
+                return operator.itemgetter(index)
+            except SqlExecutionError:
+                pass
+        for index, item in enumerate(self.select.items):
+            if item.expr == expr:
+                return operator.itemgetter(index)
+        return _order_error(expr)
+
+    def _project(self, rowset: Rowset, tracer) -> QueryResult:
+        if self._aggregated:
+            groups = self._group_rows(rowset)
+            tracer.count("groups_formed", len(groups))
+            fns = self._aggregates_for(rowset.binding)
+            out_rows = [tuple(fn(group) for fn in fns) for group in groups]
+        else:
+            projector = self._projector_for(rowset.binding)
+            out_rows = [projector(row) for row in rowset.rows]
+        result = Rowset(self._output_binding, out_rows)
+        if self.select.distinct:
+            result = distinct(result)
+        rows = result.rows
+        if self._order_keys:
+            rows = list(rows)
+            for fn, descending in reversed(self._order_keys):
+                rows.sort(
+                    key=lambda row, fn=fn: null_safe_sort_key(fn(row)),
+                    reverse=descending,
+                )
+        if self.select.limit is not None:
+            rows = rows[: self.select.limit]
+        tracer.count("rows_output", len(rows))
+        return QueryResult(self.output_columns, rows)
+
+    # ------------------------------------------------------------------
+    # Rendering (repro --explain)
+    # ------------------------------------------------------------------
+    def describe(self, indent: str = "") -> List[str]:
+        lines: List[str] = []
+        for scan in self.scans:
+            lines.extend(scan.describe(indent))
+        for conjunct in self.pending:
+            kind = "equi-join" if conjunct.is_equi else "filter"
+            join_mode = "hash" if self.use_hash_joins else "cross+filter"
+            lines.append(f"{indent}{kind} {render_expr(conjunct.expr)} [{join_mode}]")
+        summary: List[str] = []
+        if self._aggregated:
+            if self.select.group_by:
+                keys = ", ".join(render_expr(expr) for expr in self.select.group_by)
+                summary.append(f"group by {keys}")
+            summary.append("aggregate " + ", ".join(self.output_columns))
+        else:
+            summary.append("project " + ", ".join(self.output_columns))
+        if self.select.distinct:
+            summary.append("distinct")
+        if self.select.order_by:
+            summary.append("sort")
+        if self.select.limit is not None:
+            summary.append(f"limit {self.select.limit}")
+        lines.append(indent + "; ".join(summary))
+        return lines
+
+    def explain(self) -> str:
+        """Human-readable physical plan, shown by ``repro --explain``."""
+        return "\n".join(self.describe())
+
+
+def _order_error(expr: Expr):
+    def fail(_row: Sequence[Any]) -> Any:
+        raise SqlExecutionError(
+            f"ORDER BY expression {expr!r} must reference an output column"
+        )
+
+    return fail

@@ -34,6 +34,37 @@ class TestCompileCache:
         engine.patterns("COUNT Student GROUPBY Course")
         assert len(engine._pattern_cache) <= 2
 
+    def test_lru_hit_refreshes_entry(self, university_db):
+        """A cache hit must move the entry to most-recently-used, so the
+        *other* entry is the one evicted when the cache fills."""
+        engine = KeywordSearchEngine(university_db)
+        engine.cache_size = 2
+        green = engine.patterns("Green SUM Credit")
+        engine.patterns("Java SUM Price")
+        refreshed = engine.patterns("Green SUM Credit")  # hit: refresh
+        assert refreshed is green
+        engine.patterns("COUNT Student GROUPBY Course")  # evicts Java
+        assert "Green SUM Credit" in engine._pattern_cache
+        assert "Java SUM Price" not in engine._pattern_cache
+        assert engine.patterns("Green SUM Credit") is green
+
+    def test_lru_evicts_least_recently_used(self, university_db):
+        engine = KeywordSearchEngine(university_db)
+        engine.cache_size = 2
+        engine.patterns("Green SUM Credit")
+        engine.patterns("Java SUM Price")
+        engine.patterns("COUNT Student GROUPBY Course")
+        assert len(engine._pattern_cache) == 2
+        assert "Green SUM Credit" not in engine._pattern_cache
+        assert "Java SUM Price" in engine._pattern_cache
+
+    def test_hit_metric_recorded(self, university_db):
+        engine = KeywordSearchEngine(university_db)
+        engine.patterns("Green SUM Credit")
+        engine.patterns("Green SUM Credit")
+        assert engine.metrics.counter("pattern_cache_hits") == 1
+        assert engine.metrics.counter("pattern_cache_misses") == 1
+
     def test_cached_compile_is_faster_second_time(self, tpch_db):
         import time
 

@@ -1,0 +1,92 @@
+"""Batch search: ordering, dedup, serial equivalence and thread safety."""
+
+import pytest
+
+from repro.engine import KeywordSearchEngine
+from repro.experiments import TPCH_QUERIES
+
+
+QUERIES = [
+    "Green SUM Credit",
+    "Java SUM Price",
+    "COUNT Student GROUPBY Course",
+    "Green SUM Credit",  # duplicate on purpose
+]
+
+
+class TestSearchMany:
+    def test_results_in_input_order(self, university_db):
+        engine = KeywordSearchEngine(university_db)
+        results = engine.search_many(QUERIES, parallel=4)
+        assert len(results) == len(QUERIES)
+        for text, result in zip(QUERIES, results):
+            assert result.query.raw == text
+
+    def test_duplicates_share_one_result(self, university_db):
+        engine = KeywordSearchEngine(university_db)
+        results = engine.search_many(QUERIES, parallel=4)
+        assert results[0] is results[3]
+        assert engine.metrics.counter("batch_deduped") == 1
+        assert engine.metrics.counter("batch_queries") == len(QUERIES)
+
+    def test_matches_serial_search(self, university_db):
+        parallel_engine = KeywordSearchEngine(university_db)
+        serial_engine = KeywordSearchEngine(university_db)
+        batched = parallel_engine.search_many(QUERIES, parallel=4)
+        for text, result in zip(QUERIES, batched):
+            serial = serial_engine.search(text)
+            assert [i.sql for i in result.interpretations] == [
+                i.sql for i in serial.interpretations
+            ]
+            assert result.best.execute() == serial.best.execute()
+
+    def test_parallel_one_is_serial_path(self, university_db):
+        engine = KeywordSearchEngine(university_db)
+        results = engine.search_many(QUERIES, parallel=1)
+        assert len(results) == len(QUERIES)
+
+    def test_rejects_bad_parallel(self, university_db):
+        engine = KeywordSearchEngine(university_db)
+        with pytest.raises(ValueError):
+            engine.search_many(QUERIES, parallel=0)
+
+    @pytest.mark.parametrize("round", range(5))
+    def test_repeated_batches_are_stable(self, tpch_engine, round):
+        """Race check: repeated warm batches over the evaluation mix must
+        keep producing the same top SQL for every query."""
+        texts = [spec.text for spec in TPCH_QUERIES]
+        results = tpch_engine.search_many(texts, parallel=4)
+        expected = {
+            text: result.best.sql for text, result in zip(texts, results)
+        }
+        again = tpch_engine.search_many(texts, parallel=4)
+        for text, result in zip(texts, again):
+            assert result.best.sql == expected[text]
+
+    def test_batch_beats_serial_on_warm_caches(self, tpch_db):
+        """The batch API's dedup + shared caches must make a repetitive
+        batch cheaper than naively looping search() on a cold engine."""
+        import time
+
+        texts = [spec.text for spec in TPCH_QUERIES] * 4
+
+        cold = KeywordSearchEngine(tpch_db)
+        start = time.perf_counter()
+        for text in texts:
+            cold.clear_cache()  # the naive loop: no reuse at all
+            cold.search(text)
+        serial_s = time.perf_counter() - start
+
+        batch = KeywordSearchEngine(tpch_db)
+        batch.search_many(texts, parallel=4)  # warm
+        start = time.perf_counter()
+        batch.search_many(texts, parallel=4)
+        batch_s = time.perf_counter() - start
+        assert batch_s < serial_s
+
+    def test_trace_flag_attaches_traces(self, university_db):
+        engine = KeywordSearchEngine(university_db)
+        results = engine.search_many(QUERIES[:2], parallel=2, trace=True)
+        for result in results:
+            assert result.trace is not None
+            assert result.trace.root.name == "search"

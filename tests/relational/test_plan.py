@@ -1,0 +1,255 @@
+"""Compiled physical plans: closure semantics, index pushdown, caching.
+
+The compiled path must be indistinguishable from the interpreted executor
+on results (including row order, errors and NULL semantics); these tests
+pin the places where the two could plausibly diverge.  Full query-set
+equivalence lives in ``tests/integration/test_plan_equivalence.py``.
+"""
+
+import pytest
+
+from repro.errors import SqlExecutionError
+from repro.observability import Tracer
+from repro.relational.database import Database
+from repro.relational.executor import Executor
+from repro.relational.plan import CompiledPlan
+from repro.relational.types import DataType
+from repro.sql.parser import parse
+
+
+@pytest.fixture()
+def shop_db():
+    db = Database.from_definitions(
+        "shop",
+        [
+            (
+                "Item",
+                [
+                    ("Id", DataType.INT),
+                    ("Name", DataType.TEXT),
+                    ("Price", DataType.FLOAT),
+                    ("Stock", DataType.INT),
+                ],
+                ["Id"],
+                [],
+            ),
+        ],
+    )
+    db.load(
+        "Item",
+        [
+            (1, "royal olive", 4.5, 10),
+            (2, "Roy's bread", 2.0, 0),
+            (3, "plain olive", 4.5, None),
+            (4, None, None, 7),
+            (5, "viceroy tea", 9.0, 10),
+        ],
+    )
+    return db
+
+
+def both_paths(db, sql):
+    compiled = Executor(db, compile_plans=True).execute(sql)
+    interpreted = Executor(db, compile_plans=False).execute(sql)
+    return compiled, interpreted
+
+
+class TestCompiledSemantics:
+    @pytest.mark.parametrize(
+        "sql",
+        [
+            "SELECT Name FROM Item",
+            "SELECT Name, Price FROM Item WHERE Price > 3",
+            "SELECT Name FROM Item WHERE Price = 4.5 AND Stock = 10",
+            "SELECT Name FROM Item WHERE Stock IS NULL",
+            "SELECT Name FROM Item WHERE Stock IS NOT NULL",
+            "SELECT Id, Price * 2 FROM Item",
+            "SELECT COUNT(*) FROM Item",
+            "SELECT Price, COUNT(*) FROM Item GROUP BY Price",
+            "SELECT DISTINCT Price FROM Item",
+            "SELECT Name FROM Item ORDER BY Name DESC LIMIT 2",
+            "SELECT Name FROM Item WHERE Name LIKE '%roy%'",
+        ],
+    )
+    def test_matches_interpreter(self, shop_db, sql):
+        compiled, interpreted = both_paths(shop_db, sql)
+        assert compiled == interpreted
+        assert compiled.rows == interpreted.rows  # identical order, too
+
+    def test_null_comparisons_not_satisfied(self, shop_db):
+        compiled, interpreted = both_paths(
+            shop_db, "SELECT Id FROM Item WHERE Price > 0"
+        )
+        assert compiled == interpreted
+        assert 4 not in compiled.column("Id")  # NULL price filtered out
+
+    def test_division_by_zero_raised_lazily(self, shop_db):
+        # the error surfaces at execution (on the offending row), never at
+        # plan-compilation time — matching the interpreter
+        sql = "SELECT Id / Stock FROM Item WHERE Stock IS NOT NULL"
+        plan = CompiledPlan(parse(sql), shop_db)
+        with pytest.raises(SqlExecutionError, match="division by zero"):
+            plan.execute()
+
+    def test_mixed_type_comparison_raises_like_interpreter(self, shop_db):
+        sql = "SELECT Id FROM Item WHERE Name = 3"
+        with pytest.raises(SqlExecutionError):
+            Executor(shop_db, compile_plans=False).execute(sql)
+        with pytest.raises(SqlExecutionError):
+            Executor(shop_db, compile_plans=True).execute(sql)
+
+    def test_unknown_column_raises(self, shop_db):
+        with pytest.raises(SqlExecutionError, match="unknown column"):
+            Executor(shop_db, compile_plans=True).execute(
+                "SELECT Nope FROM Item WHERE Nope = 1"
+            )
+
+
+class TestIndexPushdown:
+    def test_contains_pushdown_is_substring_exact(self, shop_db):
+        """'roy' must match 'royal', "Roy's" and 'viceroy' — token-exact
+        candidate generation would miss the first and last."""
+        compiled, interpreted = both_paths(
+            shop_db, "SELECT Id FROM Item WHERE Name LIKE '%roy%'"
+        )
+        assert sorted(compiled.column("Id")) == [1, 2, 5]
+        assert compiled == interpreted
+
+    def test_contains_uses_inverted_index(self, shop_db):
+        plan = CompiledPlan(
+            parse("SELECT Id FROM Item WHERE Name LIKE '%olive%'"), shop_db
+        )
+        assert "InvertedIndex" in plan.explain()
+        tracer = Tracer()
+        with tracer.span("t"):
+            result = plan.execute(tracer)
+        assert sorted(result.column("Id")) == [1, 3]
+        assert tracer.trace.counter("index_scans") >= 1
+        assert tracer.trace.counter("rows_skipped_by_index") == 3  # rows 2, 4, 5
+
+    def test_numeric_equality_uses_index(self, shop_db):
+        plan = CompiledPlan(
+            parse("SELECT Id FROM Item WHERE Price = 4.5"), shop_db
+        )
+        assert "NumericIndex" in plan.explain()
+        assert sorted(plan.execute().column("Id")) == [1, 3]
+
+    def test_text_equality_uses_hash_index(self, shop_db):
+        plan = CompiledPlan(
+            parse("SELECT Id FROM Item WHERE Name = 'plain olive'"), shop_db
+        )
+        assert "HashIndex" in plan.explain()
+        assert plan.execute().column("Id") == [3]
+
+    def test_equality_with_null_literal_matches_nothing(self, shop_db):
+        compiled, interpreted = both_paths(
+            shop_db, "SELECT Id FROM Item WHERE Price = NULL"
+        )
+        assert len(compiled) == 0
+        assert compiled == interpreted
+
+    def test_index_results_track_mutations(self, shop_db):
+        executor = Executor(shop_db)
+        sql = "SELECT Id FROM Item WHERE Name LIKE '%olive%'"
+        assert len(executor.execute(sql)) == 2
+        shop_db.load("Item", [(6, "green olive", 3.0, 1)])
+        assert sorted(executor.execute(sql).column("Id")) == [1, 3, 6]
+
+    def test_pushdown_survives_direct_insert(self, shop_db):
+        # rows appended via table.insert() bypass load(); the data version
+        # must still move (via the row-count component)
+        executor = Executor(shop_db)
+        sql = "SELECT Id FROM Item WHERE Price = 4.5"
+        assert len(executor.execute(sql)) == 2
+        shop_db.table("Item").insert((7, "cheap olive", 4.5, 2))
+        assert sorted(executor.execute(sql).column("Id")) == [1, 3, 7]
+
+
+class TestPlanCache:
+    def test_warm_equals_cold(self, shop_db):
+        executor = Executor(shop_db)
+        sql = "SELECT Name FROM Item WHERE Price > 3 ORDER BY Name"
+        cold = executor.execute(sql)
+        warm = executor.execute(sql)
+        assert cold == warm
+        assert cold.rows == warm.rows
+
+    def test_cache_hit_reuses_plan(self, shop_db):
+        executor = Executor(shop_db)
+        select = parse("SELECT Id FROM Item")
+        first = executor.plan_for(select)
+        second = executor.plan_for(select)
+        assert first is second
+
+    def test_equivalent_ast_shares_plan(self, shop_db):
+        # keyed by rendered SQL: structurally equal ASTs hit the same entry
+        executor = Executor(shop_db)
+        first = executor.plan_for(parse("SELECT Id FROM Item"))
+        second = executor.plan_for(parse("SELECT Id FROM Item"))
+        assert first is second
+
+    def test_clear_plan_cache_recompiles(self, shop_db):
+        executor = Executor(shop_db)
+        select = parse("SELECT Id FROM Item")
+        first = executor.plan_for(select)
+        executor.clear_plan_cache()
+        assert executor.plan_for(select) is not first
+
+    def test_mutation_invalidates_cached_plan(self, shop_db):
+        executor = Executor(shop_db)
+        select = parse("SELECT Id FROM Item")
+        first = executor.plan_for(select)
+        shop_db.load("Item", [(8, "new", 1.0, 1)])
+        assert executor.plan_for(select) is not first
+
+    def test_cache_is_bounded_lru(self, shop_db):
+        executor = Executor(shop_db)
+        executor.plan_cache_size = 2
+        a = executor.plan_for(parse("SELECT Id FROM Item"))
+        executor.plan_for(parse("SELECT Name FROM Item"))
+        executor.plan_for(parse("SELECT Id FROM Item"))  # refresh a
+        executor.plan_for(parse("SELECT Price FROM Item"))  # evicts Name
+        assert executor.plan_cache_len == 2
+        assert executor.plan_for(parse("SELECT Id FROM Item")) is a
+
+    def test_cache_counters(self, shop_db):
+        executor = Executor(shop_db)
+        tracer = Tracer()
+        with tracer.span("t"):
+            executor.execute("SELECT Id FROM Item", tracer=tracer)
+            executor.execute("SELECT Id FROM Item", tracer=tracer)
+        assert tracer.trace.counter("plan_cache_misses") == 1
+        assert tracer.trace.counter("plan_cache_hits") == 1
+        assert tracer.trace.counter("compiled_predicates") == 0
+
+
+class TestExplain:
+    def test_explain_renders_without_executing(self, shop_db):
+        plan = CompiledPlan(
+            parse(
+                "SELECT Price, COUNT(*) AS n FROM Item "
+                "WHERE Name LIKE '%olive%' GROUP BY Price ORDER BY n LIMIT 3"
+            ),
+            shop_db,
+        )
+        text = plan.explain()
+        assert "scan Item" in text
+        assert "push" in text
+        assert "group by" in text
+        assert "limit 3" in text
+
+    def test_explain_shows_join_strategy(self, university_db):
+        plan = CompiledPlan(
+            parse(
+                "SELECT S.Sname FROM Student S, Enrol E "
+                "WHERE S.Sid = E.Sid AND E.Grade = 'A+'"
+            ),
+            university_db,
+        )
+        assert "equi-join" in plan.explain()
+        no_hash = CompiledPlan(
+            parse("SELECT S.Sname FROM Student S, Enrol E WHERE S.Sid = E.Sid"),
+            university_db,
+            use_hash_joins=False,
+        )
+        assert "cross+filter" in no_hash.explain()

@@ -21,6 +21,7 @@ DOC_FILES = [
     "docs/API.md",
     "docs/ARCHITECTURE.md",
     "docs/OBSERVABILITY.md",
+    "docs/PERFORMANCE.md",
 ]
 
 _BLOCK_RE = re.compile(r"```python\n(.*?)```", re.DOTALL)
@@ -52,3 +53,4 @@ def test_docs_cross_linked_from_readme():
     assert "docs/ARCHITECTURE.md" in readme
     assert "docs/OBSERVABILITY.md" in readme
     assert "docs/API.md" in readme
+    assert "docs/PERFORMANCE.md" in readme
