@@ -1,0 +1,45 @@
+"""Static analysis of pipeline artifacts (patterns, SQL, plans, rewrites).
+
+Three analyzer families share one :class:`Diagnostic` model:
+
+* pattern analyzers (``P...`` codes) — connectivity, minimality, ORA
+  consistency, disambiguation and DISTINCT-projection preconditions;
+* SQL/plan analyzers (``S...``) — name resolution, grouping discipline,
+  schema-aware type inference, aggregate-nesting legality, and
+  ``CompiledPlan`` index soundness;
+* rewrite analyzers (``R...``) — §4.1 Rule 1–3 postconditions.
+
+See ``docs/ANALYSIS.md`` for the full code catalog, strict mode and the
+``repro check`` CLI.
+"""
+
+from repro.analysis.diagnostics import (
+    CODE_CATALOG,
+    AnalysisReport,
+    Diagnostic,
+    Severity,
+)
+from repro.analysis.pattern_analyzers import (
+    analyze_interpretation_set,
+    analyze_pattern,
+    analyze_translation,
+)
+from repro.analysis.pipeline import TranslationParts, analyze_compilation
+from repro.analysis.plan_analyzers import analyze_plan
+from repro.analysis.rewrite_analyzers import analyze_rewrite
+from repro.analysis.sql_analyzers import analyze_select
+
+__all__ = [
+    "CODE_CATALOG",
+    "AnalysisReport",
+    "Diagnostic",
+    "Severity",
+    "TranslationParts",
+    "analyze_compilation",
+    "analyze_interpretation_set",
+    "analyze_pattern",
+    "analyze_plan",
+    "analyze_rewrite",
+    "analyze_select",
+    "analyze_translation",
+]

@@ -1,0 +1,263 @@
+"""Pattern analyzers: structural and ORA-consistency checks (§3.2–3.3).
+
+Three entry points, all side-effect free:
+
+* :func:`analyze_pattern` — one annotated query pattern against the ORM
+  schema graph: connectivity (P002), minimality (P003), node/edge
+  consistency with the graph (P004/P006), annotation-attribute ownership
+  (P005) and aggregate-function legality (P008);
+* :func:`analyze_interpretation_set` — the *set* of ranked patterns for a
+  query: when a condition value is shared by several objects
+  (``distinct_objects > 1``), some variant must distinguish them with a
+  ``GROUPBY(identifier)`` annotation (P007, the paper's pattern
+  disambiguation);
+* :func:`analyze_translation` — the pattern against its translated SQL: a
+  relationship node connected to fewer participants than its ORM node has
+  must be read through a duplicate-eliminating projection (P009,
+  Example 6 — the step SQAK misses).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Set, Tuple
+
+from repro.analysis.diagnostics import Diagnostic, Severity
+from repro.orm.classify import RelationType
+from repro.orm.graph import OrmSchemaGraph
+from repro.patterns.pattern import PatternNode, QueryPattern
+from repro.patterns.translator import PatternTranslator
+from repro.sql.ast import (
+    AGGREGATE_FUNCTIONS,
+    DerivedTable,
+    FromItem,
+    Select,
+    TableRef,
+)
+
+
+def analyze_pattern(
+    pattern: QueryPattern, graph: OrmSchemaGraph, location: str = ""
+) -> List[Diagnostic]:
+    """Structural and ORA-annotation diagnostics for one pattern."""
+    diagnostics: List[Diagnostic] = []
+
+    def report(
+        code: str, message: str, hint: str = "", severity: Severity = Severity.ERROR
+    ) -> None:
+        diagnostics.append(Diagnostic(code, severity, message, location, hint))
+
+    if not pattern.nodes:
+        report("P001", "query pattern has no nodes")
+        return diagnostics
+    if not pattern.is_connected():
+        report(
+            "P002",
+            "query pattern is not connected",
+            hint="patterns must be connected subgraphs of the ORM schema "
+            "graph (Definition 3)",
+        )
+
+    for node in pattern.nodes:
+        where = f"node {node.id} ({node.orm_node})"
+        orm_node = graph.nodes.get(node.orm_node)
+        if orm_node is None:
+            report("P004", f"{where}: unknown ORM node {node.orm_node!r}")
+            continue
+        owned = {relation.name for relation in orm_node.relations()}
+        if node.relation not in owned:
+            report(
+                "P004",
+                f"{where}: relation {node.relation!r} does not belong to "
+                f"ORM node {node.orm_node!r}",
+            )
+        diagnostics.extend(_annotation_checks(node, owned, graph, where, location))
+        # minimality: a leaf that carries nothing can be removed without
+        # changing the query's meaning, so the pattern was not minimal
+        if (
+            len(pattern.nodes) > 1
+            and len(pattern.neighbors(node.id)) <= 1
+            and not node.conditions
+            and not node.aggregates
+            and not node.groupbys
+            and not node.projections
+        ):
+            report(
+                "P003",
+                f"{where}: unannotated leaf node",
+                hint="drop the node or annotate it; minimal patterns keep "
+                "only nodes that contribute terms or connectivity",
+            )
+
+    for edge in pattern.edges:
+        endpoint_nodes = {
+            pattern.node(edge.first).orm_node,
+            pattern.node(edge.second).orm_node,
+        }
+        edge_nodes = {edge.orm_edge.child_node, edge.orm_edge.parent_node}
+        if endpoint_nodes != edge_nodes:
+            report(
+                "P006",
+                f"edge {edge.first}--{edge.second}: ORM edge joins "
+                f"{sorted(edge_nodes)}, not {sorted(endpoint_nodes)}",
+            )
+    return diagnostics
+
+
+def _annotation_checks(
+    node: PatternNode,
+    owned: Set[str],
+    graph: OrmSchemaGraph,
+    where: str,
+    location: str,
+) -> List[Diagnostic]:
+    diagnostics: List[Diagnostic] = []
+
+    def report(code: str, message: str, hint: str = "") -> None:
+        diagnostics.append(
+            Diagnostic(code, Severity.ERROR, message, location, hint)
+        )
+
+    def check_attribute(relation: str, attribute: str, label: str) -> None:
+        if relation not in owned:
+            report(
+                "P005",
+                f"{where}: {label} references relation {relation!r} outside "
+                f"the node's ORM relations",
+            )
+            return
+        if relation in graph.schema and not graph.schema.relation(
+            relation
+        ).has_column(attribute):
+            report(
+                "P005",
+                f"{where}: {label} references unknown attribute "
+                f"{relation}.{attribute}",
+            )
+
+    for condition in node.conditions:
+        check_attribute(
+            condition.relation,
+            condition.attribute,
+            f"condition ~'{condition.phrase}'",
+        )
+    for aggregate in node.aggregates:
+        check_attribute(
+            aggregate.relation, aggregate.attribute, f"aggregate {aggregate.func}"
+        )
+        bad = [
+            func
+            for func in (aggregate.func, *aggregate.outer_chain)
+            if func.upper() not in AGGREGATE_FUNCTIONS
+        ]
+        if bad:
+            report(
+                "P008",
+                f"{where}: invalid aggregate function(s) {bad}",
+                hint=f"supported: {', '.join(AGGREGATE_FUNCTIONS)}",
+            )
+    for groupby in node.groupbys:
+        for attribute in groupby.attributes:
+            check_attribute(groupby.relation, attribute, "GROUPBY")
+    for relation, attribute in node.projections:
+        check_attribute(relation, attribute, "projection")
+    return diagnostics
+
+
+def analyze_interpretation_set(
+    patterns: Sequence[QueryPattern], location: str = ""
+) -> List[Diagnostic]:
+    """P007: every multi-object condition needs a distinguishing variant.
+
+    Takes the *full* ranked pattern set of one query (not the top-k
+    truncation): the disambiguated variant may rank below its plain
+    sibling without being wrong.
+    """
+    # (relation, attribute, phrase) -> some variant groups by the identifier
+    distinguished: Dict[Tuple[str, str, str], bool] = {}
+    for pattern in patterns:
+        for node in pattern.nodes:
+            for condition in node.conditions:
+                if condition.distinct_objects <= 1:
+                    continue
+                key = (condition.relation, condition.attribute, condition.phrase)
+                has_identifier = any(
+                    groupby.from_disambiguation for groupby in node.groupbys
+                )
+                distinguished[key] = distinguished.get(key, False) or has_identifier
+    diagnostics: List[Diagnostic] = []
+    for (relation, attribute, phrase), ok in sorted(distinguished.items()):
+        if ok:
+            continue
+        diagnostics.append(
+            Diagnostic(
+                "P007",
+                Severity.WARNING,
+                f"value {phrase!r} of {relation}.{attribute} matches several "
+                "objects but no interpretation groups by the identifier",
+                location,
+                hint="enable pattern disambiguation so same-valued objects "
+                "are distinguished (Section 3.3)",
+            )
+        )
+    return diagnostics
+
+
+def analyze_translation(
+    pattern: QueryPattern,
+    select: Select,
+    graph: OrmSchemaGraph,
+    enabled: bool = True,
+    location: str = "",
+) -> List[Diagnostic]:
+    """P009: partial n-ary relationship use needs a DISTINCT projection.
+
+    *select* must be the direct (pre-rewrite) translation of *pattern*, so
+    node aliases line up.  Pass ``enabled=False`` when the engine runs with
+    relationship dedup deliberately ablated.
+    """
+    if not enabled:
+        return []
+    diagnostics: List[Diagnostic] = []
+    aliases = PatternTranslator._assign_aliases(pattern)
+    from_items = _collect_from_items(select)
+    for node in pattern.nodes:
+        if node.type is not RelationType.RELATIONSHIP:
+            continue
+        if node.orm_node not in graph.nodes:
+            continue  # P004 reports the broken node
+        connected = len(pattern.adjacent_object_like(node.id))
+        participants = len(graph.object_like_neighbors(node.orm_node))
+        if connected >= participants:
+            continue
+        item = from_items.get(aliases[node.id])
+        if item is None:
+            continue
+        if isinstance(item, DerivedTable) and item.select.distinct:
+            continue
+        diagnostics.append(
+            Diagnostic(
+                "P009",
+                Severity.ERROR,
+                f"relationship node {node.id} ({node.orm_node}) joins "
+                f"{connected} of {participants} participants but alias "
+                f"{aliases[node.id]} is not a DISTINCT projection",
+                location,
+                hint="project the foreign keys of the connected participants "
+                "with SELECT DISTINCT (Example 6)",
+            )
+        )
+    return diagnostics
+
+
+def _collect_from_items(select: Select) -> Dict[str, FromItem]:
+    """FROM items by alias, across nested-aggregate wrapper levels."""
+    items: Dict[str, FromItem] = {}
+
+    def visit(current: Select) -> None:
+        for item in current.from_items:
+            items.setdefault(item.alias, item)
+            if isinstance(item, DerivedTable):
+                visit(item.select)
+
+    visit(select)
+    return items

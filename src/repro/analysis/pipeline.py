@@ -1,0 +1,77 @@
+"""The analysis pipeline: one compiled interpretation, every analyzer.
+
+:func:`analyze_compilation` is the glue the engine's strict mode and the
+``repro check`` CLI share: given the artifacts one pattern compilation
+produced — the annotated pattern, the direct translation, the final
+(possibly rewritten) SQL and the fragment-use metadata — it runs the
+pattern, translation, SQL/type and rewrite analyzer families and returns
+their combined diagnostics.  Plan diagnostics are appended by the caller
+(they need an :class:`~repro.relational.executor.Executor`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.analysis.diagnostics import Diagnostic
+from repro.analysis.pattern_analyzers import (
+    analyze_pattern,
+    analyze_translation,
+)
+from repro.analysis.rewrite_analyzers import analyze_rewrite
+from repro.analysis.sql_analyzers import analyze_select
+from repro.orm.graph import OrmSchemaGraph
+from repro.patterns.pattern import QueryPattern
+from repro.relational.schema import DatabaseSchema
+from repro.sql.ast import Select
+from repro.unnormalized.provider import FragmentUse
+
+
+@dataclass
+class TranslationParts:
+    """What one pattern translation produced.
+
+    ``raw`` is the direct translator output (node aliases intact); ``final``
+    is what the engine will execute — identical to ``raw`` for normalized
+    databases, the §4.1-rewritten statement for unnormalized ones.
+    """
+
+    raw: Select
+    final: Select
+    fragment_uses: Dict[str, FragmentUse] = field(default_factory=dict)
+
+    @property
+    def was_rewritten(self) -> bool:
+        return self.final is not self.raw
+
+
+def analyze_compilation(
+    pattern: QueryPattern,
+    parts: TranslationParts,
+    graph: OrmSchemaGraph,
+    schema: DatabaseSchema,
+    dedup_enabled: bool = True,
+    location: str = "",
+) -> List[Diagnostic]:
+    """All static diagnostics for one compiled interpretation.
+
+    *schema* is the stored database schema — the one the final SQL runs
+    against (for unnormalized databases the raw translation also only
+    reads stored relations, inside fragment subqueries).
+    """
+    diagnostics: List[Diagnostic] = []
+    diagnostics.extend(analyze_pattern(pattern, graph, location))
+    diagnostics.extend(
+        analyze_translation(
+            pattern, parts.raw, graph, enabled=dedup_enabled, location=location
+        )
+    )
+    diagnostics.extend(analyze_select(parts.final, schema, location))
+    if parts.was_rewritten:
+        diagnostics.extend(
+            analyze_rewrite(
+                parts.raw, parts.final, parts.fragment_uses, schema, location
+            )
+        )
+    return diagnostics

@@ -1,0 +1,176 @@
+"""Rewrite analyzers: postconditions for the §4.1 Rules 1–3.
+
+The rewriter (:mod:`repro.unnormalized.rewriter`) collapses fragment joins
+into stored relations (Rule 3), prunes unused projections (Rule 1) and
+pushes ``contains`` conditions down (Rule 2).  Each rule must preserve the
+statement's *answer*; :func:`analyze_rewrite` verifies the observable
+invariants without executing anything:
+
+* **R001** — the rewritten statement only reads relations of the stored
+  (base) schema: rewriting must never invent tables;
+* **R002** — the GROUP BY keys (by column name) are unchanged: collapsing
+  fragments may re-qualify keys but never add/drop/rename them;
+* **R003** — the output columns (names, in order) are unchanged;
+* **R004** — every surviving fragment projection still exposes its view
+  key: Rule 1 pruning the key would change DISTINCT granularity and thus
+  aggregate results (Example 9);
+* **R005** — the aggregate functions of the output are unchanged.
+
+Nested-aggregate wrapper levels are compared recursively as long as both
+sides keep the single-derived-table wrapper shape.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Tuple
+
+from repro.analysis.diagnostics import Diagnostic, Severity
+from repro.relational.schema import DatabaseSchema
+from repro.sql.ast import (
+    ColumnRef,
+    DerivedTable,
+    FromItem,
+    FuncCall,
+    Select,
+    TableRef,
+)
+from repro.unnormalized.provider import FragmentUse
+
+
+def analyze_rewrite(
+    original: Select,
+    rewritten: Select,
+    fragment_uses: Dict[str, FragmentUse],
+    base_schema: DatabaseSchema,
+    location: str = "",
+) -> List[Diagnostic]:
+    """Postcondition diagnostics comparing a statement before/after rewrite."""
+    diagnostics: List[Diagnostic] = []
+
+    def report(code: str, message: str, hint: str = "") -> None:
+        diagnostics.append(
+            Diagnostic(code, Severity.ERROR, message, location, hint)
+        )
+
+    for table in _referenced_tables(rewritten):
+        if table not in base_schema:
+            report(
+                "R001",
+                f"rewritten SQL reads unknown relation {table!r}",
+                hint="Rule 3 must substitute stored relations only",
+            )
+
+    _compare_levels(original, rewritten, report)
+
+    for item in _all_from_items(rewritten):
+        use = fragment_uses.get(item.alias)
+        if use is None or not isinstance(item, DerivedTable):
+            continue
+        exposed = {
+            sub.output_name(default=f"col{i + 1}")
+            for i, sub in enumerate(item.select.items)
+        }
+        # only keys the provider actually projected can be *lost* by Rule 1;
+        # force-distinct projections legitimately omit the view key upfront
+        missing = [
+            key
+            for key in use.view_key
+            if key in use.attributes and key not in exposed
+        ]
+        if missing and item.select.distinct:
+            report(
+                "R004",
+                f"fragment {item.alias} ({use.source}) lost view key "
+                f"column(s) {missing}",
+                hint="Rule 1 must retain the view key of DISTINCT "
+                "projections (Example 9)",
+            )
+    return diagnostics
+
+
+def _compare_levels(
+    original: Select, rewritten: Select, report: Callable[..., None]
+) -> None:
+    """R002/R003/R005 at this wrapper level, then recurse when possible."""
+    before_keys = _group_key_names(original)
+    after_keys = _group_key_names(rewritten)
+    if before_keys != after_keys:
+        report(
+            "R002",
+            f"GROUP BY keys changed from {before_keys} to {after_keys}",
+        )
+    before_out = _output_names(original)
+    after_out = _output_names(rewritten)
+    if before_out != after_out:
+        report(
+            "R003",
+            f"output columns changed from {before_out} to {after_out}",
+        )
+    before_aggs = _aggregate_signature(original)
+    after_aggs = _aggregate_signature(rewritten)
+    if before_aggs != after_aggs:
+        report(
+            "R005",
+            f"aggregates changed from {before_aggs} to {after_aggs}",
+        )
+    # nested-aggregate wrapping: both sides keep a single derived table
+    original_inner = original.subqueries()
+    rewritten_inner = rewritten.subqueries()
+    if (
+        len(original.from_items) == 1
+        and len(rewritten.from_items) == 1
+        and len(original_inner) == 1
+        and len(rewritten_inner) == 1
+        and original_inner[0].has_aggregates()
+    ):
+        _compare_levels(original_inner[0], rewritten_inner[0], report)
+
+
+def _group_key_names(select: Select) -> List[str]:
+    return [
+        expr.name if isinstance(expr, ColumnRef) else repr(expr)
+        for expr in select.group_by
+    ]
+
+
+def _output_names(select: Select) -> List[str]:
+    return [
+        item.output_name(default=f"col{i + 1}")
+        for i, item in enumerate(select.items)
+    ]
+
+
+def _aggregate_signature(select: Select) -> List[Tuple[str, bool]]:
+    signature: List[Tuple[str, bool]] = []
+    for item in select.items:
+        for node in item.expr.walk():
+            if isinstance(node, FuncCall) and node.is_aggregate:
+                signature.append((node.name.upper(), node.distinct))
+    return signature
+
+
+def _referenced_tables(select: Select) -> List[str]:
+    tables: List[str] = []
+
+    def visit(current: Select) -> None:
+        for item in current.from_items:
+            if isinstance(item, TableRef):
+                tables.append(item.table)
+            elif isinstance(item, DerivedTable):
+                visit(item.select)
+
+    visit(select)
+    return tables
+
+
+def _all_from_items(select: Select) -> List[FromItem]:
+    items: List[FromItem] = []
+
+    def visit(current: Select) -> None:
+        for item in current.from_items:
+            items.append(item)
+            if isinstance(item, DerivedTable):
+                visit(item.select)
+
+    visit(select)
+    return items

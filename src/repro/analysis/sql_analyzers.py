@@ -1,0 +1,203 @@
+"""SQL analyzers: resolution/shape checks plus schema-aware type checks.
+
+:func:`analyze_select` is the analysis layer's entry point for one SQL
+statement.  It folds :func:`repro.sql.validate.validate_select`'s coded
+issues into :class:`~repro.analysis.diagnostics.Diagnostic` values and adds
+the checks that need column datatypes:
+
+* **S010** — ``SUM``/``AVG`` over a non-numeric column (summing course
+  titles is a translation bug, not a user preference);
+* **S011** — comparisons across datatypes with no common widening
+  (``INT = TEXT`` would silently match nothing in the executor);
+* **S012** — arithmetic on non-numeric operands;
+* **S013** — ``contains`` on a numeric/boolean column (warning: the
+  matcher should have produced an exact equality condition instead);
+* **S015** — §5.1 aggregate-nesting legality: an outer aggregate is only
+  meaningful over a *grouped* inner aggregate query (warning — a
+  single-row inner result makes the outer aggregate a no-op).
+
+This module must stay independent of ``repro.patterns``/``repro.engine``
+so the executor can import it without a layering cycle.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.analysis.diagnostics import Diagnostic, Severity
+from repro.analysis.type_inference import (
+    ARITHMETIC_OPS,
+    COMPARISON_OPS,
+    TypeScope,
+    build_scope,
+    infer_expr_type,
+)
+from repro.errors import TypeMismatchError
+from repro.relational.schema import DatabaseSchema
+from repro.relational.types import DataType, common_type, is_numeric
+from repro.sql.ast import (
+    BinaryOp,
+    ColumnRef,
+    Contains,
+    DerivedTable,
+    Expr,
+    FuncCall,
+    Select,
+)
+from repro.sql.validate import validate_select
+
+_CONTAINS_OK = (DataType.TEXT, DataType.DATE)
+
+
+def analyze_select(
+    select: Select, schema: DatabaseSchema, location: str = ""
+) -> List[Diagnostic]:
+    """All diagnostics for one statement: validation plus type checks."""
+    diagnostics: List[Diagnostic] = []
+    for issue in validate_select(select, schema, path=location):
+        diagnostics.append(
+            Diagnostic(
+                code=issue.code,
+                severity=Severity.ERROR,
+                message=issue.message,
+                location=issue.path,
+            )
+        )
+    diagnostics.extend(_type_checks(select, schema, location))
+    return diagnostics
+
+
+def _type_checks(
+    select: Select, schema: DatabaseSchema, location: str
+) -> List[Diagnostic]:
+    diagnostics: List[Diagnostic] = []
+    scope = build_scope(select, schema)
+    derived: Dict[str, Select] = {
+        item.alias: item.select
+        for item in select.from_items
+        if isinstance(item, DerivedTable)
+    }
+
+    def check(expr: Expr) -> None:
+        for node in expr.walk():
+            if isinstance(node, FuncCall) and node.is_aggregate:
+                _check_aggregate(node)
+            elif isinstance(node, BinaryOp):
+                _check_binary(node)
+            elif isinstance(node, Contains):
+                _check_contains(node)
+
+    def _check_aggregate(call: FuncCall) -> None:
+        if not call.args:
+            return
+        arg = call.args[0]
+        if call.name.upper() in ("SUM", "AVG"):
+            arg_type = infer_expr_type(arg, scope)
+            if arg_type is not None and not is_numeric(arg_type):
+                diagnostics.append(
+                    Diagnostic(
+                        "S010",
+                        Severity.ERROR,
+                        f"{call.name.upper()}({arg}) aggregates a "
+                        f"{arg_type} column",
+                        location,
+                        hint="aggregate a numeric attribute, or use "
+                        "COUNT/MIN/MAX",
+                    )
+                )
+        inner = _ungrouped_aggregate_source(arg)
+        if inner is not None:
+            diagnostics.append(
+                Diagnostic(
+                    "S015",
+                    Severity.WARNING,
+                    f"outer {call.name.upper()}({arg}) ranges over an "
+                    "aggregate subquery with no GROUP BY (single-row "
+                    "input)",
+                    location,
+                    hint="group the inner query so the outer aggregate "
+                    "summarizes per-group values (Section 5.1)",
+                )
+            )
+
+    def _ungrouped_aggregate_source(arg: Expr) -> Optional[str]:
+        """Alias of an ungrouped aggregate subquery *arg* reads, if any."""
+        if not isinstance(arg, ColumnRef):
+            return None
+        if arg.qualifier is not None:
+            owners = [arg.qualifier] if arg.qualifier in derived else []
+        else:
+            name = arg.name.lower()
+            owners = [
+                alias for alias, cols in scope.items() if name in cols
+            ]
+        if len(owners) != 1 or owners[0] not in derived:
+            return None
+        inner = derived[owners[0]]
+        if inner.has_aggregates() and not inner.group_by:
+            return owners[0]
+        return None
+
+    def _check_binary(node: BinaryOp) -> None:
+        left = infer_expr_type(node.left, scope)
+        right = infer_expr_type(node.right, scope)
+        if node.op in COMPARISON_OPS:
+            if left is None or right is None:
+                return
+            try:
+                common_type(left, right)
+            except TypeMismatchError:
+                diagnostics.append(
+                    Diagnostic(
+                        "S011",
+                        Severity.ERROR,
+                        f"comparison {node.left} {node.op} {node.right} "
+                        f"mixes {left} and {right}",
+                        location,
+                        hint="compare values of compatible types",
+                    )
+                )
+        elif node.op in ARITHMETIC_OPS:
+            for operand, operand_type in ((node.left, left), (node.right, right)):
+                if operand_type is not None and not is_numeric(operand_type):
+                    diagnostics.append(
+                        Diagnostic(
+                            "S012",
+                            Severity.ERROR,
+                            f"arithmetic {node.op} on {operand_type} "
+                            f"operand {operand}",
+                            location,
+                        )
+                    )
+
+    def _check_contains(node: Contains) -> None:
+        column_type = infer_expr_type(node.column, scope)
+        if column_type is not None and column_type not in _CONTAINS_OK:
+            diagnostics.append(
+                Diagnostic(
+                    "S013",
+                    Severity.WARNING,
+                    f"contains({node.column}, {node.phrase!r}) on a "
+                    f"{column_type} column",
+                    location,
+                    hint="numeric terms should match by equality, not "
+                    "substring",
+                )
+            )
+
+    for item in select.items:
+        check(item.expr)
+    if select.where is not None:
+        check(select.where)
+    for expr in select.group_by:
+        check(expr)
+    for order in select.order_by:
+        check(order.expr)
+
+    # recurse into derived tables with a nested location
+    for alias, inner in derived.items():
+        sub_location = (
+            f"{location}/subquery {alias}" if location else f"subquery {alias}"
+        )
+        diagnostics.extend(_type_checks(inner, schema, sub_location))
+    return diagnostics

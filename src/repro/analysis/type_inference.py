@@ -1,0 +1,115 @@
+"""Schema-aware type inference over the SQL AST.
+
+Maps every expression of a :class:`~repro.sql.ast.Select` to a
+:class:`~repro.relational.types.DataType` (or ``None`` when the type cannot
+be determined, e.g. ``COUNT(*)``'s argument or a NULL literal).  Inference
+is deliberately partial: analyzers only flag what they can *prove* wrong,
+so an unknown type silences downstream checks rather than guessing.
+
+Derived tables are typed recursively: a subquery's output column takes the
+inferred type of the select item that produces it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.errors import TypeMismatchError
+from repro.relational.schema import DatabaseSchema
+from repro.relational.types import DataType, common_type, infer_type
+from repro.sql.ast import (
+    BinaryOp,
+    ColumnRef,
+    Contains,
+    DerivedTable,
+    Expr,
+    FuncCall,
+    IsNull,
+    Literal,
+    Select,
+    TableRef,
+)
+
+# alias -> {lower-case column name -> declared/inferred type or None}
+TypeScope = Dict[str, Dict[str, Optional[DataType]]]
+
+COMPARISON_OPS = ("=", "<>", "<", "<=", ">", ">=")
+LOGICAL_OPS = ("AND", "OR")
+ARITHMETIC_OPS = ("+", "-", "*", "/")
+
+
+def build_scope(select: Select, schema: DatabaseSchema) -> TypeScope:
+    """The types visible through each FROM alias of *select*."""
+    scope: TypeScope = {}
+    for item in select.from_items:
+        if isinstance(item, TableRef):
+            if item.table not in schema:
+                scope[item.alias] = {}
+                continue
+            relation = schema.relation(item.table)
+            scope[item.alias] = {
+                column.name.lower(): column.dtype for column in relation.columns
+            }
+        elif isinstance(item, DerivedTable):
+            inner_scope = build_scope(item.select, schema)
+            exposed: Dict[str, Optional[DataType]] = {}
+            for index, sub in enumerate(item.select.items):
+                name = sub.output_name(default=f"col{index + 1}").lower()
+                exposed[name] = infer_expr_type(sub.expr, inner_scope)
+            scope[item.alias] = exposed
+    return scope
+
+
+def infer_expr_type(expr: Expr, scope: TypeScope) -> Optional[DataType]:
+    """Best-effort type of *expr* under *scope*; ``None`` when unknown."""
+    if isinstance(expr, ColumnRef):
+        name = expr.name.lower()
+        if expr.qualifier is not None:
+            return scope.get(expr.qualifier, {}).get(name)
+        owners = [
+            columns[name] for columns in scope.values() if name in columns
+        ]
+        if len(owners) == 1:
+            return owners[0]
+        return None  # unresolved or ambiguous — resolution checks flag it
+    if isinstance(expr, Literal):
+        if expr.value is None:
+            return None
+        try:
+            return infer_type(expr.value)
+        except TypeMismatchError:
+            return None
+    if isinstance(expr, FuncCall):
+        return _func_type(expr, scope)
+    if isinstance(expr, BinaryOp):
+        if expr.op in COMPARISON_OPS or expr.op in LOGICAL_OPS:
+            return DataType.BOOL
+        if expr.op in ARITHMETIC_OPS:
+            left = infer_expr_type(expr.left, scope)
+            right = infer_expr_type(expr.right, scope)
+            if left is None or right is None:
+                return None
+            try:
+                widened = common_type(left, right)
+            except TypeMismatchError:
+                return None
+            if expr.op == "/":
+                return DataType.FLOAT
+            return widened
+        return None
+    if isinstance(expr, (Contains, IsNull)):
+        return DataType.BOOL
+    return None  # Star and anything future
+
+
+def _func_type(call: FuncCall, scope: TypeScope) -> Optional[DataType]:
+    name = call.name.upper()
+    if name == "COUNT":
+        return DataType.INT
+    if name == "AVG":
+        return DataType.FLOAT
+    if name in ("SUM", "MIN", "MAX"):
+        if not call.args:
+            return None
+        return infer_expr_type(call.args[0], scope)
+    return None

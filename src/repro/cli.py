@@ -8,6 +8,8 @@ Examples::
     python -m repro --dataset acmdl --sqak "COUNT proceeding editor Smith"
     python -m repro --db-dir ./mydb --explain "COUNT thing GROUPBY other"
     python -m repro --dataset university --sql "SELECT Sname FROM Student"
+    python -m repro --dataset tpch --strict "COUNT part GROUPBY supplier"
+    python -m repro check --dataset tpch-unnorm
     python -m repro --reproduce
 
 ``--dataset`` picks one of the built-in databases; ``--db-dir`` loads a
@@ -92,6 +94,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="use the SQAK baseline instead of the semantic engine",
     )
     parser.add_argument(
+        "--strict",
+        action="store_true",
+        help=(
+            "statically analyze every interpretation and refuse to answer "
+            "when any error-severity diagnostic is found"
+        ),
+    )
+    parser.add_argument(
         "--sql",
         action="store_true",
         help="treat the argument as raw SQL and execute it directly",
@@ -119,7 +129,11 @@ def _load_source(args: argparse.Namespace) -> Tuple[Database, dict, dict, tuple]
             with open(fds_path, encoding="utf-8") as handle:
                 fds = json.load(handle)
         return database, fds, {}, ()
-    name = args.dataset
+    return load_dataset(args.dataset)
+
+
+def load_dataset(name: str) -> Tuple[Database, dict, dict, tuple]:
+    """Build one built-in dataset: (database, fds, name_hints, sqak_joins)."""
     if name == "university":
         return university_database(), {}, {}, ()
     if name == "enrolment":
@@ -141,9 +155,18 @@ def _load_source(args: argparse.Namespace) -> Tuple[Database, dict, dict, tuple]
 
 
 def _run_semantic(
-    engine: KeywordSearchEngine, query: str, top: int, explain: bool, out
+    engine: KeywordSearchEngine,
+    query: str,
+    top: int,
+    explain: bool,
+    out,
+    strict: bool = False,
 ) -> int:
-    result = engine.search(query, k=top, trace=explain)
+    result = engine.search(query, k=top, trace=explain, strict=strict)
+    if explain and not strict:
+        # strict search already ran the analyzers (and attached per-
+        # interpretation diagnostics); otherwise run them for the report
+        engine._analyze_compiled(query, result.interpretations)
     for interpretation in result.interpretations:
         print(f"-- interpretation #{interpretation.rank}: "
               f"{interpretation.description}", file=out)
@@ -158,6 +181,12 @@ def _run_semantic(
                 plan = engine.executor.plan_for(interpretation.select, tracer)
             print("-- physical plan", file=out)
             print(plan.explain(), file=out)
+            print("-- diagnostics", file=out)
+            if interpretation.diagnostics:
+                for diagnostic in interpretation.diagnostics:
+                    print(str(diagnostic), file=out)
+            else:
+                print("no diagnostics", file=out)
         else:
             print(interpretation.execute().format_table(), file=out)
         print(file=out)
@@ -192,6 +221,12 @@ def _run_sqak(sqak: SqakEngine, query: str, explain: bool, out) -> int:
 
 def main(argv: Optional[List[str]] = None, out=None) -> int:
     out = out or sys.stdout
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "check":
+        from repro.analysis.check import run_check
+
+        return run_check(list(argv[1:]), out)
     parser = build_parser()
     args = parser.parse_args(argv)
 
@@ -224,7 +259,9 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
         engine = KeywordSearchEngine(
             database, fds=fds or None, name_hints=name_hints or None
         )
-        return _run_semantic(engine, args.query, args.top, args.explain, out)
+        return _run_semantic(
+            engine, args.query, args.top, args.explain, out, strict=args.strict
+        )
     except ReproError as exc:
         print(f"error: {exc}", file=out)
         return 2

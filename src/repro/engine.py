@@ -25,7 +25,11 @@ from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
-from repro.errors import KeywordQueryError
+from repro.analysis.diagnostics import AnalysisReport, Diagnostic, Severity
+from repro.analysis.pattern_analyzers import analyze_interpretation_set
+from repro.analysis.pipeline import TranslationParts, analyze_compilation
+from repro.analysis.plan_analyzers import analyze_plan
+from repro.errors import KeywordQueryError, StaticAnalysisError
 from repro.keywords.matcher import Catalog, NormalizedCatalog, TermMatcher
 from repro.keywords.query import KeywordQuery
 from repro.observability import NULL_TRACER, MetricsRegistry, Trace, Tracer
@@ -64,6 +68,13 @@ class Interpretation:
     _executor: Executor = field(repr=False, compare=False, default=None)  # type: ignore[assignment]
     _result: Optional[QueryResult] = field(default=None, repr=False, compare=False)
     _tracer: object = field(default=None, repr=False, compare=False)
+    # static-analysis artifacts: populated by analyze()/strict searches
+    diagnostics: List[Diagnostic] = field(
+        default_factory=list, repr=False, compare=False
+    )
+    _parts: Optional[TranslationParts] = field(
+        default=None, repr=False, compare=False
+    )
 
     @property
     def sql(self) -> str:
@@ -138,9 +149,14 @@ class KeywordSearchEngine:
         check_fds: bool = False,
         compile_plans: bool = True,
         use_hash_joins: bool = True,
+        strict: bool = False,
     ) -> None:
         self.database = database
         self.top_k = top_k
+        # strict mode: statically analyze every compiled interpretation and
+        # refuse to return one with error-severity diagnostics
+        self.strict = strict
+        self.compile_plans = compile_plans
         # cross-query metrics sink; traced searches report into it too
         self.metrics = MetricsRegistry()
         # ablation knobs (see DESIGN.md section 5)
@@ -226,28 +242,37 @@ class KeywordSearchEngine:
         interpretations: List[Interpretation] = []
         with tracer.span("translate"):
             for rank, pattern in enumerate(ranked, start=1):
-                select = self.translate(pattern, tracer=tracer)
+                parts = self.translate_parts(pattern, tracer=tracer)
                 interpretations.append(
                     Interpretation(
                         rank=rank,
                         pattern=pattern,
-                        select=select,
+                        select=parts.final,
                         description=describe_pattern(pattern),
                         _executor=self.executor,
                         _tracer=tracer if tracer.enabled else None,
+                        _parts=parts,
                     )
                 )
         return interpretations
 
     def translate(self, pattern: QueryPattern, tracer=NULL_TRACER) -> Select:
         """Translate one pattern to SQL (with rewriting when unnormalized)."""
+        return self.translate_parts(pattern, tracer=tracer).final
+
+    def translate_parts(
+        self, pattern: QueryPattern, tracer=NULL_TRACER
+    ) -> TranslationParts:
+        """Translate one pattern, keeping the pre-rewrite statement and the
+        fragment-use metadata the static analyzers need."""
         if self.is_normalized:
             translator = PatternTranslator(
                 self.graph,
                 NormalizedSourceProvider(),
                 dedup_relationships=self.dedup_relationships,
             )
-            return translator.translate(pattern, tracer=tracer)
+            select = translator.translate(pattern, tracer=tracer)
+            return TranslationParts(raw=select, final=select)
         assert self.view is not None
         provider = UnnormalizedSourceProvider(self.view)
         translator = PatternTranslator(
@@ -255,14 +280,25 @@ class KeywordSearchEngine:
         )
         select = translator.translate(pattern, tracer=tracer)
         if not self.rewrite_sql:
-            return select
+            return TranslationParts(
+                raw=select, final=select, fragment_uses=dict(provider.fragment_uses)
+            )
         with tracer.span("rewrite"):
-            return rewrite(
+            rewritten = rewrite(
                 select, provider.fragment_uses, self.database.schema, tracer=tracer
             )
+        return TranslationParts(
+            raw=select,
+            final=rewritten,
+            fragment_uses=dict(provider.fragment_uses),
+        )
 
     def search(
-        self, query_text: str, k: Optional[int] = None, trace: bool = False
+        self,
+        query_text: str,
+        k: Optional[int] = None,
+        trace: bool = False,
+        strict: Optional[bool] = None,
     ) -> SearchResult:
         """Compile a query and return its ranked interpretations.
 
@@ -271,18 +307,93 @@ class KeywordSearchEngine:
         span tree (parse/match/generate/disambiguate/rank/translate, plus
         execute spans as interpretations are executed), and all counters
         also flow into ``engine.metrics``.
+
+        ``strict`` (default: the engine's ``strict`` setting) runs every
+        static analyzer over the compiled interpretations and raises
+        :class:`~repro.errors.StaticAnalysisError` when any error-severity
+        diagnostic is found; warnings/infos are attached to each
+        interpretation's ``diagnostics``.
         """
+        effective_strict = self.strict if strict is None else strict
         tracer = Tracer(registry=self.metrics) if trace else NULL_TRACER
         with tracer.span("search", query=query_text):
             with tracer.span("parse"):
                 query = self.parse(query_text)
             interpretations = self.compile(query_text, k, tracer=tracer)
             tracer.count("interpretations", len(interpretations))
+            if effective_strict:
+                report = self._analyze_compiled(
+                    query_text, interpretations, tracer=tracer
+                )
+                if report.has_errors:
+                    raise StaticAnalysisError(
+                        f"strict search rejected {query_text!r}: "
+                        + "; ".join(str(d) for d in report.errors),
+                        diagnostics=report.errors,
+                    )
         return SearchResult(
             query=query,
             interpretations=interpretations,
             trace=tracer.trace,
         )
+
+    # ------------------------------------------------------------------
+    # Static analysis
+    # ------------------------------------------------------------------
+    def analyze(
+        self, query_text: str, k: Optional[int] = None, tracer=NULL_TRACER
+    ) -> AnalysisReport:
+        """Statically analyze the top-k interpretations of a query.
+
+        Compiles (without executing) and runs all analyzer families —
+        pattern, translation, SQL/type, rewrite postconditions and, when
+        plan compilation is on, physical-plan soundness.  The per-
+        interpretation findings are also attached to each interpretation's
+        ``diagnostics`` list.
+        """
+        interpretations = self.compile(query_text, k, tracer=tracer)
+        return self._analyze_compiled(query_text, interpretations, tracer=tracer)
+
+    def _analyze_compiled(
+        self,
+        query_text: str,
+        interpretations: List[Interpretation],
+        tracer=NULL_TRACER,
+    ) -> AnalysisReport:
+        report = AnalysisReport()
+        with tracer.span("analyze"):
+            # set-level: the disambiguation check needs the full ranked set,
+            # not the top-k truncation (cache makes this a lookup)
+            ranked = self.patterns(query_text, tracer=NULL_TRACER)
+            report.extend(
+                analyze_interpretation_set(ranked)
+                if self.disambiguate
+                else []
+            )
+            for interpretation in interpretations:
+                parts = interpretation._parts
+                if parts is None:
+                    parts = self.translate_parts(interpretation.pattern)
+                location = f"interpretation #{interpretation.rank}"
+                findings = analyze_compilation(
+                    interpretation.pattern,
+                    parts,
+                    self.graph,
+                    self.database.schema,
+                    dedup_enabled=self.dedup_relationships,
+                    location=location,
+                )
+                if self.compile_plans:
+                    plan = self.executor.plan_for(parts.final, tracer)
+                    findings.extend(analyze_plan(plan, location))
+                interpretation.diagnostics = findings
+                report.extend(findings)
+            tracer.count("diagnostics", len(report))
+            tracer.count(
+                "diagnostics_errors",
+                sum(1 for d in report if d.severity is Severity.ERROR),
+            )
+        return report
 
     def search_many(
         self,

@@ -75,3 +75,15 @@ class UnsupportedQueryError(KeywordQueryError):
 
 class NormalizationError(ReproError):
     """Functional-dependency or normalization failure."""
+
+
+class StaticAnalysisError(ReproError):
+    """Strict-mode analysis found error-severity diagnostics.
+
+    Carries the offending diagnostics in :attr:`diagnostics` so callers can
+    render them (the CLI does, the test corpus asserts on their codes).
+    """
+
+    def __init__(self, message: str, diagnostics=()) -> None:
+        super().__init__(message)
+        self.diagnostics = list(diagnostics)

@@ -10,7 +10,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, FrozenSet, List, Sequence, Tuple
 
-from repro.fd.closure import closure, minimal_cover
+from repro.fd.closure import closure, implies, minimal_cover
 from repro.fd.functional_dependency import AttributeSet, FunctionalDependency
 from repro.fd.keys import candidate_keys
 
@@ -31,15 +31,22 @@ def synthesize_3nf(
 ) -> List[DecomposedRelation]:
     """3NF synthesis of (attributes, fds).
 
-    Classical Bernstein synthesis:
+    Classical Bernstein synthesis (Bernstein 1976):
 
     1. compute a minimal cover;
     2. group FDs whose determinants are equivalent (same closure) into one
-       sub-relation `lhs U rhs...` keyed by the determinant;
-    3. ensure some sub-relation contains a candidate key of the whole
+       sub-relation `lhs U rhs...` keyed by the determinant; equivalent
+       determinants X ~ Y contribute the bijection ``X -> Y, Y -> X`` to the
+       J set;
+    3. eliminate transitive dependencies: drop every cover FD implied by
+       the remaining cover together with J (without this step a merged
+       group can absorb an attribute that depends on a *proper subset* of
+       the group key, violating 3NF — see the regression cover
+       ``{AC->D, ABC->E, DE->C, ABE->D}``);
+    4. ensure some sub-relation contains a candidate key of the whole
        relation, else add one;
-    4. drop sub-relations subsumed by others;
-    5. attributes not mentioned by any FD are appended to the key relation
+    5. drop sub-relations subsumed by others;
+    6. attributes not mentioned by any FD are appended to the key relation
        (they depend on the full key only).
     """
     cover = minimal_cover(fds)
@@ -49,21 +56,50 @@ def synthesize_3nf(
     # group by determinant-equivalence (X ~ Y iff X+ == Y+)
     groups: Dict[FrozenSet[str], List[FunctionalDependency]] = {}
     closures: Dict[FrozenSet[str], AttributeSet] = {}
+    determinants: Dict[FrozenSet[str], List[FrozenSet[str]]] = {}
     for fd in cover:
         fd_closure = closure(fd.lhs, cover)
         placed = False
         for representative in list(groups):
             if closures[representative] == fd_closure:
                 groups[representative].append(fd)
+                if fd.lhs not in determinants[representative]:
+                    determinants[representative].append(fd.lhs)
                 placed = True
                 break
         if not placed:
             groups[fd.lhs] = [fd]
             closures[fd.lhs] = fd_closure
+            determinants[fd.lhs] = [fd.lhs]
+
+    # J set: the equivalence bijections between merged determinants
+    j_set: List[FunctionalDependency] = []
+    for representative, dets in determinants.items():
+        for determinant in dets:
+            if determinant != representative:
+                j_set.append(FunctionalDependency(representative, determinant))
+                j_set.append(FunctionalDependency(determinant, representative))
+
+    # transitive elimination: find a minimal H' <= cover with
+    # (H' u J)+ == (cover u J)+, greedily dropping FDs implied by the rest
+    if j_set:
+        reduced = list(cover)
+        for fd in list(cover):
+            rest = [other for other in reduced if other is not fd]
+            if implies(rest + j_set, fd):
+                reduced = rest
+        for representative in groups:
+            groups[representative] = [
+                fd for fd in groups[representative] if fd in reduced
+            ]
 
     relations: List[DecomposedRelation] = []
     for representative, group in groups.items():
         rel_attrs = frozenset(representative)
+        # every equivalent determinant is a key of the sub-relation and must
+        # appear in it, even when all of its own FDs were eliminated
+        for determinant in determinants[representative]:
+            rel_attrs |= determinant
         for fd in group:
             rel_attrs |= fd.lhs | fd.rhs
         relations.append(DecomposedRelation(rel_attrs, frozenset(representative)))

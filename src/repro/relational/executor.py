@@ -71,6 +71,12 @@ class Executor:
     components are combined with cartesian products and filtered afterwards.
     Semantically identical, asymptotically worse — kept for the planner
     ablation benchmark (DESIGN.md section 5).
+
+    ``validate=True`` runs the static SQL analyzers
+    (:func:`repro.analysis.analyze_select`) over every statement before
+    executing it and raises :class:`SqlExecutionError` on error-severity
+    diagnostics — the debug-mode assertion that gives hand-written SQL the
+    same gate as engine-generated SQL.
     """
 
     plan_cache_size = 256
@@ -81,11 +87,13 @@ class Executor:
         use_hash_joins: bool = True,
         tracer=None,
         compile_plans: bool = True,
+        validate: bool = False,
     ) -> None:
         self.database = database
         self.use_hash_joins = use_hash_joins
         self.tracer = tracer or NULL_TRACER
         self.compile_plans = compile_plans
+        self.validate = validate
         self._plan_cache: "OrderedDict[str, Tuple[Any, CompiledPlan]]" = OrderedDict()
         self._plan_lock = threading.Lock()
 
@@ -101,6 +109,8 @@ class Executor:
         """
         tracer = tracer or self.tracer
         select = parse(query) if isinstance(query, str) else query
+        if self.validate:
+            self._validate(select, tracer)
         with tracer.span("execute"):
             if self.compile_plans:
                 plan = self.plan_for(select, tracer)
@@ -132,6 +142,21 @@ class Executor:
             while len(self._plan_cache) > self.plan_cache_size:
                 self._plan_cache.popitem(last=False)
         return plan
+
+    def _validate(self, select: Select, tracer=NULL_TRACER) -> None:
+        """Debug-mode static gate: raise on error-severity diagnostics."""
+        # imported lazily: repro.analysis depends on repro.relational, so a
+        # module-level import here would be circular
+        from repro.analysis.diagnostics import Severity
+        from repro.analysis.sql_analyzers import analyze_select
+
+        with tracer.span("validate"):
+            diagnostics = analyze_select(select, self.database.schema)
+        tracer.count("diagnostics", len(diagnostics))
+        errors = [d for d in diagnostics if d.severity is Severity.ERROR]
+        if errors:
+            summary = "; ".join(str(d) for d in errors)
+            raise SqlExecutionError(f"statement failed validation: {summary}")
 
     def clear_plan_cache(self) -> None:
         with self._plan_lock:
@@ -414,6 +439,8 @@ class Executor:
         return [groups[key] for key in order]
 
 
-def execute_sql(database: Database, sql: Union[Select, str]) -> QueryResult:
+def execute_sql(
+    database: Database, sql: Union[Select, str], validate: bool = False
+) -> QueryResult:
     """One-shot convenience wrapper around :class:`Executor`."""
-    return Executor(database).execute(sql)
+    return Executor(database, validate=validate).execute(sql)

@@ -14,13 +14,18 @@ this validator checks a whole statement up front and with better messages:
   strict gate);
 * LIMIT is non-negative.
 
-Used by the test suite as an invariant over all generated SQL, and exposed
-for users who hand-write statements.
+Each issue carries a stable diagnostic code (``S001``–``S014``, see
+``repro.analysis.diagnostics.CODE_CATALOG``); the analysis layer converts
+issues into :class:`~repro.analysis.diagnostics.Diagnostic` values and adds
+schema-aware type checks on top.
+
+Used by the test suite as an invariant over all generated SQL, wired into
+the executor's debug mode, and exposed for users who hand-write statements.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Set
 
 from repro.relational.schema import DatabaseSchema
 from repro.sql.ast import (
@@ -31,7 +36,6 @@ from repro.sql.ast import (
     Expr,
     FuncCall,
     IsNull,
-    Literal,
     Select,
     Star,
     TableRef,
@@ -41,9 +45,10 @@ from repro.sql.ast import (
 class ValidationIssue:
     """One problem found in a statement."""
 
-    def __init__(self, message: str, path: str = "") -> None:
+    def __init__(self, message: str, path: str = "", code: str = "S000") -> None:
         self.message = message
         self.path = path  # e.g. 'subquery R1' for nested scopes
+        self.code = code  # stable diagnostic code (see CODE_CATALOG)
 
     def __str__(self) -> str:
         if self.path:
@@ -61,22 +66,21 @@ def validate_select(
     issues: List[ValidationIssue] = []
     scope: Dict[str, Set[str]] = {}  # alias -> exposed (lower-case) columns
 
+    def report(message: str, code: str) -> None:
+        issues.append(ValidationIssue(message, path, code))
+
     # ------------------------------------------------------------------
     # FROM
     # ------------------------------------------------------------------
     if not select.from_items:
-        issues.append(ValidationIssue("FROM clause is empty", path))
+        report("FROM clause is empty", "S009")
     for item in select.from_items:
         if item.alias in scope:
-            issues.append(
-                ValidationIssue(f"duplicate alias {item.alias!r}", path)
-            )
+            report(f"duplicate alias {item.alias!r}", "S004")
             continue
         if isinstance(item, TableRef):
             if item.table not in schema:
-                issues.append(
-                    ValidationIssue(f"unknown table {item.table!r}", path)
-                )
+                report(f"unknown table {item.table!r}", "S001")
                 scope[item.alias] = set()
                 continue
             scope[item.alias] = {
@@ -94,56 +98,48 @@ def validate_select(
     # ------------------------------------------------------------------
     # column resolution
     # ------------------------------------------------------------------
-    def check_ref(ref: ColumnRef) -> None:
+    def check_ref(ref: ColumnRef, code: str = "S002") -> None:
         name = ref.name.lower()
         if ref.qualifier is not None:
             exposed = scope.get(ref.qualifier)
             if exposed is None:
-                issues.append(
-                    ValidationIssue(f"unknown alias in {ref}", path)
-                )
+                report(f"unknown alias in {ref}", code)
             elif name not in exposed:
-                issues.append(
-                    ValidationIssue(f"unknown column {ref}", path)
-                )
+                report(f"unknown column {ref}", code)
             return
         owners = [alias for alias, cols in scope.items() if name in cols]
         if not owners:
-            issues.append(ValidationIssue(f"unknown column {ref}", path))
+            report(f"unknown column {ref}", code)
         elif len(owners) > 1:
-            issues.append(
-                ValidationIssue(
-                    f"ambiguous column {ref} (in {', '.join(sorted(owners))})",
-                    path,
-                )
+            report(
+                f"ambiguous column {ref} (in {', '.join(sorted(owners))})",
+                "S003",
             )
 
-    def check_expr(expr: Expr, inside_aggregate: bool = False) -> None:
+    def check_expr(
+        expr: Expr, inside_aggregate: bool = False, ref_code: str = "S002"
+    ) -> None:
         if isinstance(expr, ColumnRef):
-            check_ref(expr)
+            check_ref(expr, ref_code)
         elif isinstance(expr, Star):
             if not inside_aggregate:
-                issues.append(
-                    ValidationIssue("'*' is only valid inside COUNT(*)", path)
-                )
+                report("'*' is only valid inside COUNT(*)", "S005")
         elif isinstance(expr, FuncCall):
             if expr.is_aggregate and inside_aggregate:
-                issues.append(
-                    ValidationIssue(
-                        f"nested aggregate {expr.name} inside an aggregate "
-                        "(use a derived table)",
-                        path,
-                    )
+                report(
+                    f"nested aggregate {expr.name} inside an aggregate "
+                    "(use a derived table)",
+                    "S006",
                 )
             for arg in expr.args:
-                check_expr(arg, inside_aggregate or expr.is_aggregate)
+                check_expr(arg, inside_aggregate or expr.is_aggregate, ref_code)
         elif isinstance(expr, BinaryOp):
-            check_expr(expr.left, inside_aggregate)
-            check_expr(expr.right, inside_aggregate)
+            check_expr(expr.left, inside_aggregate, ref_code)
+            check_expr(expr.right, inside_aggregate, ref_code)
         elif isinstance(expr, Contains):
-            check_expr(expr.column, inside_aggregate)
+            check_expr(expr.column, inside_aggregate, ref_code)
         elif isinstance(expr, IsNull):
-            check_expr(expr.operand, inside_aggregate)
+            check_expr(expr.operand, inside_aggregate, ref_code)
         # Literal: nothing to check
 
     for item in select.items:
@@ -151,15 +147,11 @@ def validate_select(
     if select.where is not None:
         check_expr(select.where)
         if select.where.contains_aggregate():
-            issues.append(
-                ValidationIssue("aggregate in WHERE clause", path)
-            )
+            report("aggregate in WHERE clause", "S007")
     for expr in select.group_by:
         check_expr(expr)
         if expr.contains_aggregate():
-            issues.append(
-                ValidationIssue("aggregate in GROUP BY clause", path)
-            )
+            report("aggregate in GROUP BY clause", "S007")
     for order in select.order_by:
         # ORDER BY may also name output columns; accept those
         if isinstance(order.expr, ColumnRef) and order.expr.qualifier is None:
@@ -169,7 +161,7 @@ def validate_select(
             }
             if order.expr.name.lower() in output_names:
                 continue
-        check_expr(order.expr)
+        check_expr(order.expr, ref_code="S014")
 
     # ------------------------------------------------------------------
     # grouping discipline
@@ -180,15 +172,13 @@ def validate_select(
             if item.expr.contains_aggregate():
                 continue
             if repr(item.expr) not in grouped:
-                issues.append(
-                    ValidationIssue(
-                        f"non-aggregate output {item.expr} not in GROUP BY",
-                        path,
-                    )
+                report(
+                    f"non-aggregate output {item.expr} not in GROUP BY",
+                    "S008",
                 )
 
     if select.limit is not None and select.limit < 0:
-        issues.append(ValidationIssue("negative LIMIT", path))
+        report("negative LIMIT", "S009")
     return issues
 
 

@@ -1,0 +1,209 @@
+"""Pattern analyzers over a corpus of deliberately broken patterns.
+
+Each corpus case states the exact diagnostic code it must produce; the
+clean cases come from the engine's own pipeline and must analyze silently.
+"""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.analysis.pattern_analyzers import (
+    analyze_interpretation_set,
+    analyze_pattern,
+    analyze_translation,
+)
+from repro.datasets import university_database
+from repro.engine import KeywordSearchEngine
+from repro.orm.classify import RelationType
+from repro.patterns.pattern import (
+    AggregateAnnotation,
+    Condition,
+    GroupByAnnotation,
+    QueryPattern,
+)
+from repro.sql.ast import TableRef
+
+
+@pytest.fixture(scope="module")
+def engine():
+    return KeywordSearchEngine(university_database())
+
+
+@pytest.fixture(scope="module")
+def graph(engine):
+    return engine.graph
+
+
+def codes(diagnostics):
+    return [d.code for d in diagnostics]
+
+
+def make_node(pattern, orm_node, relation=None, node_type=RelationType.OBJECT):
+    return pattern.add_node(orm_node, relation or orm_node, node_type)
+
+
+class TestAnalyzePattern:
+    def test_clean_pipeline_pattern(self, engine, graph):
+        for pattern in engine.patterns("COUNT Lecturer GROUPBY Course"):
+            assert analyze_pattern(pattern, graph) == []
+
+    def test_p001_empty_pattern(self, graph):
+        assert codes(analyze_pattern(QueryPattern(), graph)) == ["P001"]
+
+    def test_p002_disconnected(self, graph):
+        pattern = QueryPattern()
+        student = make_node(pattern, "Student")
+        course = make_node(pattern, "Course")
+        student.conditions.append(Condition("Student", "Sname", "Green"))
+        course.conditions.append(Condition("Course", "Title", "Logic"))
+        assert codes(analyze_pattern(pattern, graph)) == ["P002"]
+
+    def test_p003_unannotated_leaf(self, graph):
+        pattern = QueryPattern()
+        student = make_node(pattern, "Student")
+        enrol = make_node(
+            pattern, "Enrol", node_type=RelationType.RELATIONSHIP
+        )
+        student.conditions.append(Condition("Student", "Sname", "Green"))
+        pattern.add_edge(
+            student.id, enrol.id, graph.edges_between("Student", "Enrol")[0]
+        )
+        assert codes(analyze_pattern(pattern, graph)) == ["P003"]
+
+    def test_p004_unknown_orm_node(self, graph):
+        pattern = QueryPattern()
+        make_node(pattern, "Ghost")
+        assert codes(analyze_pattern(pattern, graph)) == ["P004"]
+
+    def test_p004_relation_outside_node(self, graph):
+        pattern = QueryPattern()
+        node = make_node(pattern, "Course", relation="Student")
+        node.conditions.append(Condition("Course", "Title", "Logic"))
+        assert codes(analyze_pattern(pattern, graph)) == ["P004"]
+
+    def test_p005_unknown_attribute(self, graph):
+        pattern = QueryPattern()
+        node = make_node(pattern, "Student")
+        node.conditions.append(Condition("Student", "Nope", "Green"))
+        assert codes(analyze_pattern(pattern, graph)) == ["P005"]
+
+    def test_p005_foreign_relation_annotation(self, graph):
+        pattern = QueryPattern()
+        node = make_node(pattern, "Student")
+        node.aggregates.append(
+            AggregateAnnotation("COUNT", "Course", "Code", "numCode")
+        )
+        assert codes(analyze_pattern(pattern, graph)) == ["P005"]
+
+    def test_p006_edge_endpoint_mismatch(self, graph):
+        pattern = QueryPattern()
+        lecturer = make_node(
+            pattern, "Lecturer", node_type=RelationType.MIXED
+        )
+        teach = make_node(
+            pattern, "Teach", node_type=RelationType.RELATIONSHIP
+        )
+        lecturer.aggregates.append(
+            AggregateAnnotation("COUNT", "Lecturer", "Lid", "numLid")
+        )
+        teach.conditions.append(Condition("Teach", "Code", "CS1"))
+        # joins the two nodes with an ORM edge of a different node pair
+        pattern.add_edge(
+            lecturer.id, teach.id, graph.edges_between("Student", "Enrol")[0]
+        )
+        assert codes(analyze_pattern(pattern, graph)) == ["P006"]
+
+    def test_p008_invalid_aggregate_function(self, graph):
+        pattern = QueryPattern()
+        node = make_node(pattern, "Student")
+        node.aggregates.append(
+            AggregateAnnotation("MEDIAN", "Student", "Age", "medAge")
+        )
+        assert codes(analyze_pattern(pattern, graph)) == ["P008"]
+
+    def test_p008_invalid_outer_chain(self, graph):
+        pattern = QueryPattern()
+        node = make_node(pattern, "Student")
+        node.aggregates.append(
+            AggregateAnnotation(
+                "COUNT", "Student", "Sid", "numSid", outer_chain=("MODE",)
+            )
+        )
+        assert codes(analyze_pattern(pattern, graph)) == ["P008"]
+
+
+class TestInterpretationSet:
+    def _condition_pattern(self, distinguish):
+        pattern = QueryPattern()
+        node = pattern.add_node("Student", "Student", RelationType.OBJECT)
+        node.conditions.append(
+            Condition("Student", "Sname", "Green", distinct_objects=2)
+        )
+        if distinguish:
+            node.groupbys.append(
+                GroupByAnnotation(
+                    "Student", ("Sid",), from_disambiguation=True
+                )
+            )
+        return pattern
+
+    def test_p007_missing_variant(self):
+        diagnostics = analyze_interpretation_set(
+            [self._condition_pattern(distinguish=False)]
+        )
+        assert codes(diagnostics) == ["P007"]
+        assert diagnostics[0].severity.name == "WARNING"
+
+    def test_distinguishing_variant_satisfies_p007(self):
+        patterns = [
+            self._condition_pattern(distinguish=False),
+            self._condition_pattern(distinguish=True),
+        ]
+        assert analyze_interpretation_set(patterns) == []
+
+    def test_single_object_value_needs_no_variant(self):
+        pattern = QueryPattern()
+        node = pattern.add_node("Student", "Student", RelationType.OBJECT)
+        node.conditions.append(
+            Condition("Student", "Sname", "Green", distinct_objects=1)
+        )
+        assert analyze_interpretation_set([pattern]) == []
+
+    def test_engine_pipeline_set_is_clean(self, engine):
+        ranked = engine.patterns('COUNT Course "Green"')
+        assert analyze_interpretation_set(ranked) == []
+
+
+class TestAnalyzeTranslation:
+    def test_clean_translation(self, engine, graph):
+        pattern = engine.patterns("COUNT Lecturer GROUPBY Course")[0]
+        parts = engine.translate_parts(pattern)
+        assert analyze_translation(pattern, parts.raw, graph) == []
+
+    def test_p009_missing_distinct_projection(self, engine, graph):
+        # Teach is 3-ary (Course, Lecturer, Textbook); this query uses two
+        # participants, so its alias must be a DISTINCT projection
+        pattern = engine.patterns("COUNT Lecturer GROUPBY Course")[0]
+        parts = engine.translate_parts(pattern)
+        broken = replace(
+            parts.raw,
+            from_items=tuple(
+                TableRef("Teach", item.alias) if item.alias == "T1" else item
+                for item in parts.raw.from_items
+            ),
+        )
+        diagnostics = analyze_translation(pattern, broken, graph)
+        assert codes(diagnostics) == ["P009"]
+
+    def test_ablation_disables_p009(self, engine, graph):
+        pattern = engine.patterns("COUNT Lecturer GROUPBY Course")[0]
+        parts = engine.translate_parts(pattern)
+        broken = replace(
+            parts.raw,
+            from_items=tuple(
+                TableRef("Teach", item.alias) if item.alias == "T1" else item
+                for item in parts.raw.from_items
+            ),
+        )
+        assert analyze_translation(pattern, broken, graph, enabled=False) == []

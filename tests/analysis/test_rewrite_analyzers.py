@@ -1,0 +1,208 @@
+"""Rewrite postconditions (R001–R005), hand-built and pipeline cases."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.analysis.rewrite_analyzers import analyze_rewrite
+from repro.datasets import enrolment_database
+from repro.engine import KeywordSearchEngine
+from repro.sql.ast import (
+    ColumnRef,
+    DerivedTable,
+    FuncCall,
+    Select,
+    SelectItem,
+    TableRef,
+    eq,
+)
+from repro.unnormalized.provider import FragmentUse
+
+ENROLMENT_FDS = {
+    "Enrolment": ["Sid -> Sname, Age", "Code -> Title, Credit"]
+}
+
+
+@pytest.fixture(scope="module")
+def engine():
+    return KeywordSearchEngine(enrolment_database(), fds=ENROLMENT_FDS)
+
+
+def codes(diagnostics):
+    return [d.code for d in diagnostics]
+
+
+def fragment(alias, attrs, distinct=True):
+    projection = Select(
+        items=tuple(SelectItem(ColumnRef(attr)) for attr in attrs),
+        from_items=(TableRef.of("Enrolment"),),
+        distinct=distinct,
+    )
+    return DerivedTable(projection, alias)
+
+
+def simple_statement(fragment_attrs):
+    """SELECT COUNT(F1.Code) ... FROM <fragment> GROUP BY F1.Sid."""
+    return Select(
+        items=(
+            SelectItem(ColumnRef("Sid", "F1")),
+            SelectItem(
+                FuncCall("COUNT", (ColumnRef("Code", "F1"),)), "numCode"
+            ),
+        ),
+        from_items=(fragment("F1", fragment_attrs),),
+        group_by=(ColumnRef("Sid", "F1"),),
+    )
+
+
+USES = {
+    "F1": FragmentUse(
+        "F1", "Enrolment", ("Sid", "Code"), ("Sid", "Code"), True
+    )
+}
+
+
+class TestHandBuiltPostconditions:
+    def test_identity_rewrite_is_clean(self, engine):
+        original = simple_statement(("Sid", "Code"))
+        assert (
+            analyze_rewrite(original, original, USES, engine.database.schema)
+            == []
+        )
+
+    def test_r001_unknown_relation(self, engine):
+        original = simple_statement(("Sid", "Code"))
+        rewritten = replace(
+            original, from_items=(TableRef("Ghost", "F1"),)
+        )
+        assert "R001" in codes(
+            analyze_rewrite(original, rewritten, {}, engine.database.schema)
+        )
+
+    def test_r002_changed_group_keys(self, engine):
+        original = simple_statement(("Sid", "Code"))
+        rewritten = replace(original, group_by=(ColumnRef("Code", "F1"),))
+        assert "R002" in codes(
+            analyze_rewrite(original, rewritten, USES, engine.database.schema)
+        )
+
+    def test_r003_changed_output(self, engine):
+        original = simple_statement(("Sid", "Code"))
+        rewritten = replace(original, items=original.items[:1])
+        found = codes(
+            analyze_rewrite(original, rewritten, USES, engine.database.schema)
+        )
+        assert "R003" in found
+
+    def test_r004_lost_view_key(self, engine):
+        original = simple_statement(("Sid", "Code"))
+        # Rule 1 gone wrong: the DISTINCT fragment drops the Code key column
+        rewritten = replace(
+            original, from_items=(fragment("F1", ("Sid",)),)
+        )
+        found = analyze_rewrite(
+            original, rewritten, USES, engine.database.schema
+        )
+        assert "R004" in codes(found)
+
+    def test_r004_not_reported_for_never_projected_key(self, engine):
+        # a force-distinct projection that never carried the key cannot
+        # "lose" it — only emission-time attributes count
+        uses = {
+            "F1": FragmentUse(
+                "F1", "Enrolment", ("Sname",), ("Sid", "Code"), True
+            )
+        }
+        original = Select(
+            items=(SelectItem(ColumnRef("Sname", "F1")),),
+            from_items=(fragment("F1", ("Sname",)),),
+        )
+        assert (
+            analyze_rewrite(original, original, uses, engine.database.schema)
+            == []
+        )
+
+    def test_r004_not_reported_without_distinct(self, engine):
+        uses = {
+            "F1": FragmentUse(
+                "F1", "Enrolment", ("Sid", "Code"), ("Sid", "Code"), False
+            )
+        }
+        original = Select(
+            items=(SelectItem(ColumnRef("Sid", "F1")),),
+            from_items=(fragment("F1", ("Sid", "Code"), distinct=False),),
+        )
+        rewritten = replace(
+            original, from_items=(fragment("F1", ("Sid",), distinct=False),)
+        )
+        assert (
+            analyze_rewrite(original, rewritten, uses, engine.database.schema)
+            == []
+        )
+
+    def test_r005_changed_aggregates(self, engine):
+        original = simple_statement(("Sid", "Code"))
+        rewritten = replace(
+            original,
+            items=(
+                original.items[0],
+                SelectItem(
+                    FuncCall("SUM", (ColumnRef("Code", "F1"),)), "numCode"
+                ),
+            ),
+        )
+        assert "R005" in codes(
+            analyze_rewrite(original, rewritten, USES, engine.database.schema)
+        )
+
+
+class TestPipelineRewrites:
+    @pytest.mark.parametrize(
+        "query",
+        [
+            "Green SUM Credit",
+            "COUNT Sid GROUPBY Code",
+            "AVG COUNT Sid GROUPBY Code",
+        ],
+    )
+    def test_real_rewrites_are_clean(self, engine, query):
+        for pattern in engine.patterns(query)[:5]:
+            parts = engine.translate_parts(pattern)
+            if not parts.was_rewritten:
+                continue
+            assert (
+                analyze_rewrite(
+                    parts.raw,
+                    parts.final,
+                    parts.fragment_uses,
+                    engine.database.schema,
+                )
+                == []
+            )
+
+    def test_nested_wrapper_levels_compared(self, engine):
+        # break the inner level of a nested-aggregate statement
+        pattern = next(
+            p
+            for p in engine.patterns("AVG COUNT Sid GROUPBY Code")
+            if any(
+                a.outer_chain for n in p.nodes for a in n.aggregates
+            )
+        )
+        parts = engine.translate_parts(pattern)
+        inner = parts.final.subqueries()
+        if len(parts.final.from_items) != 1 or len(inner) != 1:
+            pytest.skip("rewrite did not keep the wrapper shape")
+        broken_inner = replace(inner[0], group_by=())
+        broken = replace(
+            parts.final,
+            from_items=(
+                DerivedTable(broken_inner, parts.final.from_items[0].alias),
+            ),
+        )
+        found = codes(
+            analyze_rewrite(
+                parts.raw, broken, parts.fragment_uses, engine.database.schema
+            )
+        )
+        assert "R002" in found

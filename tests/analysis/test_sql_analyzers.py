@@ -1,0 +1,128 @@
+"""SQL/type analyzers over a corpus of deliberately broken statements.
+
+Every case is a SQL string (parsed by the project parser) with the exact
+code it must trigger against the university schema.
+"""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.analysis.diagnostics import Severity
+from repro.analysis.sql_analyzers import analyze_select
+from repro.analysis.type_inference import build_scope, infer_expr_type
+from repro.datasets import university_database
+from repro.relational.types import DataType
+from repro.sql.ast import ColumnRef
+from repro.sql.parser import parse
+
+
+@pytest.fixture(scope="module")
+def schema():
+    return university_database().schema
+
+
+def analyze_sql(sql, schema):
+    return analyze_select(parse(sql), schema)
+
+
+def codes(diagnostics):
+    return [d.code for d in diagnostics]
+
+
+CLEAN_STATEMENTS = (
+    "SELECT Sname FROM Student",
+    "SELECT C.Code, COUNT(L.Lid) AS numLid FROM Course C, Lecturer L, "
+    "Teach T WHERE T.Code = C.Code AND T.Lid = L.Lid GROUP BY C.Code",
+    "SELECT COUNT(*) FROM Enrol",
+    "SELECT Sname FROM Student WHERE Sname LIKE '%Green%' ORDER BY Sname",
+    "SELECT AVG(n) AS avgN FROM (SELECT Code, COUNT(Sid) AS n FROM Enrol "
+    "GROUP BY Code) X",
+)
+
+BROKEN_STATEMENTS = (
+    ("SELECT Sid FROM Nosuch", "S001"),
+    ("SELECT Nope FROM Student", "S002"),
+    ("SELECT X.Sid FROM Student S", "S002"),
+    ("SELECT Code FROM Course, Teach", "S003"),
+    ("SELECT S.Sid FROM Student S, Course S", "S004"),
+    ("SELECT * FROM Student", "S005"),
+    ("SELECT SUM(COUNT(Sid)) AS x FROM Student", "S006"),
+    ("SELECT Sid FROM Student WHERE COUNT(Sid) = 1", "S007"),
+    ("SELECT Sid, COUNT(Code) AS n FROM Enrol GROUP BY Code", "S008"),
+    ("SELECT Sid FROM Student LIMIT 3", None),  # shape probe, see below
+    ("SELECT SUM(Sname) AS s FROM Student", "S010"),
+    ("SELECT Sid FROM Student WHERE Sname = 1", "S011"),
+    ("SELECT Sid FROM Student WHERE Age + Sname > 1", "S012"),
+    ("SELECT Sid FROM Student WHERE Age LIKE '%1%'", "S013"),
+    ("SELECT Sid FROM Student ORDER BY Nope", "S014"),
+    ("SELECT AVG(n) AS a FROM (SELECT COUNT(Sid) AS n FROM Student) X",
+     "S015"),
+)
+
+
+class TestCleanStatements:
+    @pytest.mark.parametrize("sql", CLEAN_STATEMENTS)
+    def test_no_diagnostics(self, schema, sql):
+        assert analyze_sql(sql, schema) == []
+
+
+class TestBrokenStatements:
+    @pytest.mark.parametrize(
+        "sql,code",
+        [(sql, code) for sql, code in BROKEN_STATEMENTS if code],
+    )
+    def test_expected_code(self, schema, sql, code):
+        found = codes(analyze_sql(sql, schema))
+        assert code in found, f"{sql!r}: expected {code}, got {found}"
+
+    def test_s009_negative_limit(self, schema):
+        select = replace(parse("SELECT Sid FROM Student"), limit=-1)
+        assert "S009" in codes(analyze_select(select, schema))
+
+    def test_s009_empty_from(self, schema):
+        select = replace(parse("SELECT Sid FROM Student"), from_items=())
+        assert "S009" in codes(analyze_select(select, schema))
+
+    def test_s013_is_warning(self, schema):
+        diagnostics = analyze_sql(
+            "SELECT Sid FROM Student WHERE Age LIKE '%1%'", schema
+        )
+        assert [d.severity for d in diagnostics] == [Severity.WARNING]
+
+    def test_s015_is_warning(self, schema):
+        diagnostics = analyze_sql(
+            "SELECT AVG(n) AS a FROM (SELECT COUNT(Sid) AS n FROM Student) X",
+            schema,
+        )
+        assert [(d.code, d.severity) for d in diagnostics] == [
+            ("S015", Severity.WARNING)
+        ]
+
+    def test_subquery_diagnostics_are_located(self, schema):
+        diagnostics = analyze_sql(
+            "SELECT s FROM (SELECT SUM(Sname) AS s FROM Student) X", schema
+        )
+        s010 = [d for d in diagnostics if d.code == "S010"]
+        assert len(s010) == 1
+        assert "subquery X" in s010[0].location
+
+
+class TestTypeInference:
+    def test_scope_resolves_declared_types(self, schema):
+        select = parse("SELECT S.Age FROM Student S")
+        scope = build_scope(select, schema)
+        assert scope["S"]["age"] is DataType.INT
+        assert infer_expr_type(ColumnRef("Age", "S"), scope) is DataType.INT
+
+    def test_derived_table_types_flow_through(self, schema):
+        select = parse(
+            "SELECT X.n FROM (SELECT COUNT(Sid) AS n FROM Student) X"
+        )
+        scope = build_scope(select, schema)
+        assert scope["X"]["n"] is DataType.INT
+
+    def test_unknown_stays_unknown(self, schema):
+        select = parse("SELECT Sid FROM Student")
+        scope = build_scope(select, schema)
+        assert infer_expr_type(ColumnRef("Mystery"), scope) is None

@@ -1,0 +1,125 @@
+"""Strict mode end-to-end: engine.analyze, search(strict=...), executor
+validation, and the diagnostics flowing into traces."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.analysis.pipeline import TranslationParts
+from repro.datasets import university_database
+from repro.engine import KeywordSearchEngine
+from repro.errors import SqlExecutionError, StaticAnalysisError
+from repro.relational.executor import execute_sql
+from repro.sql.ast import TableRef
+
+
+@pytest.fixture()
+def engine():
+    return KeywordSearchEngine(university_database())
+
+
+def break_translation(engine):
+    """Make the engine lose the DISTINCT dedup projection (Example 6)."""
+    original = engine.translate_parts
+
+    def broken(pattern, tracer=None):
+        parts = original(pattern)
+        raw = replace(
+            parts.raw,
+            from_items=tuple(
+                TableRef("Teach", item.alias)
+                if item.alias == "T1"
+                else item
+                for item in parts.raw.from_items
+            ),
+        )
+        return TranslationParts(raw=raw, final=raw)
+
+    engine.translate_parts = broken
+
+
+class TestAnalyze:
+    def test_clean_query_has_no_diagnostics(self, engine):
+        report = engine.analyze("COUNT Lecturer GROUPBY Course")
+        assert len(report) == 0
+        assert not report.has_findings
+
+    def test_diagnostics_attach_to_interpretations(self, engine):
+        break_translation(engine)
+        report = engine.analyze("COUNT Lecturer GROUPBY Course")
+        assert "P009" in report.codes()
+        interpretations = engine.compile("COUNT Lecturer GROUPBY Course")
+        engine._analyze_compiled(
+            "COUNT Lecturer GROUPBY Course", interpretations
+        )
+        assert any(
+            d.code == "P009"
+            for interp in interpretations
+            for d in interp.diagnostics
+        )
+
+    def test_locations_name_the_interpretation(self, engine):
+        break_translation(engine)
+        report = engine.analyze("COUNT Lecturer GROUPBY Course")
+        assert all(
+            d.location.startswith("interpretation #")
+            for d in report.by_code("P009")
+        )
+
+
+class TestStrictSearch:
+    def test_clean_query_passes(self, engine):
+        result = engine.search("COUNT Lecturer GROUPBY Course", strict=True)
+        assert result.best.diagnostics == []
+
+    def test_error_diagnostics_raise(self, engine):
+        break_translation(engine)
+        with pytest.raises(StaticAnalysisError) as excinfo:
+            engine.search("COUNT Lecturer GROUPBY Course", strict=True)
+        assert any(d.code == "P009" for d in excinfo.value.diagnostics)
+
+    def test_non_strict_search_does_not_raise(self, engine):
+        break_translation(engine)
+        result = engine.search("COUNT Lecturer GROUPBY Course")
+        assert len(result) >= 1
+
+    def test_engine_level_strict_default(self):
+        engine = KeywordSearchEngine(university_database(), strict=True)
+        break_translation(engine)
+        with pytest.raises(StaticAnalysisError):
+            engine.search("COUNT Lecturer GROUPBY Course")
+        # per-call override wins over the engine default
+        result = engine.search("COUNT Lecturer GROUPBY Course", strict=False)
+        assert len(result) >= 1
+
+    def test_strict_trace_has_analyze_span(self, engine):
+        result = engine.search(
+            "COUNT Lecturer GROUPBY Course", trace=True, strict=True
+        )
+        rendered = result.trace.render()
+        assert "analyze" in rendered
+
+
+class TestExecutorValidation:
+    def test_validate_rejects_broken_sql(self):
+        database = university_database()
+        with pytest.raises(SqlExecutionError) as excinfo:
+            execute_sql(database, "SELECT Nope FROM Student", validate=True)
+        assert "S002" in str(excinfo.value)
+
+    def test_validate_passes_good_sql(self):
+        database = university_database()
+        result = execute_sql(
+            database, "SELECT Sname FROM Student", validate=True
+        )
+        assert len(result.rows) == 3
+
+    def test_default_is_lenient(self):
+        # the executor tolerates ungrouped output columns (first-value
+        # semantics) that S008 rejects, so validation must stay opt-in
+        database = university_database()
+        sql = "SELECT Sid, COUNT(Code) AS n FROM Enrol GROUP BY Code"
+        assert len(execute_sql(database, sql).rows) == 3
+        with pytest.raises(SqlExecutionError) as excinfo:
+            execute_sql(database, sql, validate=True)
+        assert "S008" in str(excinfo.value)

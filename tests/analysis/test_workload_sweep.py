@@ -1,0 +1,78 @@
+"""Zero-diagnostics sweep: the real pipeline must analyze clean.
+
+Every evaluation query, on every dataset, with both engines — the
+analyzers must find nothing.  This is the same contract ``repro check``
+enforces in CI; here it runs on the two smaller datasets per family to
+keep the suite fast (CI runs the full matrix).
+"""
+
+import pytest
+
+from repro.analysis.plan_analyzers import analyze_plan
+from repro.analysis.sql_analyzers import analyze_select
+from repro.baselines import SqakEngine
+from repro.datasets import (
+    denormalize_tpch,
+    generate_acmdl,
+    generate_tpch,
+)
+from repro.engine import KeywordSearchEngine
+from repro.errors import UnsupportedQueryError
+from repro.experiments.queries import ACMDL_QUERIES, TPCH_QUERIES
+
+
+@pytest.fixture(scope="module")
+def tpch():
+    return generate_tpch()
+
+
+@pytest.fixture(scope="module")
+def tpch_engine(tpch):
+    return KeywordSearchEngine(tpch)
+
+
+@pytest.fixture(scope="module")
+def tpch_unnorm_engine(tpch):
+    dataset = denormalize_tpch(tpch)
+    return KeywordSearchEngine(
+        dataset.database,
+        fds=dict(dataset.fds),
+        name_hints=dict(dataset.name_hints),
+    )
+
+
+@pytest.fixture(scope="module")
+def acmdl_engine():
+    return KeywordSearchEngine(generate_acmdl())
+
+
+@pytest.mark.parametrize("spec", TPCH_QUERIES, ids=lambda s: s.qid)
+def test_tpch_normalized_is_clean(tpch_engine, spec):
+    report = tpch_engine.analyze(spec.text)
+    assert report.render() == "no diagnostics"
+
+
+@pytest.mark.parametrize("spec", TPCH_QUERIES, ids=lambda s: s.qid)
+def test_tpch_unnormalized_is_clean(tpch_unnorm_engine, spec):
+    report = tpch_unnorm_engine.analyze(spec.text)
+    assert report.render() == "no diagnostics"
+
+
+@pytest.mark.parametrize("spec", ACMDL_QUERIES, ids=lambda s: s.qid)
+def test_acmdl_normalized_is_clean(acmdl_engine, spec):
+    report = acmdl_engine.analyze(spec.text)
+    assert report.render() == "no diagnostics"
+
+
+@pytest.mark.parametrize("spec", TPCH_QUERIES, ids=lambda s: s.qid)
+def test_sqak_statements_are_clean(tpch, spec):
+    if spec.sqak_na:
+        pytest.skip("SQAK cannot express this query")
+    sqak = SqakEngine(tpch)
+    try:
+        statement = sqak.compile(spec.text)
+    except UnsupportedQueryError:
+        pytest.skip("SQAK cannot compile this query")
+    diagnostics = analyze_select(statement.select, tpch.schema)
+    diagnostics.extend(analyze_plan(sqak.executor.plan_for(statement.select)))
+    assert diagnostics == []

@@ -8,6 +8,7 @@ from repro.fd import (
     merge_same_key,
     parse_fds,
     project_fds,
+    project_fds_exact,
     synthesize_3nf,
 )
 
@@ -95,6 +96,39 @@ class TestGeneralSynthesis:
             assert is_lossless_pair(
                 ENROLMENT, ENROLMENT_FDS, key_piece.attributes, rel.attributes
             )
+
+
+class TestTransitiveElimination:
+    """Bernstein's step 4: merged equivalent-determinant groups must not
+    retain transitively dependent attributes (regression for the cover
+    ``{AC->D, ABC->E, DE->C, ABE->D}``)."""
+
+    COVER = parse_fds(["A, C -> D", "A, B, C -> E", "D, E -> C", "A, B, E -> D"])
+    UNIVERSE = attrs("A", "B", "C", "D", "E")
+
+    def test_merged_group_drops_transitive_attribute(self):
+        # ABC ~ ABE merge into one group; without eliminating ABE -> D
+        # (implied via the bijection ABE <-> ABC plus AC -> D) the merged
+        # relation would contain D and violate 3NF through AC -> D
+        decomposition = synthesize_3nf(self.UNIVERSE, self.COVER)
+        merged = next(
+            rel for rel in decomposition if attrs("A", "B", "C") <= rel.attributes
+        )
+        assert "D" not in merged.attributes
+
+    def test_pieces(self):
+        decomposition = synthesize_3nf(self.UNIVERSE, self.COVER)
+        attribute_sets = sorted(sorted(rel.attributes) for rel in decomposition)
+        assert attribute_sets == [
+            ["A", "B", "C", "E"],
+            ["A", "C", "D"],
+            ["C", "D", "E"],
+        ]
+
+    def test_pieces_are_3nf(self):
+        for rel in synthesize_3nf(self.UNIVERSE, self.COVER):
+            local = project_fds_exact(self.COVER, rel.attributes)
+            assert is_3nf(rel.attributes, local)
 
 
 class TestMergeSameKey:

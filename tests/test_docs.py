@@ -19,6 +19,7 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 DOC_FILES = [
     "README.md",
     "docs/API.md",
+    "docs/ANALYSIS.md",
     "docs/ARCHITECTURE.md",
     "docs/OBSERVABILITY.md",
     "docs/PERFORMANCE.md",
@@ -54,3 +55,4 @@ def test_docs_cross_linked_from_readme():
     assert "docs/OBSERVABILITY.md" in readme
     assert "docs/API.md" in readme
     assert "docs/PERFORMANCE.md" in readme
+    assert "docs/ANALYSIS.md" in readme

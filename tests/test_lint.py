@@ -1,0 +1,163 @@
+"""The project AST lint (tools/lint_repro.py): rules fire, tree is clean."""
+
+import importlib.util
+import textwrap
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+spec = importlib.util.spec_from_file_location(
+    "lint_repro", REPO_ROOT / "tools" / "lint_repro.py"
+)
+lint_repro = importlib.util.module_from_spec(spec)
+spec.loader.exec_module(lint_repro)
+
+
+def lint_source(tmp_path, relative, source):
+    """Write *source* at repro/<relative> under tmp_path and lint it."""
+    root = tmp_path / "repro"
+    path = root / relative
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(textwrap.dedent(source), encoding="utf-8")
+    return [
+        (code, message)
+        for (_, _, code, message) in lint_repro.lint_file(root, path)
+    ]
+
+
+class TestRules:
+    def test_lr001_bare_except(self, tmp_path):
+        findings = lint_source(
+            tmp_path,
+            "keywords/x.py",
+            """
+            try:
+                pass
+            except:
+                pass
+            """,
+        )
+        assert [code for code, _ in findings] == ["LR001"]
+
+    def test_lr002_tracer_outside_entry_points(self, tmp_path):
+        findings = lint_source(
+            tmp_path,
+            "patterns/x.py",
+            """
+            def f():
+                tracer = Tracer()
+                return tracer
+            """,
+        )
+        assert [code for code, _ in findings] == ["LR002"]
+
+    def test_lr002_allows_entry_points(self, tmp_path):
+        assert (
+            lint_source(tmp_path, "engine.py", "tracer = Tracer()\n") == []
+        )
+        assert (
+            lint_source(
+                tmp_path, "observability/tracer.py", "t = Tracer()\n"
+            )
+            == []
+        )
+
+    def test_lr003_row_subscript_outside_relational(self, tmp_path):
+        findings = lint_source(
+            tmp_path,
+            "patterns/x.py",
+            """
+            def f(row):
+                return row["Sname"]
+            """,
+        )
+        assert [code for code, _ in findings] == ["LR003"]
+
+    def test_lr003_allowed_inside_relational(self, tmp_path):
+        assert (
+            lint_source(
+                tmp_path,
+                "relational/x.py",
+                """
+                def f(row):
+                    return row["Sname"]
+                """,
+            )
+            == []
+        )
+
+    def test_lr003_ignores_positional_indexing(self, tmp_path):
+        assert (
+            lint_source(
+                tmp_path,
+                "patterns/x.py",
+                """
+                def f(row):
+                    return row[0]
+                """,
+            )
+            == []
+        )
+
+    def test_lr004_layering_violation(self, tmp_path):
+        findings = lint_source(
+            tmp_path,
+            "sql/x.py",
+            "from repro.patterns.pattern import QueryPattern\n",
+        )
+        assert [code for code, _ in findings] == ["LR004"]
+
+    def test_lr004_lazy_imports_are_exempt(self, tmp_path):
+        assert (
+            lint_source(
+                tmp_path,
+                "relational/x.py",
+                """
+                def f():
+                    from repro.analysis.sql_analyzers import analyze_select
+                    return analyze_select
+                """,
+            )
+            == []
+        )
+
+    def test_lr004_fd_discovery_exemption(self, tmp_path):
+        assert (
+            lint_source(
+                tmp_path,
+                "fd/discovery.py",
+                "from repro.relational.table import Table\n",
+            )
+            == []
+        )
+        # the exemption is per-file: other fd modules stay pure
+        findings = lint_source(
+            tmp_path,
+            "fd/closure.py",
+            "from repro.relational.table import Table\n",
+        )
+        assert [code for code, _ in findings] == ["LR004"]
+
+
+class TestTree:
+    def test_src_repro_is_clean(self):
+        findings = lint_repro.lint_tree(REPO_ROOT / "src" / "repro")
+        assert findings == [], "\n".join(
+            f"{path}:{lineno}: {code} {message}"
+            for path, lineno, code, message in findings
+        )
+
+    def test_main_exit_codes(self, tmp_path, capsys):
+        assert (
+            lint_repro.main(["--root", str(REPO_ROOT / "src" / "repro")])
+            == 0
+        )
+        bad = tmp_path / "repro" / "sql"
+        bad.mkdir(parents=True)
+        (bad / "x.py").write_text(
+            "from repro.engine import KeywordSearchEngine\n",
+            encoding="utf-8",
+        )
+        assert lint_repro.main(["--root", str(tmp_path / "repro")]) == 1

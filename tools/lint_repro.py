@@ -1,0 +1,245 @@
+#!/usr/bin/env python
+"""Project-specific AST lint for the repro codebase.
+
+Rules (all violations are errors; exit code = number of findings):
+
+* **LR001** — no bare ``except:`` clauses: always name the exceptions a
+  handler is prepared for.
+* **LR002** — ``Tracer()`` may only be constructed at the pipeline
+  entry points (engine, CLI, observability, experiments, benchmarks,
+  tests); everything else must accept a tracer parameter so spans nest
+  into one trace instead of being silently dropped.
+* **LR003** — no string-literal subscripts on row variables outside
+  ``repro.relational``: row layout is that package's private concern,
+  other layers go through schemas and executors.
+* **LR004** — module-level import layering: lower layers must not import
+  upper layers (``repro.sql`` must not know about patterns or engines,
+  ``repro.fd`` only depends on itself and errors, and so on).  Lazy
+  imports inside functions are exempt — they are how intentional
+  back-references (executor -> analysis) avoid cycles.
+
+Usage::
+
+    python tools/lint_repro.py [--root src/repro]
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import sys
+from pathlib import Path
+from typing import Iterator, List, Tuple
+
+# file path substrings (POSIX style) where Tracer() construction is fine
+TRACER_ALLOWED = (
+    "repro/cli.py",
+    "repro/engine.py",
+    "repro/observability/",
+    "repro/experiments/",
+    "repro/analysis/check.py",
+)
+
+# variable names treated as raw rows for LR003
+ROW_NAMES = ("row", "rows", "tuple_row", "record")
+
+# (file substring, forbidden prefix) pairs exempt from LR004: justified
+# cross-layer dependencies, each with a reason
+LAYERING_EXEMPT = (
+    # FD discovery profiles table *data*; the fd core stays relational-free
+    ("repro/fd/discovery.py", "repro.relational"),
+)
+
+# package -> module prefixes it must NOT import at module level
+LAYERING: Tuple[Tuple[str, Tuple[str, ...]], ...] = (
+    (
+        "repro.sql",
+        (
+            "repro.patterns",
+            "repro.engine",
+            "repro.unnormalized",
+            "repro.keywords",
+            "repro.orm",
+            "repro.analysis",
+        ),
+    ),
+    (
+        "repro.fd",
+        (
+            "repro.sql",
+            "repro.patterns",
+            "repro.engine",
+            "repro.relational",
+            "repro.unnormalized",
+            "repro.keywords",
+            "repro.orm",
+            "repro.analysis",
+            "repro.observability",
+        ),
+    ),
+    (
+        "repro.observability",
+        (
+            "repro.sql",
+            "repro.patterns",
+            "repro.engine",
+            "repro.relational",
+            "repro.unnormalized",
+            "repro.keywords",
+            "repro.orm",
+            "repro.fd",
+            "repro.analysis",
+        ),
+    ),
+    (
+        "repro.relational",
+        (
+            "repro.patterns",
+            "repro.engine",
+            "repro.keywords",
+            "repro.unnormalized",
+            "repro.analysis",
+        ),
+    ),
+    (
+        "repro.analysis",
+        ("repro.engine", "repro.experiments", "repro.baselines"),
+    ),
+)
+
+Finding = Tuple[Path, int, str, str]
+
+
+def module_name(root: Path, path: Path) -> str:
+    relative = path.relative_to(root.parent)
+    parts = list(relative.with_suffix("").parts)
+    if parts[-1] == "__init__":
+        parts.pop()
+    return ".".join(parts)
+
+
+def iter_module_level_imports(tree: ast.Module) -> Iterator[Tuple[int, str]]:
+    """(line, imported module) for imports outside any function body."""
+
+    class Visitor(ast.NodeVisitor):
+        def __init__(self) -> None:
+            self.found: List[Tuple[int, str]] = []
+            self.depth = 0
+
+        def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+            self.depth += 1
+            self.generic_visit(node)
+            self.depth -= 1
+
+        visit_AsyncFunctionDef = visit_FunctionDef  # type: ignore[assignment]
+
+        def visit_Import(self, node: ast.Import) -> None:
+            if self.depth == 0:
+                for alias in node.names:
+                    self.found.append((node.lineno, alias.name))
+
+        def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+            if self.depth == 0 and node.module:
+                self.found.append((node.lineno, node.module))
+
+    visitor = Visitor()
+    visitor.visit(tree)
+    return iter(visitor.found)
+
+
+def lint_file(root: Path, path: Path) -> List[Finding]:
+    findings: List[Finding] = []
+    source = path.read_text(encoding="utf-8")
+    tree = ast.parse(source, filename=str(path))
+    posix = path.as_posix()
+    module = module_name(root, path)
+
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ExceptHandler) and node.type is None:
+            findings.append(
+                (path, node.lineno, "LR001", "bare 'except:' clause")
+            )
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id == "Tracer"
+            and not any(part in posix for part in TRACER_ALLOWED)
+        ):
+            findings.append(
+                (
+                    path,
+                    node.lineno,
+                    "LR002",
+                    "Tracer() constructed outside a pipeline entry point; "
+                    "accept a tracer parameter instead",
+                )
+            )
+        if (
+            isinstance(node, ast.Subscript)
+            and isinstance(node.value, ast.Name)
+            and node.value.id in ROW_NAMES
+            and isinstance(node.slice, ast.Constant)
+            and isinstance(node.slice.value, str)
+            and "repro/relational/" not in posix
+        ):
+            findings.append(
+                (
+                    path,
+                    node.lineno,
+                    "LR003",
+                    f"string subscript on row variable "
+                    f"{node.value.id}[{node.slice.value!r}] outside "
+                    f"repro.relational",
+                )
+            )
+
+    for package, forbidden in LAYERING:
+        if not (module == package or module.startswith(package + ".")):
+            continue
+        for lineno, imported in iter_module_level_imports(tree):
+            for prefix in forbidden:
+                if imported == prefix or imported.startswith(prefix + "."):
+                    if any(
+                        part in posix
+                        and (imported == exempt or imported.startswith(exempt + "."))
+                        for part, exempt in LAYERING_EXEMPT
+                    ):
+                        continue
+                    findings.append(
+                        (
+                            path,
+                            lineno,
+                            "LR004",
+                            f"{package} must not import {imported} at "
+                            f"module level",
+                        )
+                    )
+    return findings
+
+
+def lint_tree(root: Path) -> List[Finding]:
+    findings: List[Finding] = []
+    for path in sorted(root.rglob("*.py")):
+        findings.extend(lint_file(root, path))
+    return findings
+
+
+def main(argv: List[str] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--root",
+        type=Path,
+        default=Path(__file__).resolve().parent.parent / "src" / "repro",
+        help="package directory to lint (default: src/repro)",
+    )
+    args = parser.parse_args(argv)
+    findings = lint_tree(args.root)
+    for path, lineno, code, message in findings:
+        print(f"{path}:{lineno}: {code} {message}")
+    if not findings:
+        print(f"lint_repro: clean ({args.root})")
+    return min(len(findings), 1)
+
+
+if __name__ == "__main__":
+    sys.exit(main())
