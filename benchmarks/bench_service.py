@@ -1,0 +1,262 @@
+"""Closed-loop load generator for the query service.
+
+Measures the serving layer the way the ISSUE's acceptance criteria are
+phrased: a single-client baseline p95 first, then closed-loop client
+fleets at 1x / 2x / 4x the worker count hammering the same service
+instance.  For every offered load it reports p50/p95/p99 latency of the
+*admitted* requests plus the shed rate, and asserts the two service-
+level guarantees:
+
+* at 4x sustained load the service stays up and every non-admitted
+  request is a **clean** rejection (HTTP 429 shed — never a hang, never
+  an unhandled error);
+* p95 latency of admitted requests stays within ``MAX_P95_RATIO`` of
+  the single-client p95 — overload makes the service *refuse* work, not
+  slow down the work it accepted.
+
+The result cache runs with ``ttl=0`` so every admitted request does real
+engine work (single-flight coalescing still applies, as it would in
+production); numbers are written to ``BENCH_service.json`` and compared
+against the committed ``BENCH_service_baseline.json`` by
+``check_regression.py``.  Refresh the baseline by copying the result
+file over it after an intentional serving-layer change.
+
+Run standalone (``python benchmarks/bench_service.py``) or via
+``pytest benchmarks/bench_service.py``.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import threading
+import time
+from pathlib import Path
+from typing import Dict, List
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.datasets import university_database  # noqa: E402
+from repro.engine import KeywordSearchEngine  # noqa: E402
+from repro.service import QueryService, ServiceConfig, ServiceRequest  # noqa: E402
+
+# One worker, two queue slots: the engine is pure-Python CPU-bound work,
+# so parallel workers only time-slice the GIL and inflate each other's
+# service time — that would charge a measurement artifact against the
+# p95-ratio guarantee.  One worker keeps admitted latency a clean
+# function of (service time + bounded queue wait); the concurrency under
+# test is the client fleet against admission control, which is exactly
+# the serving-layer contract.
+WORKERS = 1
+QUEUE_LIMIT = 2
+MULTIPLIERS = (1, 2, 4)  # client fleets as multiples of the worker count
+REQUESTS_PER_LEVEL = 96
+SINGLE_CLIENT_REQUESTS = 48
+MAX_P95_RATIO = 3.0  # admitted p95 at 4x load vs single-client p95
+
+QUERIES = [
+    "COUNT Lecturer GROUPBY Course",
+    "Green SUM Credit",
+    "COUNT Student GROUPBY Course",
+    "AVG Credit",
+    "COUNT Student",
+    "COUNT Student GROUPBY Grade",
+    "COUNT Enrol",
+    "MAX COUNT Student",
+]
+
+_HERE = Path(__file__).resolve().parent
+RESULT_PATH = _HERE / "BENCH_service.json"
+BASELINE_PATH = _HERE / "BENCH_service_baseline.json"
+
+
+def _build_service() -> QueryService:
+    engine = KeywordSearchEngine(university_database())
+    service = QueryService(
+        ServiceConfig(
+            max_workers=WORKERS,
+            queue_limit=QUEUE_LIMIT,
+            cache_ttl_s=0.0,  # every admitted request does real work
+            default_deadline_s=30.0,
+        )
+    )
+    service.register_dataset("university", engine)
+    return service
+
+
+def percentile(samples: List[float], q: float) -> float:
+    """The *q*-quantile (0..1) by nearest-rank on sorted samples."""
+    if not samples:
+        return 0.0
+    ordered = sorted(samples)
+    rank = min(len(ordered) - 1, max(0, int(round(q * (len(ordered) - 1)))))
+    return ordered[rank]
+
+
+def _run_clients(
+    service: QueryService, clients: int, total_requests: int
+) -> List[Dict[str, object]]:
+    """Closed-loop fleet: each client fires its share back-to-back."""
+    per_client = total_requests // clients
+    records: List[Dict[str, object]] = []
+    lock = threading.Lock()
+
+    def client(index: int) -> None:
+        for i in range(per_client):
+            query = QUERIES[(index * per_client + i) % len(QUERIES)]
+            started = time.perf_counter()
+            response = service.serve(
+                ServiceRequest(query=query), timeout=120.0
+            )
+            latency_ms = (time.perf_counter() - started) * 1000.0
+            with lock:
+                records.append(
+                    {"status": response.status, "latency_ms": latency_ms}
+                )
+
+    threads = [
+        threading.Thread(
+            target=client, args=(index,), name=f"bench-client-{index}", daemon=True
+        )
+        for index in range(clients)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(300.0)
+    assert not any(thread.is_alive() for thread in threads), "client hang"
+    return records
+
+
+def _summarize(records: List[Dict[str, object]]) -> Dict[str, object]:
+    admitted = [
+        float(record["latency_ms"])
+        for record in records
+        if record["status"] == "ok"
+    ]
+    shed = sum(1 for record in records if record["status"] == "shed")
+    other = sorted(
+        {
+            str(record["status"])
+            for record in records
+            if record["status"] not in ("ok", "shed")
+        }
+    )
+    return {
+        "requests": len(records),
+        "admitted": len(admitted),
+        "shed": shed,
+        "shed_rate": shed / len(records) if records else 0.0,
+        "unexpected_statuses": other,
+        "p50_ms": percentile(admitted, 0.50),
+        "p95_ms": percentile(admitted, 0.95),
+        "p99_ms": percentile(admitted, 0.99),
+    }
+
+
+def measure() -> Dict[str, object]:
+    service = _build_service()
+    with service:
+        # warm the engine (pattern + plan caches) outside the timings
+        _run_clients(service, 1, 2 * len(QUERIES))
+        single = _summarize(
+            _run_clients(service, 1, SINGLE_CLIENT_REQUESTS)
+        )
+        loads: Dict[str, Dict[str, object]] = {}
+        for multiplier in MULTIPLIERS:
+            loads[f"{multiplier}x"] = _summarize(
+                _run_clients(
+                    service, WORKERS * multiplier, REQUESTS_PER_LEVEL
+                )
+            )
+        counters = service.metrics_snapshot()["service"]["counters"]
+    peak = loads[f"{MULTIPLIERS[-1]}x"]
+    single_p95 = float(single["p95_ms"]) or 1e-9
+    return {
+        "workers": WORKERS,
+        "queue_limit": QUEUE_LIMIT,
+        "single_client": single,
+        "loads": loads,
+        "p95_ratio_at_peak": float(peak["p95_ms"]) / single_p95,
+        "shed_rate_at_peak": float(peak["shed_rate"]),
+        "counters_reconcile": counters["requests_admitted"]
+        == counters.get("result_cache_hits", 0)
+        + counters.get("result_cache_misses", 0)
+        + counters.get("singleflight_coalesced", 0),
+    }
+
+
+def check(result: Dict[str, object]) -> List[str]:
+    """Failure messages (empty when the serving guarantees hold)."""
+    failures: List[str] = []
+    for level, summary in result["loads"].items():
+        if summary["unexpected_statuses"]:
+            failures.append(
+                f"{level}: non-clean outcomes under load: "
+                f"{summary['unexpected_statuses']}"
+            )
+        if summary["admitted"] == 0:
+            failures.append(f"{level}: no requests admitted at all")
+    ratio = float(result["p95_ratio_at_peak"])
+    if ratio > MAX_P95_RATIO:
+        failures.append(
+            f"admitted p95 at peak load is {ratio:.2f}x the single-client "
+            f"p95 (allowed: {MAX_P95_RATIO:.1f}x) — overload must shed, "
+            f"not slow down"
+        )
+    if not result["counters_reconcile"]:
+        failures.append("service counters do not reconcile after the run")
+    return failures
+
+
+def write_result(result: Dict[str, object]) -> None:
+    with open(RESULT_PATH, "w", encoding="utf-8") as handle:
+        json.dump(result, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def format_result(result: Dict[str, object]) -> str:
+    lines = [
+        f"service bench ({result['workers']} workers, "
+        f"queue {result['queue_limit']}): "
+        f"single-client p95 {result['single_client']['p95_ms']:.1f} ms"
+    ]
+    for level, summary in result["loads"].items():
+        lines.append(
+            f"  {level:>3} load: p50 {summary['p50_ms']:.1f} ms, "
+            f"p95 {summary['p95_ms']:.1f} ms, p99 {summary['p99_ms']:.1f} ms, "
+            f"shed {100.0 * summary['shed_rate']:.0f}% "
+            f"({summary['shed']}/{summary['requests']})"
+        )
+    lines.append(
+        f"  peak p95 ratio {result['p95_ratio_at_peak']:.2f}x "
+        f"(allowed {MAX_P95_RATIO:.1f}x)"
+    )
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# pytest wiring (collected by `pytest benchmarks/`)
+# ----------------------------------------------------------------------
+def test_service_survives_overload():
+    result = measure()
+    write_result(result)
+    failures = check(result)
+    assert not failures, "; ".join(failures) + "\n" + format_result(result)
+
+
+def main() -> int:
+    result = measure()
+    write_result(result)
+    print(format_result(result))
+    print(f"wrote {RESULT_PATH}")
+    failures = check(result)
+    for failure in failures:
+        print(f"FAIL: {failure}")
+    if not failures:
+        print("OK")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,10 +1,18 @@
-"""Compiled-plan speedup regression check on the large TPC-H scale.
+"""Performance regression checks: compiled-plan speedup and serving SLOs.
 
-The compiled physical plans (closure predicates, index-backed scans, plan
-caching — see ``docs/PERFORMANCE.md``) must keep end-to-end keyword search
-at least ``MIN_SPEEDUP``x faster than the interpreted ablation path, and
-must not give back more than ``TOLERANCE`` of the speedup recorded in the
-committed baseline (``BENCH_scaling_baseline.json``).
+Two independent gates share this module's measure/check idiom:
+
+* **Compiled-plan speedup** — the compiled physical plans (closure
+  predicates, index-backed scans, plan caching — see
+  ``docs/PERFORMANCE.md``) must keep end-to-end keyword search at least
+  ``MIN_SPEEDUP``x faster than the interpreted ablation path, and must
+  not give back more than ``TOLERANCE`` of the speedup recorded in the
+  committed baseline (``BENCH_scaling_baseline.json``).
+* **Serving SLOs** — the query service's closed-loop load numbers
+  (``bench_service.py``) must hold the hard p95-ratio guarantee and must
+  not drift from the committed ``BENCH_service_baseline.json`` by more
+  than ``SERVICE_RATIO_TOLERANCE`` (p95 ratio) /
+  ``SERVICE_SHED_TOLERANCE`` (absolute shed rate at peak load).
 
 The measurement is *relative* — both paths run on the same process, data
 and query mix, so the speedup ratio is stable across machines in a way raw
@@ -20,6 +28,7 @@ the bench suite (``pytest benchmarks/`` collects ``check_*.py`` via
 
 from __future__ import annotations
 
+import importlib.util
 import json
 import time
 from pathlib import Path
@@ -144,6 +153,58 @@ def format_result(result: Dict[str, object]) -> str:
 
 
 # ----------------------------------------------------------------------
+# Serving-layer SLO regression (delegates measurement to bench_service)
+# ----------------------------------------------------------------------
+SERVICE_RATIO_TOLERANCE = 0.50  # allowed fractional growth of the p95 ratio
+SERVICE_SHED_TOLERANCE = 0.25  # allowed absolute shed-rate growth at peak
+
+SERVICE_BASELINE_PATH = _HERE / "BENCH_service_baseline.json"
+
+
+def _load_bench_service():
+    spec = importlib.util.spec_from_file_location(
+        "bench_service", _HERE / "bench_service.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def measure_service() -> Dict[str, object]:
+    """The closed-loop load numbers, via ``bench_service.measure()``."""
+    return _load_bench_service().measure()
+
+
+def check_service(result: Dict[str, object]) -> List[str]:
+    """Hard SLOs plus drift against the committed service baseline."""
+    bench_service = _load_bench_service()
+    failures = bench_service.check(result)
+    if SERVICE_BASELINE_PATH.exists():
+        with open(SERVICE_BASELINE_PATH, encoding="utf-8") as handle:
+            baseline = json.load(handle)
+        ratio = float(result["p95_ratio_at_peak"])
+        ceiling = float(baseline["p95_ratio_at_peak"]) * (
+            1.0 + SERVICE_RATIO_TOLERANCE
+        )
+        if ratio > ceiling:
+            failures.append(
+                f"service p95 ratio regressed: {ratio:.2f}x vs baseline "
+                f"{baseline['p95_ratio_at_peak']:.2f}x (ceiling {ceiling:.2f}x)"
+            )
+        shed = float(result["shed_rate_at_peak"])
+        shed_ceiling = (
+            float(baseline["shed_rate_at_peak"]) + SERVICE_SHED_TOLERANCE
+        )
+        if shed > shed_ceiling:
+            failures.append(
+                f"service shed rate at peak regressed: {shed:.0%} vs "
+                f"baseline {baseline['shed_rate_at_peak']:.0%} "
+                f"(ceiling {shed_ceiling:.0%})"
+            )
+    return failures
+
+
+# ----------------------------------------------------------------------
 # pytest wiring (collected by `pytest benchmarks/`)
 # ----------------------------------------------------------------------
 def test_compiled_speedup_no_regression():
@@ -153,12 +214,28 @@ def test_compiled_speedup_no_regression():
     assert not failures, "; ".join(failures) + " | " + format_result(result)
 
 
+def test_service_slo_no_regression():
+    bench_service = _load_bench_service()
+    result = measure_service()
+    bench_service.write_result(result)
+    failures = check_service(result)
+    assert not failures, "; ".join(failures) + "\n" + bench_service.format_result(
+        result
+    )
+
+
 def main() -> int:
+    bench_service = _load_bench_service()
     result = measure()
     write_result(result)
     print(format_result(result))
     print(f"wrote {RESULT_PATH}")
     failures = check(result)
+    service_result = measure_service()
+    bench_service.write_result(service_result)
+    print(bench_service.format_result(service_result))
+    print(f"wrote {bench_service.RESULT_PATH}")
+    failures.extend(check_service(service_result))
     for failure in failures:
         print(f"FAIL: {failure}")
     if not failures:

@@ -10,6 +10,7 @@ Examples::
     python -m repro --dataset university --sql "SELECT Sname FROM Student"
     python -m repro --dataset tpch --strict "COUNT part GROUPBY supplier"
     python -m repro check --dataset tpch-unnorm
+    python -m repro serve --port 8080 --datasets university,tpch
     python -m repro --reproduce
 
 ``--dataset`` picks one of the built-in databases; ``--db-dir`` loads a
@@ -227,6 +228,10 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
         from repro.analysis.check import run_check
 
         return run_check(list(argv[1:]), out)
+    if argv and argv[0] == "serve":
+        from repro.service.cli import run_serve
+
+        return run_serve(list(argv[1:]), out)
     parser = build_parser()
     args = parser.parse_args(argv)
 

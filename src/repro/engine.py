@@ -23,9 +23,10 @@ import threading
 from collections import OrderedDict
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.analysis.diagnostics import AnalysisReport, Diagnostic, Severity
+from repro.cancellation import current_token
 from repro.analysis.pattern_analyzers import analyze_interpretation_set
 from repro.analysis.pipeline import TranslationParts, analyze_compilation
 from repro.analysis.plan_analyzers import analyze_plan
@@ -75,6 +76,12 @@ class Interpretation:
     _parts: Optional[TranslationParts] = field(
         default=None, repr=False, compare=False
     )
+    # serving-layer concurrency: single-flight deduplication hands the same
+    # Interpretation to several waiting requests, so first execution is
+    # serialized (double-checked) instead of racing
+    _execute_lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
 
     @property
     def sql(self) -> str:
@@ -92,9 +99,11 @@ class Interpretation:
         """Run the SQL (cached).  When the interpretation came from a
         traced ``search()``, execution spans attach to the same trace."""
         if self._result is None:
-            self._result = self._executor.execute(
-                self.select, tracer=self._tracer or NULL_TRACER
-            )
+            with self._execute_lock:
+                if self._result is None:
+                    self._result = self._executor.execute(
+                        self.select, tracer=self._tracer or NULL_TRACER
+                    )
         return self._result
 
     def rows(self) -> List[Tuple]:
@@ -185,6 +194,19 @@ class KeywordSearchEngine:
         self._pattern_cache: "OrderedDict[str, List[QueryPattern]]" = OrderedDict()
         self._pattern_cache_lock = threading.Lock()
         self.cache_size = 128
+        # caches registered against this engine (the serving layer's TTL
+        # result cache): clear_cache() resets them too, so a
+        # Database.data_version bump can never serve stale responses
+        self._invalidation_hooks: List[Callable[[], None]] = []
+
+    def register_invalidation_hook(self, hook: Callable[[], None]) -> None:
+        """Call *hook* whenever :meth:`clear_cache` runs.
+
+        The serving layer registers its result-cache invalidation here so
+        dropping the engine caches (after mutating the underlying data)
+        also drops any cached service responses derived from them.
+        """
+        self._invalidation_hooks.append(hook)
 
     # ------------------------------------------------------------------
     # Pipeline
@@ -209,6 +231,9 @@ class KeywordSearchEngine:
             tracer.count("pattern_cache_bypassed")
         else:
             self.metrics.increment("pattern_cache_misses")
+        # deadline checkpoint before the generate/disambiguate/rank stages
+        # (the executor has its own; see repro.cancellation)
+        current_token().check()
         query = self.parse(query_text)
         with tracer.span("match"):
             matcher = TermMatcher(self.catalog)
@@ -228,11 +253,13 @@ class KeywordSearchEngine:
         return ranked
 
     def clear_cache(self) -> None:
-        """Drop cached patterns and compiled plans (after mutating the
-        underlying data)."""
+        """Drop cached patterns, compiled plans and registered downstream
+        caches (after mutating the underlying data)."""
         with self._pattern_cache_lock:
             self._pattern_cache.clear()
         self.executor.clear_plan_cache()
+        for hook in self._invalidation_hooks:
+            hook()
 
     def compile(
         self, query_text: str, k: Optional[int] = None, tracer=NULL_TRACER
@@ -240,8 +267,10 @@ class KeywordSearchEngine:
         """Generate SQL for the top-k interpretations of a query."""
         ranked = self.patterns(query_text, tracer=tracer)[: (k or self.top_k)]
         interpretations: List[Interpretation] = []
+        token = current_token()
         with tracer.span("translate"):
             for rank, pattern in enumerate(ranked, start=1):
+                token.check()
                 parts = self.translate_parts(pattern, tracer=tracer)
                 interpretations.append(
                     Interpretation(

@@ -77,6 +77,25 @@ class NormalizationError(ReproError):
     """Functional-dependency or normalization failure."""
 
 
+class DeadlineExceededError(ReproError):
+    """A query was cancelled at a checkpoint: its deadline passed or its
+    :class:`~repro.cancellation.CancellationToken` was cancelled."""
+
+
+class ServiceError(ReproError):
+    """Base class for query-service (serving-layer) errors."""
+
+
+class ServiceOverloadedError(ServiceError):
+    """Admission control shed the request: the bounded queue is full
+    (HTTP 429)."""
+
+
+class ServiceUnavailableError(ServiceError):
+    """The dataset's circuit breaker is open: recent requests kept
+    failing, so the service fails fast until a probe succeeds (HTTP 503)."""
+
+
 class StaticAnalysisError(ReproError):
     """Strict-mode analysis found error-severity diagnostics.
 

@@ -11,8 +11,13 @@ from __future__ import annotations
 from operator import itemgetter
 from typing import Any, Callable, Iterable, List, Optional, Sequence, Tuple
 
+from repro.cancellation import CHECK_STRIDE, current_token
 from repro.relational.expressions import Binding, ColumnLabel, evaluate
 from repro.sql.ast import Expr
+
+# join loops poll the ambient cancellation token once per _STRIDE outer
+# iterations so a runaway join aborts mid-flight (see repro.cancellation)
+_STRIDE_MASK = CHECK_STRIDE - 1
 
 
 class Rowset:
@@ -42,7 +47,14 @@ class Rowset:
 def select_rows(rowset: Rowset, predicate: Expr) -> Rowset:
     """sigma: keep rows satisfying *predicate*."""
     binding = rowset.binding
-    kept = [row for row in rowset.rows if evaluate(predicate, row, binding)]
+    token = current_token()
+    kept: List[Tuple[Any, ...]] = []
+    append = kept.append
+    for i, row in enumerate(rowset.rows):
+        if not (i & _STRIDE_MASK):
+            token.check()
+        if evaluate(predicate, row, binding):
+            append(row)
     return Rowset(binding, kept)
 
 
@@ -64,9 +76,17 @@ def distinct(rowset: Rowset) -> Rowset:
 
 
 def cross_join(left: Rowset, right: Rowset) -> Rowset:
-    """Cartesian product."""
+    """Cartesian product (cancellation checked once per outer row)."""
     binding = left.binding.merge(right.binding)
-    rows = [l + r for l in left.rows for r in right.rows]
+    token = current_token()
+    rows: List[Tuple[Any, ...]] = []
+    extend = rows.extend
+    # a tighter stride than the hash-join probes: every outer row fans out
+    # into len(right) output tuples, so the work between checks multiplies
+    for i, l in enumerate(left.rows):
+        if not (i & 63):
+            token.check()
+        extend([l + r for r in right.rows])
     return Rowset(binding, rows)
 
 
@@ -91,6 +111,7 @@ def hash_join(
         build_positions, probe_positions = list(right_positions), list(left_positions)
         swapped = True
     binding = left.binding.merge(right.binding)
+    token = current_token()
     out: List[Tuple[Any, ...]] = []
     append = out.append
     table: dict = {}
@@ -110,13 +131,17 @@ def hash_join(
                 bucket.append(row)
         lookup = table.get
         if swapped:
-            for probe_row in probe.rows:
+            for i, probe_row in enumerate(probe.rows):
+                if not (i & _STRIDE_MASK):
+                    token.check()
                 bucket = lookup(probe_row[probe_pos])
                 if bucket is not None:
                     for build_row in bucket:
                         append(probe_row + build_row)
         else:
-            for probe_row in probe.rows:
+            for i, probe_row in enumerate(probe.rows):
+                if not (i & _STRIDE_MASK):
+                    token.check()
                 bucket = lookup(probe_row[probe_pos])
                 if bucket is not None:
                     for build_row in bucket:
@@ -134,7 +159,9 @@ def hash_join(
         else:
             bucket.append(row)
     lookup = table.get
-    for probe_row in probe.rows:
+    for i, probe_row in enumerate(probe.rows):
+        if not (i & _STRIDE_MASK):
+            token.check()
         key = probe_key(probe_row)
         if None in key:
             continue

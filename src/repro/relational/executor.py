@@ -15,6 +15,7 @@ import threading
 from collections import OrderedDict
 from typing import Any, Dict, List, Optional, Sequence, Set, Tuple, Union
 
+from repro.cancellation import current_token
 from repro.errors import SqlExecutionError
 from repro.observability import NULL_TRACER
 from repro.relational.algebra import (
@@ -171,10 +172,17 @@ class Executor:
     # Planning
     # ------------------------------------------------------------------
     def _execute_select(self, select: Select, tracer=NULL_TRACER) -> QueryResult:
+        # cancellation checkpoints: the ambient token (repro.cancellation)
+        # is polled at every operator boundary here and inside the row
+        # loops of repro.relational.algebra, so a served query with a
+        # deadline aborts mid-plan instead of hogging its worker
+        token = current_token()
+        token.check()
         components = self._load_from_items(select, tracer)
         pending = select.where_conjuncts()
         pending = self._apply_local_predicates(components, pending, tracer)
         merged = self._join_components(components, pending, tracer)
+        token.check()
         return self._project(select, merged.rowset, tracer)
 
     def _load_from_items(self, select: Select, tracer=NULL_TRACER) -> List[_Component]:
@@ -253,7 +261,9 @@ class Executor:
         tracer=NULL_TRACER,
     ) -> _Component:
         """Merge components with hash joins until one remains."""
+        token = current_token()
         while len(components) > 1:
+            token.check()
             pair = (
                 self._pick_join_pair(components, pending)
                 if self.use_hash_joins

@@ -27,8 +27,10 @@ through both.  Executor-level caching and invalidation (by rendered SQL and
 from __future__ import annotations
 
 import operator
+import threading
 from typing import Any, Callable, Dict, List, Optional, Sequence, Set, Tuple
 
+from repro.cancellation import CHECK_STRIDE, current_token
 from repro.errors import SqlExecutionError
 from repro.observability import NULL_TRACER
 from repro.relational.algebra import (
@@ -73,7 +75,15 @@ class IndexLookup:
     predicate closures either way.  Results are memoized per data version.
     """
 
-    __slots__ = ("kind", "table", "column", "value", "_cached", "_cached_version")
+    __slots__ = (
+        "kind",
+        "table",
+        "column",
+        "value",
+        "_cached",
+        "_cached_version",
+        "_lock",
+    )
 
     def __init__(self, kind: str, table: str, column: str, value: Any) -> None:
         self.kind = kind  # 'contains' | 'numeric-eq' | 'hash-eq' | 'never'
@@ -82,11 +92,15 @@ class IndexLookup:
         self.value = value
         self._cached: Optional[Set[int]] = None
         self._cached_version: Any = None
+        # plans are shared across service workers via the executor's plan
+        # cache; the memo write must be atomic with its version stamp
+        self._lock = threading.Lock()
 
     def positions(self, database: Database) -> Optional[Set[int]]:
         version = database.data_version
-        if self._cached_version == version:
-            return self._cached
+        with self._lock:
+            if self._cached_version == version:
+                return self._cached
         if self.kind == "contains":
             found = database.text_index.positions_for_contains(
                 self.table, self.column, self.value
@@ -101,8 +115,9 @@ class IndexLookup:
             )
         else:  # 'never': comparison against NULL matches nothing
             found = set()
-        self._cached = found
-        self._cached_version = version
+        with self._lock:
+            self._cached = found
+            self._cached_version = version
         return found
 
     def describe(self) -> str:
@@ -201,6 +216,7 @@ class _TableScan:
         return self.schema.column(column).dtype
 
     def execute(self, database: Database, tracer=NULL_TRACER) -> Rowset:
+        current_token().check()
         table = database.table(self.table_name)
         rows = table.rows
         positions: Optional[Set[int]] = None
@@ -453,6 +469,11 @@ class CompiledPlan:
     # Execution
     # ------------------------------------------------------------------
     def execute(self, tracer=NULL_TRACER) -> QueryResult:
+        # cancellation checkpoints mirror the interpreted executor: polled
+        # at operator boundaries here and strided inside the algebra join
+        # loops, so deadlines from repro.service abort a plan mid-flight
+        token = current_token()
+        token.check()
         components = [
             _Component({scan.alias}, scan.execute(self.database, tracer))
             for scan in self.scans
@@ -460,6 +481,7 @@ class CompiledPlan:
         pending = list(self.pending)
         pending = self._apply_pending(components, pending, tracer)
         merged = self._join(components, pending, tracer)
+        token.check()
         return self._project(merged.rowset, tracer)
 
     def _apply_pending(
@@ -494,7 +516,9 @@ class CompiledPlan:
         pending: List[_Conjunct],
         tracer,
     ) -> _Component:
+        token = current_token()
         while len(components) > 1:
+            token.check()
             pair = (
                 self._pick_join_pair(components, pending)
                 if self.use_hash_joins
@@ -623,9 +647,12 @@ class CompiledPlan:
         if not self.select.group_by:
             return [rowset.rows]
         keyfn = self._group_key_for(rowset.binding)
+        token = current_token()
         groups: Dict[Any, List[Tuple[Any, ...]]] = {}
         order: List[Any] = []
-        for row in rowset.rows:
+        for i, row in enumerate(rowset.rows):
+            if not (i & (CHECK_STRIDE - 1)):
+                token.check()
             group_key = keyfn(row)
             bucket = groups.get(group_key)
             if bucket is None:

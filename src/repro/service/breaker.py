@@ -1,0 +1,169 @@
+"""Per-dataset circuit breaker with exponential-backoff half-open probes.
+
+Protects the service from hammering a dataset whose engine keeps failing
+(a poisoned plan cache, a bug tripped by one schema, resource
+exhaustion).  Standard three-state machine:
+
+* ``closed`` — requests flow; ``failure_threshold`` *consecutive*
+  failures trip it open.
+* ``open`` — requests are rejected immediately with
+  :class:`~repro.errors.ServiceUnavailableError` until ``reset_s``
+  seconds pass, then the next request becomes a *probe*.
+* ``half-open`` — exactly one probe is allowed through (concurrent
+  requests are still rejected).  A successful probe closes the breaker
+  and resets the backoff; a failed probe re-opens it with the wait
+  multiplied by ``backoff_factor`` (capped at ``max_reset_s``).
+
+Shed and timed-out-in-queue requests never reach the breaker; the
+service records engine timeouts and unexpected errors as failures, and
+client errors (unparseable queries) as successes — a bad query says
+nothing about the dataset's health.
+
+State transitions are returned by :meth:`allow` / :meth:`record_success`
+/ :meth:`record_failure` so the service can log them as spans and count
+``breaker_open_total``.  The clock is injectable for tests.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, List, Optional, Tuple
+
+from repro.errors import ServiceUnavailableError
+
+__all__ = ["CircuitBreaker", "CLOSED", "OPEN", "HALF_OPEN"]
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half-open"
+
+#: ``(old_state, new_state)`` pair describing one transition.
+Transition = Tuple[str, str]
+
+
+class CircuitBreaker:
+    """Three-state circuit breaker guarding one dataset's engines."""
+
+    def __init__(
+        self,
+        failure_threshold: int = 5,
+        reset_s: float = 1.0,
+        backoff_factor: float = 2.0,
+        max_reset_s: float = 30.0,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.failure_threshold = failure_threshold
+        self.base_reset_s = reset_s
+        self.backoff_factor = backoff_factor
+        self.max_reset_s = max_reset_s
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._state = CLOSED
+        self._consecutive_failures = 0
+        self._current_reset_s = reset_s
+        self._opened_at: Optional[float] = None
+        self._probe_in_flight = False
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def state(self) -> str:
+        with self._lock:
+            return self._state
+
+    @property
+    def consecutive_failures(self) -> int:
+        with self._lock:
+            return self._consecutive_failures
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            return {
+                "state": self._state,
+                "consecutive_failures": self._consecutive_failures,
+                "reset_s": self._current_reset_s,
+            }
+
+    def would_reject(self) -> bool:
+        """Non-mutating fast check used at admission time.
+
+        True only while the breaker is open and the reset wait has not
+        elapsed — the service sheds these before they occupy a queue
+        slot.  Everything else (closed, half-open, open-but-due-for-a-
+        probe) returns False so the mutating :meth:`allow` in the worker
+        keeps sole ownership of probe bookkeeping.
+        """
+        with self._lock:
+            return (
+                self._state == OPEN
+                and self._opened_at is not None
+                and self._clock() - self._opened_at < self._current_reset_s
+            )
+
+    # ------------------------------------------------------------------
+    # Protocol: allow -> (record_success | record_failure)
+    # ------------------------------------------------------------------
+    def allow(self) -> List[Transition]:
+        """Admit one request, or raise :class:`ServiceUnavailableError`.
+
+        Returns the transitions this call performed (``open`` →
+        ``half-open`` when the reset wait elapsed).  Callers that were
+        admitted MUST later call exactly one of :meth:`record_success` /
+        :meth:`record_failure` so half-open probe bookkeeping stays
+        balanced.
+        """
+        with self._lock:
+            if self._state == CLOSED:
+                return []
+            if self._state == OPEN:
+                assert self._opened_at is not None
+                if self._clock() - self._opened_at < self._current_reset_s:
+                    raise ServiceUnavailableError(
+                        f"circuit breaker open (retry in "
+                        f"{self._current_reset_s:.1f}s)"
+                    )
+                self._state = HALF_OPEN
+                self._probe_in_flight = True
+                return [(OPEN, HALF_OPEN)]
+            # HALF_OPEN: one probe at a time
+            if self._probe_in_flight:
+                raise ServiceUnavailableError(
+                    "circuit breaker half-open (probe in flight)"
+                )
+            self._probe_in_flight = True
+            return []
+
+    def record_success(self) -> List[Transition]:
+        with self._lock:
+            self._consecutive_failures = 0
+            if self._state == HALF_OPEN:
+                self._state = CLOSED
+                self._probe_in_flight = False
+                self._current_reset_s = self.base_reset_s
+                self._opened_at = None
+                return [(HALF_OPEN, CLOSED)]
+            return []
+
+    def record_failure(self) -> List[Transition]:
+        with self._lock:
+            if self._state == HALF_OPEN:
+                # failed probe: back off harder
+                self._state = OPEN
+                self._probe_in_flight = False
+                self._opened_at = self._clock()
+                self._current_reset_s = min(
+                    self._current_reset_s * self.backoff_factor,
+                    self.max_reset_s,
+                )
+                return [(HALF_OPEN, OPEN)]
+            self._consecutive_failures += 1
+            if (
+                self._state == CLOSED
+                and self._consecutive_failures >= self.failure_threshold
+            ):
+                self._state = OPEN
+                self._opened_at = self._clock()
+                return [(CLOSED, OPEN)]
+            return []

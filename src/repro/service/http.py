@@ -1,0 +1,167 @@
+"""Stdlib-only HTTP front end for the query service.
+
+A thin translation layer: URLs and query strings in,
+:class:`~repro.service.service.ServiceRequest` through the service,
+canonical JSON out with the status code the response's lifecycle outcome
+dictates (200 ok, 400 invalid, 404 unknown dataset/route, 429 shed,
+503 breaker open, 504 deadline exceeded).
+
+Endpoints (all ``GET``, parameters as query strings):
+
+``/search?q=...&dataset=...&engine=semantic|sqak&k=3&deadline_ms=500``
+    Run a keyword query; returns interpretations plus the executed rows
+    of the best one.
+``/analyze?q=...&dataset=...&k=3``
+    Static-analysis diagnostics for the top-k interpretations.
+``/healthz``
+    Liveness plus queue depth and per-dataset breaker states.
+``/metrics``
+    The full counter/timing snapshot (service, engines, breakers, cache).
+
+Built on :class:`http.server.ThreadingHTTPServer` — one thread per
+connection, all of them funnelling into the service's bounded queue, so
+overload protection lives in one place (the service), not in the HTTP
+layer.  No third-party dependencies.
+"""
+
+from __future__ import annotations
+
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Optional, Tuple
+from urllib.parse import parse_qs, urlparse
+
+from repro.service.service import QueryService, ServiceRequest, canonical_json
+
+__all__ = ["ServiceHTTPServer", "make_server"]
+
+_MAX_WAIT_SLACK_S = 30.0
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Routes one HTTP request into the owning server's service."""
+
+    server: "ServiceHTTPServer"
+    protocol_version = "HTTP/1.1"
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        parsed = urlparse(self.path)
+        route = parsed.path.rstrip("/") or "/"
+        params = parse_qs(parsed.query)
+        if route == "/healthz":
+            self._send(200, self.server.service.health())
+        elif route == "/metrics":
+            self._send(200, self.server.service.metrics_snapshot())
+        elif route in ("/search", "/analyze"):
+            self._serve_query(route, params)
+        else:
+            self._send(404, {"error": f"unknown route {route!r}"})
+
+    def _serve_query(self, route: str, params: dict) -> None:
+        request, error = self._build_request(route, params)
+        if request is None:
+            self._send(400, {"error": error})
+            return
+        # wait a little past the request's own deadline: the service
+        # resolves timeouts itself, the slack only guards a stuck worker
+        deadline_s = (
+            request.deadline_s
+            if request.deadline_s is not None
+            else self.server.service.config.default_deadline_s
+        )
+        wait = (
+            deadline_s + _MAX_WAIT_SLACK_S
+            if deadline_s is not None
+            else None
+        )
+        try:
+            response = self.server.service.serve(request, timeout=wait)
+        except TimeoutError:
+            self._send_bytes(
+                504, canonical_json({"error": "request still in flight"})
+            )
+            return
+        self._send_bytes(response.http_status, response.body())
+
+    def _build_request(
+        self, route: str, params: dict
+    ) -> Tuple[Optional[ServiceRequest], str]:
+        query = (params.get("q") or params.get("query") or [""])[0]
+        if not query.strip():
+            return None, "missing required parameter 'q'"
+        dataset = (params.get("dataset") or [None])[0]
+        engine = (params.get("engine") or ["semantic"])[0]
+        k_raw = (params.get("k") or [None])[0]
+        deadline_raw = (params.get("deadline_ms") or [None])[0]
+        try:
+            k = int(k_raw) if k_raw is not None else None
+        except ValueError:
+            return None, f"parameter 'k' must be an integer, got {k_raw!r}"
+        deadline_s: Optional[float] = None
+        if deadline_raw is not None:
+            try:
+                deadline_s = float(deadline_raw) / 1000.0
+            except ValueError:
+                return None, (
+                    "parameter 'deadline_ms' must be a number, got "
+                    f"{deadline_raw!r}"
+                )
+        return (
+            ServiceRequest(
+                query=query,
+                dataset=dataset,
+                engine=engine,
+                mode="analyze" if route == "/analyze" else "search",
+                k=k,
+                deadline_s=deadline_s,
+            ),
+            "",
+        )
+
+    # ------------------------------------------------------------------
+    # Response plumbing
+    # ------------------------------------------------------------------
+    def _send(self, status: int, payload: dict) -> None:
+        self._send_bytes(status, canonical_json(payload))
+
+    def _send_bytes(self, status: int, body: bytes) -> None:
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        # route HTTP access logs through the service's counters instead
+        # of stderr chatter
+        self.server.service.metrics.increment("http_requests")
+
+
+class ServiceHTTPServer(ThreadingHTTPServer):
+    """A :class:`ThreadingHTTPServer` bound to one :class:`QueryService`."""
+
+    daemon_threads = True
+
+    def __init__(self, address: Tuple[str, int], service: QueryService) -> None:
+        super().__init__(address, _Handler)
+        self.service = service
+
+    def serve_background(self) -> threading.Thread:
+        """Run :meth:`serve_forever` on a named daemon thread."""
+        thread = threading.Thread(
+            target=self.serve_forever,
+            name="repro-service-http",
+            daemon=True,
+        )
+        thread.start()
+        return thread
+
+
+def make_server(
+    service: QueryService, host: str = "127.0.0.1", port: int = 0
+) -> ServiceHTTPServer:
+    """Bind an HTTP server for *service* (``port=0`` picks a free port)."""
+    return ServiceHTTPServer((host, port), service)

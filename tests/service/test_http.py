@@ -1,0 +1,162 @@
+"""HTTP front-end tests: routing, status codes, canonical bodies.
+
+One server per module on an OS-assigned port (``port=0``), torn down
+explicitly; every request goes through real sockets via urllib.
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+from urllib.parse import quote
+
+import pytest
+
+from repro.service import (
+    QueryService,
+    ServiceConfig,
+    ServiceRequest,
+    canonical_json,
+    make_server,
+)
+
+
+@pytest.fixture(scope="module")
+def served(university_engine, university_sqak):
+    service = QueryService(ServiceConfig(max_workers=2, cache_ttl_s=30.0))
+    service.register_dataset(
+        "university", university_engine, sqak=university_sqak
+    )
+    server = make_server(service, port=0)
+    thread = server.serve_background()
+    host, port = server.server_address[:2]
+    with service:
+        yield service, f"http://{host}:{port}"
+        server.shutdown()
+    server.server_close()
+    thread.join(5.0)
+
+
+def get(base: str, path: str):
+    """(status, parsed json body) for one GET, errors included."""
+    try:
+        with urllib.request.urlopen(base + path, timeout=30.0) as response:
+            return response.status, json.loads(response.read())
+    except urllib.error.HTTPError as error:
+        return error.code, json.loads(error.read())
+
+
+class TestRouting:
+    def test_healthz(self, served):
+        _, base = served
+        status, body = get(base, "/healthz")
+        assert status == 200
+        assert body["status"] == "ok"
+        assert body["datasets"] == ["university"]
+
+    def test_unknown_route_404(self, served):
+        _, base = served
+        status, body = get(base, "/nope")
+        assert status == 404
+        assert "unknown route" in body["error"]
+
+    def test_missing_query_400(self, served):
+        _, base = served
+        status, body = get(base, "/search")
+        assert status == 400
+        assert "missing" in body["error"]
+
+    def test_bad_k_400(self, served):
+        _, base = served
+        status, _ = get(base, "/search?q=AVG+Credit&k=banana")
+        assert status == 400
+
+    def test_bad_deadline_400(self, served):
+        _, base = served
+        status, _ = get(base, "/search?q=AVG+Credit&deadline_ms=soon")
+        assert status == 400
+
+
+class TestSearch:
+    def test_semantic_search(self, served):
+        _, base = served
+        status, body = get(base, "/search?q=" + quote("AVG Credit"))
+        assert status == 200
+        assert body["best"]["rows"] == [[4.0]]
+        assert body["engine"] == "semantic"
+        assert body["interpretations"][0]["rank"] == 1
+
+    def test_sqak_search(self, served):
+        _, base = served
+        status, body = get(
+            base, "/search?q=" + quote("COUNT Student GROUPBY Course") + "&engine=sqak"
+        )
+        assert status == 200
+        assert body["engine"] == "sqak"
+        assert "SELECT" in body["sql"]
+
+    def test_unknown_dataset_404(self, served):
+        _, base = served
+        status, _ = get(base, "/search?q=AVG+Credit&dataset=nope")
+        assert status == 404
+
+    def test_unparseable_query_400(self, served):
+        _, base = served
+        status, body = get(base, "/search?q=zzznomatch+xyzzy")
+        assert status == 400
+        assert "error" in body
+
+    def test_http_body_matches_service_body(self, served):
+        """The HTTP layer adds nothing: bytes are the service's bytes."""
+        service, base = served
+        with urllib.request.urlopen(
+            base + "/search?q=" + quote("COUNT Student"), timeout=30.0
+        ) as response:
+            http_body = response.read()
+        direct = service.serve(
+            ServiceRequest(query="COUNT Student"), timeout=30.0
+        )
+        assert http_body == direct.body()
+        assert http_body == canonical_json(direct.payload)
+
+    def test_analyze(self, served):
+        _, base = served
+        status, body = get(base, "/analyze?q=" + quote("AVG Credit"))
+        assert status == 200
+        assert body["diagnostics"] == []
+
+    def test_metrics_endpoint(self, served):
+        _, base = served
+        status, body = get(base, "/metrics")
+        assert status == 200
+        counters = body["service"]["counters"]
+        assert counters["requests_submitted"] >= 1
+        assert "university" in body["breakers"]
+
+    def test_expired_deadline_504(self, served):
+        _, base = served
+        status, body = get(base, "/search?q=" + quote("COUNT Lecturer") + "&deadline_ms=0")
+        assert status == 504
+        assert "deadline" in body["error"]
+
+
+class TestServeCli:
+    def test_parser_defaults(self):
+        from repro.service.cli import build_serve_parser
+
+        args = build_serve_parser().parse_args([])
+        assert args.port == 8080
+        assert args.datasets == "university"
+
+    def test_run_serve_rejects_empty_datasets(self, capsys):
+        from repro.service.cli import run_serve
+
+        assert run_serve(["--datasets", ","]) == 2
+
+    def test_build_service_registers_sqak(self):
+        from repro.service.cli import build_service
+
+        service = build_service(["university"], ServiceConfig(max_workers=1))
+        assert service.datasets == ["university"]
+        assert service._runtimes["university"].sqak is not None

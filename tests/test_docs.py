@@ -23,6 +23,7 @@ DOC_FILES = [
     "docs/ARCHITECTURE.md",
     "docs/OBSERVABILITY.md",
     "docs/PERFORMANCE.md",
+    "docs/SERVING.md",
 ]
 
 _BLOCK_RE = re.compile(r"```python\n(.*?)```", re.DOTALL)
@@ -56,3 +57,4 @@ def test_docs_cross_linked_from_readme():
     assert "docs/API.md" in readme
     assert "docs/PERFORMANCE.md" in readme
     assert "docs/ANALYSIS.md" in readme
+    assert "docs/SERVING.md" in readme

@@ -123,6 +123,81 @@ class TestRules:
             == []
         )
 
+    def test_lr005_unnamed_thread(self, tmp_path):
+        findings = lint_source(
+            tmp_path,
+            "engine.py",
+            """
+            import threading
+
+            def f(work):
+                thread = threading.Thread(target=work)
+                thread.start()
+            """,
+        )
+        assert [code for code, _ in findings] == ["LR005"]
+        assert "name=" in findings[0][1] and "daemon=" in findings[0][1]
+
+    def test_lr005_bare_thread_name_missing_daemon(self, tmp_path):
+        findings = lint_source(
+            tmp_path,
+            "engine.py",
+            """
+            from threading import Thread
+
+            def f(work):
+                return Thread(target=work, name="worker")
+            """,
+        )
+        assert [code for code, _ in findings] == ["LR005"]
+        assert "daemon=" in findings[0][1]
+        assert "name=" not in findings[0][1]
+
+    def test_lr005_fully_specified_thread_is_fine(self, tmp_path):
+        assert (
+            lint_source(
+                tmp_path,
+                "engine.py",
+                """
+                import threading
+
+                def f(work):
+                    return threading.Thread(
+                        target=work, name="worker", daemon=True
+                    )
+                """,
+            )
+            == []
+        )
+
+    def test_lr005_service_layer_exempt(self, tmp_path):
+        assert (
+            lint_source(
+                tmp_path,
+                "service/x.py",
+                """
+                import threading
+
+                def f(work):
+                    return threading.Thread(target=work)
+                """,
+            )
+            == []
+        )
+
+    def test_lr005_ignores_unrelated_thread_attributes(self, tmp_path):
+        assert (
+            lint_source(
+                tmp_path,
+                "engine.py",
+                """
+                def f(pool):
+                    return pool.Thread()
+                """,
+            )
+            == []
+        )
+
     def test_lr004_fd_discovery_exemption(self, tmp_path):
         assert (
             lint_source(

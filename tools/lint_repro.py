@@ -17,6 +17,11 @@ Rules (all violations are errors; exit code = number of findings):
   ``repro.fd`` only depends on itself and errors, and so on).  Lazy
   imports inside functions are exempt — they are how intentional
   back-references (executor -> analysis) avoid cycles.
+* **LR005** — every ``threading.Thread(...)`` construction must pass
+  both ``name=`` and ``daemon=``: anonymous threads make deadlock dumps
+  unreadable, and forgotten non-daemon threads hang interpreter
+  shutdown.  ``repro/service/`` is exempt — it is the one layer whose
+  whole job is thread lifecycle, and it names everything anyway.
 
 Usage::
 
@@ -38,10 +43,16 @@ TRACER_ALLOWED = (
     "repro/observability/",
     "repro/experiments/",
     "repro/analysis/check.py",
+    # the service is a pipeline entry point: one tracer per request
+    "repro/service/",
 )
 
 # variable names treated as raw rows for LR003
 ROW_NAMES = ("row", "rows", "tuple_row", "record")
+
+# file path substrings where LR005 (named, explicit-daemon threads) is
+# not enforced: the serving layer owns thread lifecycle
+THREAD_RULE_EXEMPT = ("repro/service/",)
 
 # (file substring, forbidden prefix) pairs exempt from LR004: justified
 # cross-layer dependencies, each with a reason
@@ -110,6 +121,18 @@ LAYERING: Tuple[Tuple[str, Tuple[str, ...]], ...] = (
 Finding = Tuple[Path, int, str, str]
 
 
+def _is_thread_constructor(func: ast.expr) -> bool:
+    """True for ``Thread(...)`` and ``threading.Thread(...)`` calls."""
+    if isinstance(func, ast.Name):
+        return func.id == "Thread"
+    return (
+        isinstance(func, ast.Attribute)
+        and func.attr == "Thread"
+        and isinstance(func.value, ast.Name)
+        and func.value.id == "threading"
+    )
+
+
 def module_name(root: Path, path: Path) -> str:
     relative = path.relative_to(root.parent)
     parts = list(relative.with_suffix("").parts)
@@ -174,6 +197,24 @@ def lint_file(root: Path, path: Path) -> List[Finding]:
                     "accept a tracer parameter instead",
                 )
             )
+        if (
+            isinstance(node, ast.Call)
+            and _is_thread_constructor(node.func)
+            and not any(part in posix for part in THREAD_RULE_EXEMPT)
+        ):
+            kwargs = {kw.arg for kw in node.keywords if kw.arg}
+            missing = sorted({"name", "daemon"} - kwargs)
+            if missing:
+                findings.append(
+                    (
+                        path,
+                        node.lineno,
+                        "LR005",
+                        "threading.Thread(...) without explicit "
+                        + " and ".join(f"{kw}=" for kw in missing)
+                        + "; name threads and decide their daemon-ness",
+                    )
+                )
         if (
             isinstance(node, ast.Subscript)
             and isinstance(node.value, ast.Name)
