@@ -205,6 +205,53 @@ def check_service(result: Dict[str, object]) -> List[str]:
 
 
 # ----------------------------------------------------------------------
+# Backend latency regression (delegates measurement to bench_backends)
+# ----------------------------------------------------------------------
+# allowed fractional drop of the sqlite/memory latency ratio per dataset:
+# the ratio falling means the memory backend got slower relative to the
+# SQLite oracle on the same statements, data and machine
+BACKENDS_RATIO_TOLERANCE = 0.50
+
+BACKENDS_BASELINE_PATH = _HERE / "BENCH_backends_baseline.json"
+
+
+def _load_bench_backends():
+    spec = importlib.util.spec_from_file_location(
+        "bench_backends", _HERE / "bench_backends.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def measure_backends() -> Dict[str, object]:
+    """Per-dataset backend latencies, via ``bench_backends.measure()``."""
+    return _load_bench_backends().measure()
+
+
+def check_backends(result: Dict[str, object]) -> List[str]:
+    """Hard agreement/ratio gates plus drift against the baseline."""
+    bench_backends = _load_bench_backends()
+    failures = bench_backends.check(result)
+    if BACKENDS_BASELINE_PATH.exists():
+        with open(BACKENDS_BASELINE_PATH, encoding="utf-8") as handle:
+            baseline = json.load(handle)
+        for dataset, numbers in result["datasets"].items():
+            base = baseline["datasets"].get(dataset)
+            if base is None:
+                continue
+            ratio = float(numbers["ratio"])
+            floor = float(base["ratio"]) * (1.0 - BACKENDS_RATIO_TOLERANCE)
+            if ratio < floor:
+                failures.append(
+                    f"{dataset}: memory backend regressed vs SQLite: ratio "
+                    f"{ratio:.2f} vs baseline {base['ratio']:.2f} "
+                    f"(floor {floor:.2f})"
+                )
+    return failures
+
+
+# ----------------------------------------------------------------------
 # pytest wiring (collected by `pytest benchmarks/`)
 # ----------------------------------------------------------------------
 def test_compiled_speedup_no_regression():
@@ -212,6 +259,16 @@ def test_compiled_speedup_no_regression():
     write_result(result)
     failures = check(result)
     assert not failures, "; ".join(failures) + " | " + format_result(result)
+
+
+def test_backends_no_regression():
+    bench_backends = _load_bench_backends()
+    result = measure_backends()
+    bench_backends.write_result(result)
+    failures = check_backends(result)
+    assert not failures, "; ".join(failures) + "\n" + bench_backends.format_result(
+        result
+    )
 
 
 def test_service_slo_no_regression():
@@ -231,6 +288,12 @@ def main() -> int:
     print(format_result(result))
     print(f"wrote {RESULT_PATH}")
     failures = check(result)
+    bench_backends = _load_bench_backends()
+    backends_result = measure_backends()
+    bench_backends.write_result(backends_result)
+    print(bench_backends.format_result(backends_result))
+    print(f"wrote {bench_backends.RESULT_PATH}")
+    failures.extend(check_backends(backends_result))
     service_result = measure_service()
     bench_service.write_result(service_result)
     print(bench_service.format_result(service_result))

@@ -27,7 +27,7 @@ from repro.analysis.pattern_analyzers import (
 from repro.analysis.pipeline import TranslationParts, analyze_compilation
 from repro.analysis.plan_analyzers import analyze_plan
 from repro.analysis.rewrite_analyzers import analyze_rewrite
-from repro.analysis.sql_analyzers import analyze_select
+from repro.analysis.sql_analyzers import analyze_dialect, analyze_select
 
 __all__ = [
     "CODE_CATALOG",
@@ -40,6 +40,7 @@ __all__ = [
     "analyze_pattern",
     "analyze_plan",
     "analyze_rewrite",
+    "analyze_dialect",
     "analyze_select",
     "analyze_translation",
 ]

@@ -78,6 +78,7 @@ CODE_CATALOG: Dict[str, str] = {
     "S013": "contains-predicate on a non-text column",
     "S014": "ORDER BY references neither an output name nor a column",
     "S015": "outer aggregate over an ungrouped aggregate subquery",
+    "S016": "statement not renderable in the target SQL dialect",
     # -- plan analyzers ------------------------------------------------
     "S020": "index lookup kind is unsound for the column datatype",
     "S021": "pushed predicate references a column outside its scan",

@@ -16,6 +16,11 @@ the checks that need column datatypes:
   meaningful over a *grouped* inner aggregate query (warning — a
   single-row inner result makes the outer aggregate a no-op).
 
+:func:`analyze_dialect` adds **S016** — the statement cannot be rendered
+as SQL text for an execution backend's dialect (e.g. a string literal
+carrying control characters no quoting scheme round-trips): the backend
+would reject it at execution time, so strict mode surfaces it up front.
+
 This module must stay independent of ``repro.patterns``/``repro.engine``
 so the executor can import it without a layering cycle.
 """
@@ -65,6 +70,35 @@ def analyze_select(
         )
     diagnostics.extend(_type_checks(select, schema, location))
     return diagnostics
+
+
+def analyze_dialect(
+    select: Select, dialect: object, location: str = ""
+) -> List[Diagnostic]:
+    """S016 when *select* cannot be rendered for *dialect*.
+
+    Rendering itself is the single source of truth: any
+    :class:`~repro.errors.SqlRenderError` (unrepresentable string
+    literal, unquotable identifier) becomes one diagnostic instead of a
+    backend failure at execution time.
+    """
+    from repro.errors import SqlRenderError
+    from repro.sql.render import render
+
+    try:
+        render(select, dialect)  # type: ignore[arg-type]
+    except SqlRenderError as exc:
+        name = getattr(dialect, "name", str(dialect))
+        return [
+            Diagnostic(
+                code="S016",
+                severity=Severity.ERROR,
+                message=f"not renderable in the {name!r} dialect: {exc}",
+                location=location,
+                hint="the execution backend would reject this statement",
+            )
+        ]
+    return []
 
 
 def _type_checks(

@@ -1,0 +1,27 @@
+"""Pluggable execution backends (see ``docs/BACKENDS.md``).
+
+A :class:`~repro.backends.base.Backend` executes SELECT statements
+against a loaded :class:`~repro.relational.database.Database`.  Two ship
+with the repo — the in-memory engine (``"memory"``, the default) and a
+real SQLite database (``"sqlite"``) — and
+:mod:`repro.backends.differential` keeps them agreeing on every workload
+query (``python -m repro diff``).
+"""
+
+from repro.backends.base import (
+    Backend,
+    available_backends,
+    create_backend,
+    register_backend,
+)
+from repro.backends.memory import MemoryBackend
+from repro.backends.sqlite import SqliteBackend
+
+__all__ = [
+    "Backend",
+    "MemoryBackend",
+    "SqliteBackend",
+    "available_backends",
+    "create_backend",
+    "register_backend",
+]

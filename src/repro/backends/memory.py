@@ -1,0 +1,68 @@
+"""The in-memory execution backend: the existing engine, behind the
+:class:`~repro.backends.base.Backend` protocol.
+
+Execution is delegated unchanged to
+:class:`~repro.relational.executor.Executor` (compiled physical plans,
+plan cache, index-backed scans).  A :class:`MemoryBackend` can wrap an
+existing executor — the engine does exactly that, so backend execution
+shares the engine's plan cache — or build its own on :meth:`load`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Union
+
+from repro.backends.base import Backend, register_backend
+from repro.observability import NULL_TRACER
+from repro.relational.database import Database
+from repro.relational.executor import Executor
+from repro.relational.result import QueryResult
+from repro.sql.ast import Select
+from repro.sql.render import ANSI_DIALECT
+
+__all__ = ["MemoryBackend"]
+
+
+class MemoryBackend(Backend):
+    """Executes on the repo's own in-memory engine (the default backend)."""
+
+    name = "memory"
+    dialect = ANSI_DIALECT
+    capabilities = frozenset({"python-values", "compiled-plans", "trace-operators"})
+
+    def __init__(
+        self,
+        executor: Optional[Executor] = None,
+        compile_plans: bool = True,
+        use_hash_joins: bool = True,
+    ) -> None:
+        super().__init__()
+        self._executor = executor
+        self._compile_plans = compile_plans
+        self._use_hash_joins = use_hash_joins
+        if executor is not None:
+            self.database = executor.database
+
+    @property
+    def executor(self) -> Executor:
+        if self._executor is None:
+            database = self._require_database()
+            self._executor = Executor(
+                database,
+                compile_plans=self._compile_plans,
+                use_hash_joins=self._use_hash_joins,
+            )
+        return self._executor
+
+    def load(self, database: Database) -> None:
+        if self._executor is not None and self._executor.database is not database:
+            self._executor = None
+        self.database = database
+
+    def execute(self, query: Union[Select, str], tracer: Any = NULL_TRACER) -> QueryResult:
+        result = self.executor.execute(query, tracer=tracer)
+        tracer.count("backend_rows", len(result.rows))
+        return result
+
+
+register_backend("memory", MemoryBackend)

@@ -9,7 +9,9 @@ Examples::
     python -m repro --db-dir ./mydb --explain "COUNT thing GROUPBY other"
     python -m repro --dataset university --sql "SELECT Sname FROM Student"
     python -m repro --dataset tpch --strict "COUNT part GROUPBY supplier"
+    python -m repro --dataset tpch --backend sqlite "COUNT part GROUPBY supplier"
     python -m repro check --dataset tpch-unnorm
+    python -m repro diff --dataset acmdl-unnorm
     python -m repro serve --port 8080 --datasets university,tpch
     python -m repro --reproduce
 
@@ -95,6 +97,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="use the SQAK baseline instead of the semantic engine",
     )
     parser.add_argument(
+        "--backend",
+        choices=("memory", "sqlite"),
+        default="memory",
+        help=(
+            "execution backend for answers: the in-memory engine "
+            "(default) or a real SQLite database materialized from the "
+            "dataset (see docs/BACKENDS.md)"
+        ),
+    )
+    parser.add_argument(
         "--strict",
         action="store_true",
         help=(
@@ -162,8 +174,11 @@ def _run_semantic(
     explain: bool,
     out,
     strict: bool = False,
+    backend: Optional[str] = None,
 ) -> int:
-    result = engine.search(query, k=top, trace=explain, strict=strict)
+    result = engine.search(
+        query, k=top, trace=explain, strict=strict, backend=backend
+    )
     if explain and not strict:
         # strict search already ran the analyzers (and attached per-
         # interpretation diagnostics); otherwise run them for the report
@@ -228,6 +243,10 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
         from repro.analysis.check import run_check
 
         return run_check(list(argv[1:]), out)
+    if argv and argv[0] == "diff":
+        from repro.backends.differential import run_diff
+
+        return run_diff(list(argv[1:]), out)
     if argv and argv[0] == "serve":
         from repro.service.cli import run_serve
 
@@ -254,18 +273,35 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
         if not args.query:
             parser.error("a query is required (or use --schema/--reproduce)")
         if args.sql:
+            if args.backend != "memory":
+                from repro.backends import create_backend
+
+                backend = create_backend(args.backend, database)
+                try:
+                    print(backend.execute(args.query).format_table(), file=out)
+                finally:
+                    backend.close()
+                return 0
             from repro.relational.executor import execute_sql
 
             print(execute_sql(database, args.query).format_table(), file=out)
             return 0
         if args.sqak:
+            if args.backend != "memory":
+                parser.error("--sqak only executes on the memory backend")
             sqak = SqakEngine(database, extra_joins=extra_joins)
             return _run_sqak(sqak, args.query, args.explain, out)
         engine = KeywordSearchEngine(
             database, fds=fds or None, name_hints=name_hints or None
         )
         return _run_semantic(
-            engine, args.query, args.top, args.explain, out, strict=args.strict
+            engine,
+            args.query,
+            args.top,
+            args.explain,
+            out,
+            strict=args.strict,
+            backend=args.backend,
         )
     except ReproError as exc:
         print(f"error: {exc}", file=out)

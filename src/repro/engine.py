@@ -26,10 +26,13 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.analysis.diagnostics import AnalysisReport, Diagnostic, Severity
+from repro.backends.base import Backend, create_backend
+from repro.backends.memory import MemoryBackend
 from repro.cancellation import current_token
 from repro.analysis.pattern_analyzers import analyze_interpretation_set
 from repro.analysis.pipeline import TranslationParts, analyze_compilation
 from repro.analysis.plan_analyzers import analyze_plan
+from repro.analysis.sql_analyzers import analyze_dialect
 from repro.errors import KeywordQueryError, StaticAnalysisError
 from repro.keywords.matcher import Catalog, NormalizedCatalog, TermMatcher
 from repro.keywords.query import KeywordQuery
@@ -66,6 +69,7 @@ class Interpretation:
     pattern: QueryPattern
     select: Select
     description: str
+    # Executor or Backend — both expose execute(select, tracer=...)
     _executor: Executor = field(repr=False, compare=False, default=None)  # type: ignore[assignment]
     _result: Optional[QueryResult] = field(default=None, repr=False, compare=False)
     _tracer: object = field(default=None, repr=False, compare=False)
@@ -159,6 +163,8 @@ class KeywordSearchEngine:
         compile_plans: bool = True,
         use_hash_joins: bool = True,
         strict: bool = False,
+        backend: str = "memory",
+        backend_options: Optional[Dict[str, object]] = None,
     ) -> None:
         self.database = database
         self.top_k = top_k
@@ -175,6 +181,18 @@ class KeywordSearchEngine:
         self.executor = Executor(
             database, use_hash_joins=use_hash_joins, compile_plans=compile_plans
         )
+        # execution backends, keyed by name.  The memory backend wraps the
+        # engine's own executor (sharing its plan cache); others — e.g.
+        # "sqlite" — materialize the database on first use and are cached
+        # for the engine's lifetime.  ``backend`` picks the default used
+        # by search()/compile(); per-call overrides go through
+        # search(..., backend=...).
+        self._backends: Dict[str, Backend] = {
+            "memory": MemoryBackend(executor=self.executor)
+        }
+        self._backend_lock = threading.Lock()
+        self._backend_options = dict(backend_options or {})
+        self.backend = self.get_backend(backend)
         self.is_normalized = database_is_normalized(database, fds)
         self.view: Optional[NormalizedView] = None
         if self.is_normalized:
@@ -207,6 +225,31 @@ class KeywordSearchEngine:
         also drops any cached service responses derived from them.
         """
         self._invalidation_hooks.append(hook)
+
+    # ------------------------------------------------------------------
+    # Backends
+    # ------------------------------------------------------------------
+    def get_backend(self, name: Optional[str] = None) -> Backend:
+        """The execution backend registered as *name* (default: the
+        engine's configured backend), created and loaded on first use."""
+        if name is None:
+            configured: Optional[Backend] = getattr(self, "backend", None)
+            if configured is not None:
+                return configured
+            name = "memory"
+        with self._backend_lock:
+            backend = self._backends.get(name)
+            if backend is None:
+                backend = create_backend(
+                    name, self.database, **self._backend_options
+                )
+                self._backends[name] = backend
+            return backend
+
+    def available_backends(self) -> List[str]:
+        from repro.backends.base import available_backends
+
+        return available_backends()
 
     # ------------------------------------------------------------------
     # Pipeline
@@ -262,9 +305,19 @@ class KeywordSearchEngine:
             hook()
 
     def compile(
-        self, query_text: str, k: Optional[int] = None, tracer=NULL_TRACER
+        self,
+        query_text: str,
+        k: Optional[int] = None,
+        tracer=NULL_TRACER,
+        backend: Optional[str] = None,
     ) -> List[Interpretation]:
-        """Generate SQL for the top-k interpretations of a query."""
+        """Generate SQL for the top-k interpretations of a query.
+
+        *backend* selects the execution backend the interpretations will
+        run on (default: the engine's configured backend; the plan cache
+        is shared either way for analysis/EXPLAIN purposes).
+        """
+        executor = self.get_backend(backend)
         ranked = self.patterns(query_text, tracer=tracer)[: (k or self.top_k)]
         interpretations: List[Interpretation] = []
         token = current_token()
@@ -278,7 +331,7 @@ class KeywordSearchEngine:
                         pattern=pattern,
                         select=parts.final,
                         description=describe_pattern(pattern),
-                        _executor=self.executor,
+                        _executor=executor,
                         _tracer=tracer if tracer.enabled else None,
                         _parts=parts,
                     )
@@ -328,6 +381,7 @@ class KeywordSearchEngine:
         k: Optional[int] = None,
         trace: bool = False,
         strict: Optional[bool] = None,
+        backend: Optional[str] = None,
     ) -> SearchResult:
         """Compile a query and return its ranked interpretations.
 
@@ -348,7 +402,9 @@ class KeywordSearchEngine:
         with tracer.span("search", query=query_text):
             with tracer.span("parse"):
                 query = self.parse(query_text)
-            interpretations = self.compile(query_text, k, tracer=tracer)
+            interpretations = self.compile(
+                query_text, k, tracer=tracer, backend=backend
+            )
             tracer.count("interpretations", len(interpretations))
             if effective_strict:
                 report = self._analyze_compiled(
@@ -412,6 +468,9 @@ class KeywordSearchEngine:
                     dedup_enabled=self.dedup_relationships,
                     location=location,
                 )
+                findings.extend(
+                    analyze_dialect(parts.final, self.backend.dialect, location)
+                )
                 if self.compile_plans:
                     plan = self.executor.plan_for(parts.final, tracer)
                     findings.extend(analyze_plan(plan, location))
@@ -452,9 +511,9 @@ class KeywordSearchEngine:
                 by_text = dict(zip(unique, results))
         return [by_text[text] for text in query_texts]
 
-    def execute(self, query_text: str) -> QueryResult:
+    def execute(self, query_text: str, backend: Optional[str] = None) -> QueryResult:
         """Execute the top-ranked interpretation."""
-        return self.search(query_text, k=1).best.execute()
+        return self.search(query_text, k=1, backend=backend).best.execute()
 
 
 def describe_pattern(pattern: QueryPattern) -> str:

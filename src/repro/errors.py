@@ -53,6 +53,14 @@ class SqlExecutionError(SqlError):
     """The SQL statement is well-formed but cannot be executed."""
 
 
+class SqlRenderError(SqlError):
+    """The SQL AST cannot be rendered as text for the target dialect."""
+
+
+class BackendError(ReproError):
+    """An execution backend failed to load data or run a statement."""
+
+
 class KeywordQueryError(ReproError):
     """Base class for keyword-query errors."""
 

@@ -112,7 +112,7 @@ class Executor:
         select = parse(query) if isinstance(query, str) else query
         if self.validate:
             self._validate(select, tracer)
-        with tracer.span("execute"):
+        with tracer.span("execute", backend="memory"):
             if self.compile_plans:
                 plan = self.plan_for(select, tracer)
                 return plan.execute(tracer)

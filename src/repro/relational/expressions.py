@@ -160,19 +160,29 @@ def _align_comparable(left: Any, right: Any) -> Tuple[Any, Any]:
 def evaluate_aggregate(
     call: FuncCall, rows: Sequence[Sequence[Any]], binding: Binding
 ) -> Any:
-    """Evaluate one aggregate call over the rows of a group."""
+    """Evaluate one aggregate call over the rows of a group.
+
+    Results are routed through
+    :func:`repro.relational.result.normalize_aggregate` so output types
+    follow SQL semantics (COUNT int, AVG float, empty-group SUM NULL) on
+    every execution path.
+    """
+    # imported lazily: result -> algebra -> expressions would otherwise
+    # form a module-level import cycle
+    from repro.relational.result import normalize_aggregate
+
     name = call.name.upper()
     if name == "COUNT":
         if len(call.args) == 1 and isinstance(call.args[0], Star):
-            return len(rows)
+            return normalize_aggregate(name, len(rows))
         values = [
             value
             for value in (evaluate(call.args[0], row, binding) for row in rows)
             if value is not None
         ]
         if call.distinct:
-            return len(set(values))
-        return len(values)
+            return normalize_aggregate(name, len(set(values)))
+        return normalize_aggregate(name, len(values))
     if len(call.args) != 1:
         raise SqlExecutionError(f"{name} takes exactly one argument")
     values = [
@@ -186,14 +196,14 @@ def evaluate_aggregate(
         return None
     if name == "SUM":
         _require_numeric(values, name)
-        return sum(values)
+        return normalize_aggregate(name, sum(values))
     if name == "AVG":
         _require_numeric(values, name)
-        return sum(values) / len(values)
+        return normalize_aggregate(name, sum(values) / len(values))
     if name == "MIN":
-        return min(values)
+        return normalize_aggregate(name, min(values))
     if name == "MAX":
-        return max(values)
+        return normalize_aggregate(name, max(values))
     raise SqlExecutionError(f"unknown aggregate {name!r}")
 
 
@@ -363,8 +373,14 @@ def compile_predicate(expr: Expr, binding: Binding) -> ScalarFn:
 
 
 def _compile_aggregate_call(call: FuncCall, binding: Binding) -> GroupFn:
+    # imported lazily to break the result -> algebra -> expressions cycle;
+    # this runs once per compiled plan, never per row
+    from repro.relational.result import normalize_aggregate
+
     name = call.name.upper()
     if name == "COUNT":
+        # COUNT closures produce ints by construction (len / sum of 1s),
+        # which is exactly normalize_aggregate("COUNT", ...) — no wrapper
         if len(call.args) == 1 and isinstance(call.args[0], Star):
             return len
         arg = compile_scalar(call.args[0], binding)
@@ -391,7 +407,7 @@ def _compile_aggregate_call(call: FuncCall, binding: Binding) -> GroupFn:
             if not values:
                 return None
             _require_numeric(values, "SUM")
-            return sum(values)
+            return normalize_aggregate("SUM", sum(values))
 
         return agg_sum
     if name == "AVG":
@@ -401,13 +417,13 @@ def _compile_aggregate_call(call: FuncCall, binding: Binding) -> GroupFn:
             if not values:
                 return None
             _require_numeric(values, "AVG")
-            return sum(values) / len(values)
+            return normalize_aggregate("AVG", sum(values) / len(values))
 
         return agg_avg
     if name == "MIN":
-        return lambda rows: min(gather(rows), default=None)
+        return lambda rows: normalize_aggregate("MIN", min(gather(rows), default=None))
     if name == "MAX":
-        return lambda rows: max(gather(rows), default=None)
+        return lambda rows: normalize_aggregate("MAX", max(gather(rows), default=None))
     return _raising_group(f"unknown aggregate {name!r}")
 
 

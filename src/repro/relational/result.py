@@ -14,6 +14,32 @@ from repro.errors import SqlExecutionError
 from repro.relational.algebra import null_safe_sort_key
 
 
+def normalize_aggregate(func: str, value: Any) -> Any:
+    """Normalize an aggregate's result to its SQL type.
+
+    Both execution paths of the in-memory engine (interpreted and compiled)
+    route every aggregate value through this one function so their output
+    types agree with each other *and* with a real SQL backend:
+
+    * ``COUNT`` is always an ``int`` (never a bool, never a float);
+    * ``AVG`` is always a ``float`` when non-NULL, even when the mean of
+      integer inputs happens to be integral;
+    * ``SUM``/``MIN``/``MAX`` over an empty or all-NULL group stay ``None``
+      (SQL semantics: no input rows means no sum), and a ``SUM`` of
+      booleans widens to ``int`` the way SQL backends store booleans.
+    """
+    name = func.upper()
+    if name == "COUNT":
+        return int(value)
+    if value is None:
+        return None
+    if name == "AVG":
+        return float(value)
+    if name == "SUM" and isinstance(value, bool):
+        return int(value)
+    return value
+
+
 class QueryResult:
     """Materialized result of a query: column names plus row tuples."""
 

@@ -8,9 +8,10 @@ dictates (200 ok, 400 invalid, 404 unknown dataset/route, 429 shed,
 
 Endpoints (all ``GET``, parameters as query strings):
 
-``/search?q=...&dataset=...&engine=semantic|sqak&k=3&deadline_ms=500``
+``/search?q=...&dataset=...&engine=semantic|sqak&k=3&deadline_ms=500&backend=memory|sqlite``
     Run a keyword query; returns interpretations plus the executed rows
-    of the best one.
+    of the best one (``backend`` picks the execution backend; default
+    ``memory``).
 ``/analyze?q=...&dataset=...&k=3``
     Static-analysis diagnostics for the top-k interpretations.
 ``/healthz``
@@ -94,6 +95,7 @@ class _Handler(BaseHTTPRequestHandler):
             return None, "missing required parameter 'q'"
         dataset = (params.get("dataset") or [None])[0]
         engine = (params.get("engine") or ["semantic"])[0]
+        backend = (params.get("backend") or ["memory"])[0]
         k_raw = (params.get("k") or [None])[0]
         deadline_raw = (params.get("deadline_ms") or [None])[0]
         try:
@@ -117,6 +119,7 @@ class _Handler(BaseHTTPRequestHandler):
                 mode="analyze" if route == "/analyze" else "search",
                 k=k,
                 deadline_s=deadline_s,
+                backend=backend,
             ),
             "",
         )

@@ -88,16 +88,20 @@ def canonical_json(payload: Dict[str, Any]) -> bytes:
 # Payload builders (shared by the service and the equivalence tests)
 # ----------------------------------------------------------------------
 def semantic_search_payload(
-    engine: Any, dataset: str, query: str, k: int
+    engine: Any, dataset: str, query: str, k: int, backend: Optional[str] = None
 ) -> Dict[str, Any]:
     """The response payload for one semantic search: every interpretation's
-    SQL plus the executed rows of the best one."""
-    result = engine.search(query, k=k)
+    SQL plus the executed rows of the best one.
+
+    *backend* selects the execution backend (``None``: the engine's
+    configured default, normally ``"memory"``)."""
+    result = engine.search(query, k=k, backend=backend)
     best = result.best
     executed = best.execute()
     return {
         "dataset": dataset,
         "engine": "semantic",
+        "backend": backend or engine.backend.name,
         "query": query,
         "k": k,
         "interpretations": [
@@ -174,6 +178,9 @@ class ServiceRequest:
     k: Optional[int] = None
     deadline_s: Optional[float] = None
     trace: bool = False
+    # execution backend for semantic searches ("memory" or "sqlite");
+    # the SQAK baseline always executes on the in-memory engine
+    backend: str = "memory"
 
 
 @dataclass
@@ -472,6 +479,15 @@ class QueryService:
             return None, ("invalid", f"unknown mode {request.mode!r}")
         if request.engine not in ("semantic", "sqak"):
             return None, ("invalid", f"unknown engine {request.engine!r}")
+        from repro.backends.base import available_backends
+
+        if request.backend not in available_backends():
+            return None, ("invalid", f"unknown backend {request.backend!r}")
+        if request.engine == "sqak" and request.backend != "memory":
+            return None, (
+                "invalid",
+                "the SQAK baseline only executes on the memory backend",
+            )
         name = request.dataset or self._default_dataset
         if name is None:
             return None, ("not_found", "no datasets registered")
@@ -633,7 +649,14 @@ class QueryService:
         token: CancellationToken,
         tracer,
     ) -> Tuple[Dict[str, Any], str]:
-        key = (runtime.name, request.engine, request.mode, request.query, k)
+        key = (
+            runtime.name,
+            request.engine,
+            request.mode,
+            request.query,
+            k,
+            request.backend,
+        )
 
         def compute() -> Dict[str, Any]:
             with cancellation_scope(token):
@@ -646,7 +669,11 @@ class QueryService:
                         runtime.sqak, runtime.name, request.query
                     )
                 return semantic_search_payload(
-                    runtime.engine, runtime.name, request.query, k
+                    runtime.engine,
+                    runtime.name,
+                    request.query,
+                    k,
+                    backend=request.backend,
                 )
 
         def observe(outcome: str) -> None:

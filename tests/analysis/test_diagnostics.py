@@ -53,7 +53,7 @@ class TestCodeCatalog:
     def test_known_codes_present(self):
         expected = (
             [f"P{i:03d}" for i in range(1, 10)]
-            + [f"S{i:03d}" for i in range(1, 16)]
+            + [f"S{i:03d}" for i in range(1, 17)]
             + ["S020", "S021"]
             + [f"R{i:03d}" for i in range(1, 6)]
         )

@@ -126,3 +126,32 @@ class TestTypeInference:
         select = parse("SELECT Sid FROM Student")
         scope = build_scope(select, schema)
         assert infer_expr_type(ColumnRef("Mystery"), scope) is None
+
+
+class TestDialectAnalyzer:
+    """S016: a statement the target backend's dialect cannot render."""
+
+    def test_renderable_statement_is_clean(self):
+        from repro.analysis.sql_analyzers import analyze_dialect
+        from repro.sql.render import ANSI_DIALECT, SQLITE_DIALECT
+
+        select = parse("SELECT Sname FROM Student WHERE Sname = 'Green'")
+        assert analyze_dialect(select, ANSI_DIALECT) == []
+        assert analyze_dialect(select, SQLITE_DIALECT) == []
+
+    def test_unrenderable_phrase_is_s016_error(self):
+        from repro.analysis.sql_analyzers import analyze_dialect
+        from repro.sql.ast import Contains, Select, SelectItem, Star, TableRef
+        from repro.sql.render import SQLITE_DIALECT
+
+        select = Select(
+            items=(SelectItem(Star()),),
+            from_items=(TableRef("Student", "Student"),),
+            where=Contains(ColumnRef("Sname"), "nul\x00byte"),
+        )
+        diagnostics = analyze_dialect(select, SQLITE_DIALECT, location="interp #1")
+        assert [(d.code, d.severity) for d in diagnostics] == [
+            ("S016", Severity.ERROR)
+        ]
+        assert "sqlite" in diagnostics[0].message
+        assert diagnostics[0].location == "interp #1"

@@ -1,0 +1,166 @@
+"""SqliteBackend: materialization fidelity and execution semantics.
+
+The fidelity half asserts that every evaluation dataset survives the trip
+into a real SQLite database — schema, rows, keys, indexes — and the
+semantics half pins the dialect decisions (booleans, division, LIKE
+escaping, reserved-word identifiers) against SQLite's actual behaviour.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+
+import pytest
+
+from repro.backends import MemoryBackend, SqliteBackend
+from repro.backends.differential import DIFF_DATASETS
+from repro.backends.normalize import rows_match
+from repro.cli import load_dataset
+from repro.datasets import university_database
+from repro.errors import BackendError
+from repro.relational.database import Database
+from repro.relational.schema import DatabaseSchema
+from repro.relational.types import DataType
+from repro.sql.ast import ColumnRef, Contains, Select, SelectItem, TableRef
+from repro.sql.parser import parse
+
+
+@pytest.mark.parametrize("dataset", DIFF_DATASETS)
+def test_every_dataset_round_trips(dataset):
+    database, _, _, _ = load_dataset(dataset)
+    backend = SqliteBackend()
+    backend.load(database)
+    try:
+        assert backend.row_counts() == database.row_counts()
+        assert backend.foreign_key_violations() == []
+        expected_indexes = {
+            (relation.name,) + fk.columns
+            for relation in database.schema
+            for fk in relation.foreign_keys
+        }
+        assert len(backend.index_names()) == len(expected_indexes)
+    finally:
+        backend.close()
+
+
+def test_on_disk_database_persists(tmp_path):
+    path = tmp_path / "university.db"
+    backend = SqliteBackend(path=str(path))
+    backend.load(university_database())
+    count = backend.execute(parse("SELECT COUNT(*) FROM Student")).scalar()
+    backend.close()
+
+    assert path.exists()
+    conn = sqlite3.connect(str(path))  # reread with sqlite itself
+    try:
+        persisted = conn.execute('SELECT COUNT(*) FROM "Student"').fetchone()[0]
+    finally:
+        conn.close()
+    assert persisted == count > 0
+
+
+def test_rematerializes_when_the_data_changes():
+    database = university_database()
+    backend = SqliteBackend()
+    backend.load(database)
+    try:
+        before = backend.execute(parse("SELECT COUNT(*) FROM Student")).scalar()
+        database.insert_dict(
+            "Student", {"Sid": 999, "Sname": "Newton", "Age": 30}
+        )
+        after = backend.execute(parse("SELECT COUNT(*) FROM Student")).scalar()
+        assert after == before + 1
+    finally:
+        backend.close()
+
+
+def test_execution_error_is_wrapped(university_db):
+    backend = SqliteBackend()
+    backend.load(university_db)
+    try:
+        with pytest.raises(BackendError, match="sqlite execution failed"):
+            backend.execute(parse("SELECT Sid FROM NoSuchTable"))
+    finally:
+        backend.close()
+
+
+def test_execute_before_load_raises():
+    with pytest.raises(BackendError, match="no database loaded"):
+        SqliteBackend().execute(parse("SELECT 1 FROM Student"))
+
+
+def _single_table_db(name, columns, rows):
+    schema = DatabaseSchema("semantics")
+    schema.add_relation(name, columns, primary_key=(columns[0][0],))
+    database = Database(schema)
+    database.load(name, rows)
+    return database
+
+
+class TestDialectSemantics:
+    """Both backends must agree on the cases the dialect layer exists for."""
+
+    def _both(self, database, select):
+        memory = MemoryBackend()
+        memory.load(database)
+        sqlite = SqliteBackend()
+        sqlite.load(database)
+        try:
+            return memory.execute(select), sqlite.execute(select)
+        finally:
+            sqlite.close()
+
+    def test_boolean_predicates(self):
+        database = _single_table_db(
+            "Flags",
+            [("Id", DataType.INT), ("Done", DataType.BOOL)],
+            [(1, True), (2, False), (3, True)],
+        )
+        select = parse("SELECT COUNT(*) FROM Flags WHERE Done = TRUE")
+        memory, sqlite = self._both(database, select)
+        assert memory.scalar() == sqlite.scalar() == 2
+
+    def test_integer_division_is_true_division(self):
+        database = _single_table_db("Nums", [("Id", DataType.INT)], [(7,)])
+        select = parse("SELECT Id / 2 FROM Nums")
+        memory, sqlite = self._both(database, select)
+        # without the CAST the sqlite side would truncate to 3
+        assert memory.rows == sqlite.rows == [(3.5,)]
+
+    def test_avg_of_integers_is_float_on_both(self):
+        database = _single_table_db("Nums", [("Id", DataType.INT)], [(2,), (4,)])
+        select = parse("SELECT AVG(Id) FROM Nums")
+        memory, sqlite = self._both(database, select)
+        assert memory.rows == sqlite.rows == [(3.0,)]
+        assert type(sqlite.scalar()) is float
+
+    def test_like_wildcards_match_literally(self):
+        database = _single_table_db(
+            "Notes",
+            [("Id", DataType.INT), ("Text", DataType.TEXT)],
+            [(1, "100% done"), (2, "100x done"), (3, "under_score"), (4, "underXscore")],
+        )
+        for phrase, expected in [("100%", 1), ("under_", 1)]:
+            select = Select(
+                items=(SelectItem(ColumnRef("Id")),),
+                from_items=(TableRef("Notes", "Notes"),),
+                where=Contains(ColumnRef("Text"), phrase),
+            )
+            memory, sqlite = self._both(database, select)
+            assert rows_match(memory.rows, sqlite.rows)
+            assert len(sqlite.rows) == expected, phrase
+
+    def test_reserved_word_identifiers(self):
+        # 'Order' is a keyword everywhere; 'Date' only in real RDBMSs —
+        # quote-all-identifiers makes both safe.
+        database = _single_table_db(
+            "Order",
+            [("Id", DataType.INT), ("Date", DataType.DATE)],
+            [(1, "2016-03-15")],
+        )
+        select = Select(
+            items=(SelectItem(ColumnRef("Date")),),
+            from_items=(TableRef("Order", "Order"),),
+        )
+        memory, sqlite = self._both(database, select)
+        assert memory.rows == sqlite.rows == [("2016-03-15",)]

@@ -125,3 +125,40 @@ class TestExplainTree:
         assert code == 0
         assert "[Course COUNT(Code)]" in text
         assert "`-- " in text or "|-- " in text
+
+
+class TestBackendSelection:
+    def test_semantic_answers_on_sqlite(self):
+        code, text = run_cli(
+            "--dataset", "university", "--backend", "sqlite", "AVG Credit"
+        )
+        assert code == 0
+        assert "4.0" in text
+
+    def test_raw_sql_on_sqlite(self):
+        code, text = run_cli(
+            "--dataset", "university", "--backend", "sqlite",
+            "--sql", "SELECT COUNT(*) FROM Student",
+        )
+        assert code == 0
+        assert "3" in text
+
+    def test_unknown_backend_rejected_by_argparse(self):
+        with pytest.raises(SystemExit):
+            run_cli(
+                "--dataset", "university", "--backend", "oracle", "AVG Credit"
+            )
+
+    def test_sqak_refuses_non_memory_backend(self):
+        with pytest.raises(SystemExit):
+            run_cli(
+                "--dataset", "university", "--sqak", "--backend", "sqlite",
+                "Green SUM Credit",
+            )
+
+
+class TestDiffSubcommand:
+    def test_diff_dispatches_from_main(self):
+        code, text = run_cli("diff", "--dataset", "university", "--top", "2")
+        assert code == 0
+        assert "0 mismatches" in text

@@ -1,0 +1,114 @@
+"""Backend selection through the service and HTTP layers."""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+from urllib.parse import quote
+
+import pytest
+
+from repro.service import (
+    QueryService,
+    ServiceConfig,
+    ServiceRequest,
+    make_server,
+)
+
+
+@pytest.fixture(scope="module")
+def served(university_engine, university_sqak):
+    service = QueryService(ServiceConfig(max_workers=2, cache_ttl_s=30.0))
+    service.register_dataset(
+        "university", university_engine, sqak=university_sqak
+    )
+    server = make_server(service, port=0)
+    thread = server.serve_background()
+    host, port = server.server_address[:2]
+    with service:
+        yield service, f"http://{host}:{port}"
+        server.shutdown()
+    server.server_close()
+    thread.join(5.0)
+
+
+def get(base: str, path: str):
+    try:
+        with urllib.request.urlopen(base + path, timeout=30.0) as response:
+            return response.status, json.loads(response.read())
+    except urllib.error.HTTPError as error:
+        return error.code, json.loads(error.read())
+
+
+class TestServiceBackendSelection:
+    def test_sqlite_backend_serves_the_same_answer(self, served):
+        service, _ = served
+        memory = service.serve(ServiceRequest(query="AVG Credit"), timeout=30.0)
+        sqlite = service.serve(
+            ServiceRequest(query="AVG Credit", backend="sqlite"), timeout=30.0
+        )
+        assert sqlite.ok, sqlite.payload
+        assert memory.payload["backend"] == "memory"
+        assert sqlite.payload["backend"] == "sqlite"
+        assert (
+            sqlite.payload["best"]["rows"] == memory.payload["best"]["rows"] == [[4.0]]
+        )
+
+    def test_backend_is_part_of_the_cache_key(self, served):
+        service, _ = served
+        first = service.serve(
+            ServiceRequest(query="COUNT Course", backend="sqlite"), timeout=30.0
+        )
+        again = service.serve(
+            ServiceRequest(query="COUNT Course", backend="sqlite"), timeout=30.0
+        )
+        other = service.serve(
+            ServiceRequest(query="COUNT Course", backend="memory"), timeout=30.0
+        )
+        assert first.cache == "miss"
+        assert again.cache == "hit"
+        assert other.cache == "miss"  # distinct entry per backend
+
+    def test_unknown_backend_400(self, served):
+        service, _ = served
+        response = service.serve(
+            ServiceRequest(query="AVG Credit", backend="oracle"), timeout=30.0
+        )
+        assert response.status == "invalid"
+        assert response.http_status == 400
+        assert "unknown backend" in response.payload["error"]
+
+    def test_sqak_only_runs_on_memory(self, served):
+        service, _ = served
+        response = service.serve(
+            ServiceRequest(query="Green SUM Credit", engine="sqak", backend="sqlite"),
+            timeout=30.0,
+        )
+        assert response.status == "invalid"
+        assert response.http_status == 400
+
+
+class TestHttpBackendParameter:
+    def test_backend_query_parameter(self, served):
+        _, base = served
+        status, body = get(
+            base, f"/search?q={quote('AVG Credit')}&backend=sqlite"
+        )
+        assert status == 200
+        assert body["backend"] == "sqlite"
+        assert body["best"]["rows"] == [[4.0]]
+
+    def test_default_is_memory(self, served):
+        _, base = served
+        status, body = get(base, f"/search?q={quote('AVG Credit')}")
+        assert status == 200
+        assert body["backend"] == "memory"
+
+    def test_unknown_backend_400(self, served):
+        _, base = served
+        status, body = get(
+            base, f"/search?q={quote('AVG Credit')}&backend=oracle"
+        )
+        assert status == 400
+        assert "unknown backend" in body["error"]

@@ -21,6 +21,7 @@ DOC_FILES = [
     "docs/API.md",
     "docs/ANALYSIS.md",
     "docs/ARCHITECTURE.md",
+    "docs/BACKENDS.md",
     "docs/OBSERVABILITY.md",
     "docs/PERFORMANCE.md",
     "docs/SERVING.md",
@@ -58,3 +59,4 @@ def test_docs_cross_linked_from_readme():
     assert "docs/PERFORMANCE.md" in readme
     assert "docs/ANALYSIS.md" in readme
     assert "docs/SERVING.md" in readme
+    assert "docs/BACKENDS.md" in readme

@@ -198,6 +198,40 @@ class TestRules:
             == []
         )
 
+    def test_lr006_sqlite3_outside_backends(self, tmp_path):
+        findings = lint_source(
+            tmp_path,
+            "relational/x.py",
+            "import sqlite3\n",
+        )
+        assert [code for code, _ in findings] == ["LR006"]
+        findings = lint_source(
+            tmp_path,
+            "engine.py",
+            "from sqlite3 import connect\n",
+        )
+        assert [code for code, _ in findings] == ["LR006"]
+
+    def test_lr006_allowed_inside_backends(self, tmp_path):
+        assert (
+            lint_source(tmp_path, "backends/sqlite.py", "import sqlite3\n")
+            == []
+        )
+
+    def test_lr006_lazy_import_still_flagged(self, tmp_path):
+        # unlike LR004, going through a function does not exempt sqlite3:
+        # the rule is about which layer talks to sqlite at all
+        findings = lint_source(
+            tmp_path,
+            "service/x.py",
+            """
+            def f():
+                import sqlite3
+                return sqlite3
+            """,
+        )
+        assert [code for code, _ in findings] == ["LR006"]
+
     def test_lr004_fd_discovery_exemption(self, tmp_path):
         assert (
             lint_source(

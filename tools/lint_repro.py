@@ -22,6 +22,11 @@ Rules (all violations are errors; exit code = number of findings):
   unreadable, and forgotten non-daemon threads hang interpreter
   shutdown.  ``repro/service/`` is exempt — it is the one layer whose
   whole job is thread lifecycle, and it names everything anyway.
+* **LR006** — ``sqlite3`` may only be imported (at any nesting level)
+  inside ``repro/backends/``: every other layer goes through the
+  :class:`~repro.backends.base.Backend` protocol, so the RDBMS
+  dependency stays swappable and the differential harness stays the
+  single place where two execution paths meet.
 
 Usage::
 
@@ -43,9 +48,15 @@ TRACER_ALLOWED = (
     "repro/observability/",
     "repro/experiments/",
     "repro/analysis/check.py",
+    # the differential harness is a pipeline entry point (`repro diff`)
+    "repro/backends/differential.py",
     # the service is a pipeline entry point: one tracer per request
     "repro/service/",
 )
+
+# file path substrings where importing sqlite3 is allowed (LR006): the
+# backend package owns the one RDBMS dependency
+SQLITE_ALLOWED = ("repro/backends/",)
 
 # variable names treated as raw rows for LR003
 ROW_NAMES = ("row", "rows", "tuple_row", "record")
@@ -178,6 +189,25 @@ def lint_file(root: Path, path: Path) -> List[Finding]:
     module = module_name(root, path)
 
     for node in ast.walk(tree):
+        if isinstance(node, (ast.Import, ast.ImportFrom)) and not any(
+            part in posix for part in SQLITE_ALLOWED
+        ):
+            imported_names = (
+                [alias.name for alias in node.names]
+                if isinstance(node, ast.Import)
+                else [node.module or ""]
+            )
+            for imported in imported_names:
+                if imported == "sqlite3" or imported.startswith("sqlite3."):
+                    findings.append(
+                        (
+                            path,
+                            node.lineno,
+                            "LR006",
+                            "sqlite3 imported outside repro/backends/; go "
+                            "through the Backend protocol instead",
+                        )
+                    )
         if isinstance(node, ast.ExceptHandler) and node.type is None:
             findings.append(
                 (path, node.lineno, "LR001", "bare 'except:' clause")
