@@ -9,10 +9,12 @@ Two independent gates share this module's measure/check idiom:
   not give back more than ``TOLERANCE`` of the speedup recorded in the
   committed baseline (``BENCH_scaling_baseline.json``).
 * **Serving SLOs** — the query service's closed-loop load numbers
-  (``bench_service.py``) must hold the hard p95-ratio guarantee and must
-  not drift from the committed ``BENCH_service_baseline.json`` by more
-  than ``SERVICE_RATIO_TOLERANCE`` (p95 ratio) /
-  ``SERVICE_SHED_TOLERANCE`` (absolute shed rate at peak load).
+  (``bench_service.py``, swept over the worker-process tier) must hold
+  the hard p95-ratio and scale-out guarantees and, per configuration,
+  must not drift from the committed ``BENCH_service_baseline.json`` by
+  more than ``SERVICE_RATIO_TOLERANCE`` (p95 ratio) /
+  ``SERVICE_SHED_TOLERANCE`` (absolute shed rate at peak load) /
+  ``SERVICE_THROUGHPUT_TOLERANCE`` (peak throughput-per-core).
 
 The measurement is *relative* — both paths run on the same process, data
 and query mix, so the speedup ratio is stable across machines in a way raw
@@ -155,8 +157,13 @@ def format_result(result: Dict[str, object]) -> str:
 # ----------------------------------------------------------------------
 # Serving-layer SLO regression (delegates measurement to bench_service)
 # ----------------------------------------------------------------------
-SERVICE_RATIO_TOLERANCE = 0.50  # allowed fractional growth of the p95 ratio
+SERVICE_RATIO_TOLERANCE = 0.50  # allowed fractional growth of the w1 p95 ratio
 SERVICE_SHED_TOLERANCE = 0.25  # allowed absolute shed-rate growth at peak
+# allowed fractional drop of peak throughput-per-core per configuration:
+# generous because closed-loop wall clocks on shared machines are noisy,
+# but a real serving-layer regression (lost coalescing, broken memo,
+# per-dispatch overhead) costs more than half the throughput
+SERVICE_THROUGHPUT_TOLERANCE = 0.50
 
 SERVICE_BASELINE_PATH = _HERE / "BENCH_service_baseline.json"
 
@@ -176,31 +183,57 @@ def measure_service() -> Dict[str, object]:
 
 
 def check_service(result: Dict[str, object]) -> List[str]:
-    """Hard SLOs plus drift against the committed service baseline."""
+    """Hard SLOs plus drift against the committed service baseline.
+
+    Per configuration (w1 / w2 / w4): the peak shed rate must not grow
+    past the baseline by more than its tolerance, and peak
+    **throughput-per-core** must not drop below
+    ``1 - SERVICE_THROUGHPUT_TOLERANCE`` of the baseline — the drift
+    gate for the worker-pool scale-out numbers.  The p95 ratio drifts
+    only for ``w1``, mirroring the bench's own gate: pool configs keep
+    requests queued at peak by design, so their admitted-p95 is a
+    function of queue depth, not serving speed — throughput is their
+    latency-honest signal."""
     bench_service = _load_bench_service()
     failures = bench_service.check(result)
     if SERVICE_BASELINE_PATH.exists():
         with open(SERVICE_BASELINE_PATH, encoding="utf-8") as handle:
             baseline = json.load(handle)
-        ratio = float(result["p95_ratio_at_peak"])
-        ceiling = float(baseline["p95_ratio_at_peak"]) * (
-            1.0 + SERVICE_RATIO_TOLERANCE
-        )
-        if ratio > ceiling:
-            failures.append(
-                f"service p95 ratio regressed: {ratio:.2f}x vs baseline "
-                f"{baseline['p95_ratio_at_peak']:.2f}x (ceiling {ceiling:.2f}x)"
+        for name, config in result["configs"].items():
+            base = baseline["configs"].get(name)
+            if base is None:
+                continue
+            ratio = float(config["p95_ratio_at_peak"])
+            ceiling = float(base["p95_ratio_at_peak"]) * (
+                1.0 + SERVICE_RATIO_TOLERANCE
             )
-        shed = float(result["shed_rate_at_peak"])
-        shed_ceiling = (
-            float(baseline["shed_rate_at_peak"]) + SERVICE_SHED_TOLERANCE
-        )
-        if shed > shed_ceiling:
-            failures.append(
-                f"service shed rate at peak regressed: {shed:.0%} vs "
-                f"baseline {baseline['shed_rate_at_peak']:.0%} "
-                f"(ceiling {shed_ceiling:.0%})"
+            if name == "w1" and ratio > ceiling:
+                failures.append(
+                    f"{name}: service p95 ratio regressed: {ratio:.2f}x vs "
+                    f"baseline {base['p95_ratio_at_peak']:.2f}x "
+                    f"(ceiling {ceiling:.2f}x)"
+                )
+            shed = float(config["shed_rate_at_peak"])
+            shed_ceiling = (
+                float(base["shed_rate_at_peak"]) + SERVICE_SHED_TOLERANCE
             )
+            if shed > shed_ceiling:
+                failures.append(
+                    f"{name}: service shed rate at peak regressed: "
+                    f"{shed:.0%} vs baseline {base['shed_rate_at_peak']:.0%} "
+                    f"(ceiling {shed_ceiling:.0%})"
+                )
+            per_core = float(config["throughput_per_core_at_peak_rps"])
+            floor = float(base["throughput_per_core_at_peak_rps"]) * (
+                1.0 - SERVICE_THROUGHPUT_TOLERANCE
+            )
+            if per_core < floor:
+                failures.append(
+                    f"{name}: peak throughput-per-core regressed: "
+                    f"{per_core:.0f} rps/core vs baseline "
+                    f"{base['throughput_per_core_at_peak_rps']:.0f} rps/core "
+                    f"(floor {floor:.0f})"
+                )
     return failures
 
 

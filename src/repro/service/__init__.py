@@ -14,9 +14,10 @@ ladder.  Quick start::
 """
 
 from repro.service.breaker import CLOSED, HALF_OPEN, OPEN, CircuitBreaker
-from repro.service.cache import ResultCache
+from repro.service.cache import PlanArtifactCache, ResultCache
 from repro.service.config import ServiceConfig
 from repro.service.http import ServiceHTTPServer, make_server
+from repro.service.pool import WorkerPool
 from repro.service.service import (
     QueryService,
     ServiceRequest,
@@ -29,12 +30,14 @@ __all__ = [
     "CircuitBreaker",
     "HALF_OPEN",
     "OPEN",
+    "PlanArtifactCache",
     "QueryService",
     "ResultCache",
     "ServiceConfig",
     "ServiceHTTPServer",
     "ServiceRequest",
     "ServiceResponse",
+    "WorkerPool",
     "canonical_json",
     "make_server",
 ]

@@ -32,6 +32,7 @@ top-1 interpretation mode (queue depth ≥ watermark) → load shedding
 from __future__ import annotations
 
 import json
+import os
 import queue
 import threading
 import time
@@ -46,16 +47,19 @@ from repro.errors import (
     StaticAnalysisError,
 )
 from repro.observability import NULL_TRACER, MetricsRegistry, Trace, Tracer
+from repro.service import proto
 from repro.service.breaker import OPEN, CircuitBreaker
-from repro.service.cache import ResultCache
+from repro.service.cache import PlanArtifactCache, ResultCache
 from repro.service.config import ServiceConfig
 
 __all__ = [
     "QueryService",
     "ServiceRequest",
     "ServiceResponse",
+    "assemble_semantic_payload",
     "canonical_json",
     "analyze_payload",
+    "interpretations_fragment",
     "semantic_search_payload",
     "sqak_search_payload",
 ]
@@ -87,6 +91,44 @@ def canonical_json(payload: Dict[str, Any]) -> bytes:
 # ----------------------------------------------------------------------
 # Payload builders (shared by the service and the equivalence tests)
 # ----------------------------------------------------------------------
+def interpretations_fragment(interpretations) -> List[Dict[str, Any]]:
+    """The compile-tier half of a semantic response: each interpretation's
+    rank, description and rendered SQL.  This is the *artifact* the shared
+    cross-process plan cache stores and ships between pool workers."""
+    return [
+        {
+            "rank": interpretation.rank,
+            "description": interpretation.description,
+            "sql": interpretation.sql_compact,
+        }
+        for interpretation in interpretations
+    ]
+
+
+def assemble_semantic_payload(
+    dataset: str,
+    backend_name: str,
+    query: str,
+    k: int,
+    fragment: List[Dict[str, Any]],
+    executed: Any,
+) -> Dict[str, Any]:
+    """Join the compile-tier *fragment* with the execute-tier result into
+    the canonical semantic response payload."""
+    return {
+        "dataset": dataset,
+        "engine": "semantic",
+        "backend": backend_name,
+        "query": query,
+        "k": k,
+        "interpretations": fragment,
+        "best": {
+            "columns": list(executed.columns),
+            "rows": [list(row) for row in executed.rows],
+        },
+    }
+
+
 def semantic_search_payload(
     engine: Any, dataset: str, query: str, k: int, backend: Optional[str] = None
 ) -> Dict[str, Any]:
@@ -98,25 +140,14 @@ def semantic_search_payload(
     result = engine.search(query, k=k, backend=backend)
     best = result.best
     executed = best.execute()
-    return {
-        "dataset": dataset,
-        "engine": "semantic",
-        "backend": backend or engine.backend.name,
-        "query": query,
-        "k": k,
-        "interpretations": [
-            {
-                "rank": interpretation.rank,
-                "description": interpretation.description,
-                "sql": interpretation.sql_compact,
-            }
-            for interpretation in result.interpretations
-        ],
-        "best": {
-            "columns": list(executed.columns),
-            "rows": [list(row) for row in executed.rows],
-        },
-    }
+    return assemble_semantic_payload(
+        dataset,
+        backend or engine.backend.name,
+        query,
+        k,
+        interpretations_fragment(result.interpretations),
+        executed,
+    )
 
 
 def sqak_search_payload(sqak: Any, dataset: str, query: str) -> Dict[str, Any]:
@@ -245,6 +276,17 @@ class _Pending:
         return self._response
 
 
+class _InheritedRuntimes:
+    """The default pool worker factory: hand the forked child the parent's
+    already-built engines (copy-on-write — no rebuild, no pickling)."""
+
+    def __init__(self, runtimes: Dict[str, Tuple[Any, Any]]) -> None:
+        self._runtimes = runtimes
+
+    def __call__(self) -> Dict[str, Tuple[Any, Any]]:
+        return self._runtimes
+
+
 class _Runtime:
     """One registered dataset: engines plus its circuit breaker."""
 
@@ -264,6 +306,7 @@ class QueryService:
         self,
         config: Optional[ServiceConfig] = None,
         clock: Callable[[], float] = time.monotonic,
+        worker_factory: Optional[Callable[[], Dict[str, Tuple[Any, Any]]]] = None,
     ) -> None:
         self.config = config or ServiceConfig()
         self.metrics = MetricsRegistry()
@@ -281,6 +324,28 @@ class QueryService:
         self._workers: List[threading.Thread] = []
         self._running = False
         self._lifecycle_lock = threading.Lock()
+        # ---- process worker tier (config.worker_processes > 0) ----
+        # the pool serves the compute; every request still flows through
+        # this (front-end) process, which is what makes self._cache a
+        # genuinely *shared cross-process* result cache and keeps the
+        # lifecycle semantics byte-identical to in-process serving
+        self._pool = None  # repro.service.pool.WorkerPool, started lazily
+        # spawn-mode pools rebuild engines from this; the fork default is
+        # a closure over the registered runtimes (copy-on-write)
+        self._worker_factory = worker_factory
+        self._plan_cache = PlanArtifactCache(size=self.config.plan_cache_size)
+        # per-dataset invalidation epochs, carried on every dispatch so
+        # clear_cache() propagates to every worker (even respawned ones)
+        self._epochs: Dict[str, int] = {}
+        self._epochs_lock = threading.Lock()
+        # in-flight requests, so stop() can cancel their tokens after the
+        # join grace instead of waiting unboundedly
+        self._inflight: set = set()
+        self._inflight_lock = threading.Lock()
+        # forked pool workers inherit this object (and, via engine
+        # invalidation hooks, may call invalidate_dataset on their own
+        # copies); only the owning process may talk to the pool's pipes
+        self._owner_pid = os.getpid()
 
     # ------------------------------------------------------------------
     # Registration / lifecycle
@@ -310,9 +375,21 @@ class QueryService:
             register(lambda: self.invalidate_dataset(name))
 
     def invalidate_dataset(self, name: str) -> int:
-        """Drop every cached response for *name* (returns entries dropped)."""
+        """Drop every cached response for *name* (returns entries dropped).
+
+        In pool mode this also bumps the dataset's invalidation epoch —
+        carried on every subsequent dispatch, so each worker drops its own
+        engine caches and compile memo before serving anything newer —
+        and best-effort broadcasts the clear to all live workers."""
         dropped = self._cache.invalidate(lambda key: key[0] == name)
+        self._plan_cache.invalidate(lambda key: key[0] == name)
         self.metrics.increment("result_cache_invalidations")
+        with self._epochs_lock:
+            self._epochs[name] = self._epochs.get(name, 0) + 1
+            epoch = self._epochs[name]
+        pool = self._pool
+        if pool is not None and pool.running and os.getpid() == self._owner_pid:
+            pool.broadcast_clear(name, epoch)
         return dropped
 
     @property
@@ -325,6 +402,10 @@ class QueryService:
                 return self
             if not self._runtimes:
                 raise RuntimeError("no datasets registered")
+            if self.config.worker_processes > 0 and self._pool is None:
+                # start the process tier *before* the thread tier: forked
+                # children must not inherit mid-request thread state
+                self._pool = self._build_pool().start()
             self._running = True
             for index in range(self.config.max_workers):
                 worker = threading.Thread(
@@ -336,27 +417,82 @@ class QueryService:
                 self._workers.append(worker)
         return self
 
-    def stop(self, timeout: float = 10.0) -> None:
-        """Stop accepting work, drain the queue with clean rejections and
-        join the workers."""
+    def _build_pool(self):
+        from repro.service.pool import WorkerPool, default_start_method
+
+        factory = self._worker_factory
+        if factory is None:
+            effective = self.config.worker_context or default_start_method()
+            if effective != "fork":
+                raise RuntimeError(
+                    "worker_processes > 0 with a non-fork start method "
+                    f"({effective!r}) needs an explicit picklable "
+                    "worker_factory: engines cannot be pickled into spawned "
+                    "workers (see repro.service.cli.build_worker_factory)"
+                )
+            # fork inherits these live engines copy-on-write; no rebuild
+            runtimes = {
+                name: (runtime.engine, runtime.sqak)
+                for name, runtime in self._runtimes.items()
+            }
+            factory = _InheritedRuntimes(runtimes)
+        return WorkerPool(
+            factory,
+            workers=self.config.worker_processes,
+            context=self.config.worker_context,
+            route_by=self.config.route_by,
+            grace_s=self.config.worker_grace_s,
+            memo_size=self.config.worker_memo_size,
+        )
+
+    def stop(self, timeout: Optional[float] = None) -> None:
+        """Stop accepting work and shut down deterministically.
+
+        Drain order: (1) join worker threads for a bounded grace period,
+        (2) cancel the tokens of requests still in flight — cooperative
+        cancellation aborts in-process engine work at its next checkpoint
+        and pool dispatches at their poll — and join again, (3) resolve
+        everything still queued with a clean ``unavailable``, (4) stop the
+        process pool (polite shutdown, then terminate, then kill), so
+        repeated bench runs and test teardowns never leak threads or
+        processes."""
+        grace = timeout if timeout is not None else self.config.shutdown_grace_s
         with self._lifecycle_lock:
             if not self._running:
                 return
             self._running = False
             workers, self._workers = self._workers, []
+        deadline = time.monotonic() + grace
         for worker in workers:
-            worker.join(timeout)
+            worker.join(max(0.05, (deadline - time.monotonic()) / 2))
+        stragglers = [worker for worker in workers if worker.is_alive()]
+        if stragglers:
+            with self._inflight_lock:
+                inflight = list(self._inflight)
+            for pending in inflight:
+                pending.token.cancel("service stopping")
+            for worker in stragglers:
+                worker.join(max(0.05, deadline - time.monotonic()))
         while True:
             try:
                 pending = self._queue.get_nowait()
             except queue.Empty:
                 break
+            pending.token.cancel("service stopping")
             pending.resolve(
                 ServiceResponse(
                     status="unavailable",
                     payload={"error": "service stopped"},
                 )
             )
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.stop(grace_s=grace)
+        # killing the pool unblocks any thread that was mid-dispatch; give
+        # those a final bounded join so stop() returns with nothing running
+        for worker in workers:
+            if worker.is_alive():
+                worker.join(1.0)
 
     def __enter__(self) -> "QueryService":
         return self.start()
@@ -374,10 +510,11 @@ class QueryService:
 
     def health(self) -> Dict[str, Any]:
         """The ``/healthz`` payload."""
-        return {
+        payload = {
             "status": "ok" if self._running else "stopped",
             "datasets": self.datasets,
             "workers": self.config.max_workers,
+            "worker_processes": self.config.worker_processes,
             "queue_depth": self.queue_depth,
             "queue_limit": self.config.queue_limit,
             "cache_entries": len(self._cache),
@@ -386,6 +523,10 @@ class QueryService:
                 for name, runtime in self._runtimes.items()
             },
         }
+        pool = self._pool
+        if pool is not None:
+            payload["pool"] = pool.health()
+        return payload
 
     # ------------------------------------------------------------------
     # Admission
@@ -516,6 +657,8 @@ class QueryService:
                 if not self._running:
                     return
                 continue
+            with self._inflight_lock:
+                self._inflight.add(pending)
             try:
                 self._serve_pending(pending)
             except BaseException as exc:  # pragma: no cover - last resort
@@ -523,9 +666,12 @@ class QueryService:
                 pending.resolve(
                     ServiceResponse(
                         status="error",
-                        payload={"error": f"{type(exc).__name__}: {exc}"},
+                        payload={"error": proto.format_error(exc)},
                     )
                 )
+            finally:
+                with self._inflight_lock:
+                    self._inflight.discard(pending)
 
     def _serve_pending(self, pending: _Pending) -> None:
         request, runtime, token, tracer = (
@@ -621,7 +767,7 @@ class QueryService:
             pending.resolve(
                 ServiceResponse(
                     status="error",
-                    payload={"error": f"{type(exc).__name__}: {exc}"},
+                    payload={"error": proto.format_error(exc)},
                     degraded=degraded,
                     queue_wait_ms=queue_wait_ms,
                     serve_ms=(time.perf_counter() - started) * 1000.0,
@@ -659,6 +805,8 @@ class QueryService:
         )
 
         def compute() -> Dict[str, Any]:
+            if self._pool is not None:
+                return self._compute_via_pool(runtime, request, k, token, key)
             with cancellation_scope(token):
                 if request.mode == "analyze":
                     return analyze_payload(
@@ -691,6 +839,70 @@ class QueryService:
             key, compute, timeout=token.remaining(), observe=observe
         )
 
+    def _compute_via_pool(
+        self,
+        runtime: _Runtime,
+        request: ServiceRequest,
+        k: int,
+        token: CancellationToken,
+        key: Tuple[Any, ...],
+    ) -> Dict[str, Any]:
+        """Serve one cache miss through the process worker tier.
+
+        The dispatch carries the dataset's invalidation epoch (cache
+        coherence for lagging or respawned workers), the remaining
+        deadline (the worker runs its own cancellation scope; the parent
+        kills it past deadline + grace), and — for semantic searches —
+        the shared compile artifact when some worker already rendered
+        this query's interpretations, so the receiving worker skips the
+        compile tier entirely."""
+        pool = self._pool
+        assert pool is not None
+        token.check()  # don't ship work the deadline already killed
+        deadline_s = token.remaining()
+        with self._epochs_lock:
+            epoch = self._epochs.get(runtime.name, 0)
+        if request.mode == "analyze":
+            result = pool.dispatch(
+                proto.OP_ANALYZE,
+                dataset=runtime.name,
+                query=request.query,
+                deadline_s=deadline_s,
+                k=k,
+                epoch=epoch,
+            )
+            return result["payload"]
+        if request.engine == "sqak":
+            result = pool.dispatch(
+                proto.OP_SQAK,
+                dataset=runtime.name,
+                query=request.query,
+                deadline_s=deadline_s,
+                epoch=epoch,
+            )
+            return result["payload"]
+        artifact = self._plan_cache.get(key)
+        # the epoch observed *before* the compile ran gates the store,
+        # exactly like the result cache's invalidation guard
+        artifact_epoch = self._plan_cache.epoch
+        self.metrics.increment(
+            "plan_cache_hits" if artifact is not None else "plan_cache_misses"
+        )
+        result = pool.dispatch(
+            proto.OP_SEARCH,
+            dataset=runtime.name,
+            query=request.query,
+            deadline_s=deadline_s,
+            k=k,
+            backend=request.backend,
+            epoch=epoch,
+            artifact=artifact,
+        )
+        fragment = result.get("fragment")
+        if artifact is None and fragment is not None:
+            self._plan_cache.put(key, fragment, artifact_epoch)
+        return result["payload"]
+
     def _log_transitions(self, runtime: _Runtime, transitions, tracer) -> None:
         for old, new in transitions:
             self.metrics.increment("breaker_transitions")
@@ -709,14 +921,30 @@ class QueryService:
     # ------------------------------------------------------------------
     def metrics_snapshot(self) -> Dict[str, Any]:
         """The ``/metrics`` payload: service counters, per-engine metrics
-        and breaker states."""
-        return {
-            "service": self.metrics.snapshot(),
-            "engines": {
+        and breaker states.
+
+        The request-lifecycle counters (``requests_*``, cache outcomes)
+        live entirely in this front-end process — admission, gates and
+        the result cache never moved — so their reconciliation identities
+        hold exactly in pool mode too.  What *does* cross processes is
+        engine work: in pool mode the ``engines`` section is the
+        per-dataset **sum** over every worker's engine registry, and the
+        raw per-worker breakdowns appear under a ``workers`` key."""
+        pool = self._pool
+        pool_snapshot = (
+            pool.metrics_snapshot() if pool is not None and pool.running else None
+        )
+        if pool_snapshot is None:
+            engines = {
                 name: runtime.engine.metrics.snapshot()
                 for name, runtime in self._runtimes.items()
                 if getattr(runtime.engine, "metrics", None) is not None
-            },
+            }
+        else:
+            engines = self._sum_worker_engines(pool_snapshot)
+        snapshot: Dict[str, Any] = {
+            "service": self.metrics.snapshot(),
+            "engines": engines,
             "breakers": {
                 name: runtime.breaker.snapshot()
                 for name, runtime in self._runtimes.items()
@@ -724,5 +952,31 @@ class QueryService:
             "cache": {
                 "entries": len(self._cache),
                 "invalidations": self._cache.invalidations,
+                "plan_entries": len(self._plan_cache),
             },
         }
+        if pool_snapshot is not None:
+            snapshot["workers"] = pool_snapshot
+        return snapshot
+
+    @staticmethod
+    def _sum_worker_engines(pool_snapshot: Dict[str, Any]) -> Dict[str, Any]:
+        """Per-dataset engine metrics summed across worker processes."""
+        totals: Dict[str, Dict[str, Any]] = {}
+        for worker in pool_snapshot["workers"].values():
+            for name, snapshot in worker.get("engines", {}).items():
+                bucket = totals.setdefault(name, {"counters": {}, "timings": {}})
+                for counter, value in snapshot.get("counters", {}).items():
+                    bucket["counters"][counter] = (
+                        bucket["counters"].get(counter, 0) + value
+                    )
+                for timing, entry in snapshot.get("timings", {}).items():
+                    merged = bucket["timings"].get(timing)
+                    if merged is None:
+                        bucket["timings"][timing] = dict(entry)
+                    else:
+                        merged["count"] += entry["count"]
+                        merged["total_s"] += entry["total_s"]
+                        merged["min_s"] = min(merged["min_s"], entry["min_s"])
+                        merged["max_s"] = max(merged["max_s"], entry["max_s"])
+        return totals

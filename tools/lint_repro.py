@@ -27,6 +27,12 @@ Rules (all violations are errors; exit code = number of findings):
   :class:`~repro.backends.base.Backend` protocol, so the RDBMS
   dependency stays swappable and the differential harness stays the
   single place where two execution paths meet.
+* **LR007** — ``multiprocessing`` (and ``os.fork``) may only be used (at
+  any nesting level) inside ``repro/service/pool.py``: process lifecycle
+  — spawning, piping, killing, respawning — is the worker pool's whole
+  job, and every other layer reaches it through
+  :class:`~repro.service.pool.WorkerPool` so fork-safety reasoning stays
+  in one reviewable place.
 
 Usage::
 
@@ -57,6 +63,10 @@ TRACER_ALLOWED = (
 # file path substrings where importing sqlite3 is allowed (LR006): the
 # backend package owns the one RDBMS dependency
 SQLITE_ALLOWED = ("repro/backends/",)
+
+# file path substrings where importing multiprocessing / calling os.fork
+# is allowed (LR007): the worker pool owns process lifecycle
+MULTIPROCESSING_ALLOWED = ("repro/service/pool.py",)
 
 # variable names treated as raw rows for LR003
 ROW_NAMES = ("row", "rows", "tuple_row", "record")
@@ -208,6 +218,45 @@ def lint_file(root: Path, path: Path) -> List[Finding]:
                             "through the Backend protocol instead",
                         )
                     )
+        if isinstance(node, (ast.Import, ast.ImportFrom)) and not any(
+            part in posix for part in MULTIPROCESSING_ALLOWED
+        ):
+            imported_names = (
+                [alias.name for alias in node.names]
+                if isinstance(node, ast.Import)
+                else [node.module or ""]
+            )
+            for imported in imported_names:
+                if imported == "multiprocessing" or imported.startswith(
+                    "multiprocessing."
+                ):
+                    findings.append(
+                        (
+                            path,
+                            node.lineno,
+                            "LR007",
+                            "multiprocessing imported outside "
+                            "repro/service/pool.py; go through WorkerPool "
+                            "instead",
+                        )
+                    )
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "fork"
+            and isinstance(node.func.value, ast.Name)
+            and node.func.value.id == "os"
+            and not any(part in posix for part in MULTIPROCESSING_ALLOWED)
+        ):
+            findings.append(
+                (
+                    path,
+                    node.lineno,
+                    "LR007",
+                    "os.fork() called outside repro/service/pool.py; go "
+                    "through WorkerPool instead",
+                )
+            )
         if isinstance(node, ast.ExceptHandler) and node.type is None:
             findings.append(
                 (path, node.lineno, "LR001", "bare 'except:' clause")
