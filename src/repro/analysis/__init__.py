@@ -9,10 +9,22 @@ Three analyzer families share one :class:`Diagnostic` model:
   ``CompiledPlan`` index soundness;
 * rewrite analyzers (``R...``) — §4.1 Rule 1–3 postconditions.
 
+Two further passes analyze the *codebase* rather than its artifacts:
+the LR lint rules (:mod:`repro.analysis.codebase`) and the concurrency
+discipline family (``C...`` codes) — the static lock model of
+:mod:`repro.analysis.concurrency` plus the runtime lock-order sanitizer
+of :mod:`repro.analysis.runtime`.
+
 See ``docs/ANALYSIS.md`` for the full code catalog, strict mode and the
 ``repro check`` CLI.
 """
 
+from repro.analysis.concurrency import (
+    ConcurrencyReport,
+    LockModel,
+    analyze_concurrency,
+    build_lock_model,
+)
 from repro.analysis.diagnostics import (
     CODE_CATALOG,
     AnalysisReport,
@@ -27,15 +39,20 @@ from repro.analysis.pattern_analyzers import (
 from repro.analysis.pipeline import TranslationParts, analyze_compilation
 from repro.analysis.plan_analyzers import analyze_plan
 from repro.analysis.rewrite_analyzers import analyze_rewrite
+from repro.analysis.runtime import LockSanitizer
 from repro.analysis.sql_analyzers import analyze_dialect, analyze_select
 
 __all__ = [
     "CODE_CATALOG",
     "AnalysisReport",
+    "ConcurrencyReport",
     "Diagnostic",
+    "LockModel",
+    "LockSanitizer",
     "Severity",
     "TranslationParts",
     "analyze_compilation",
+    "analyze_concurrency",
     "analyze_interpretation_set",
     "analyze_pattern",
     "analyze_plan",
@@ -43,4 +60,5 @@ __all__ = [
     "analyze_dialect",
     "analyze_select",
     "analyze_translation",
+    "build_lock_model",
 ]

@@ -59,11 +59,11 @@ class CircuitBreaker:
         self.max_reset_s = max_reset_s
         self._clock = clock
         self._lock = threading.Lock()
-        self._state = CLOSED
-        self._consecutive_failures = 0
-        self._current_reset_s = reset_s
-        self._opened_at: Optional[float] = None
-        self._probe_in_flight = False
+        self._state = CLOSED  # guarded-by: _lock
+        self._consecutive_failures = 0  # guarded-by: _lock
+        self._current_reset_s = reset_s  # guarded-by: _lock
+        self._opened_at: Optional[float] = None  # guarded-by: _lock
+        self._probe_in_flight = False  # guarded-by: _lock
 
     # ------------------------------------------------------------------
     # Introspection

@@ -68,9 +68,9 @@ class ResultCache:
         self._clock = clock
         self._lock = threading.Lock()
         # key -> (expires_at, value), LRU order (most recent last)
-        self._entries: "OrderedDict[Hashable, Tuple[float, Any]]" = OrderedDict()
-        self._flights: Dict[Hashable, _Flight] = {}
-        self._invalidations = 0
+        self._entries: "OrderedDict[Hashable, Tuple[float, Any]]" = OrderedDict()  # guarded-by: _lock
+        self._flights: Dict[Hashable, _Flight] = {}  # guarded-by: _lock
+        self._invalidations = 0  # guarded-by: _lock
 
     # ------------------------------------------------------------------
     # Lookup

@@ -169,5 +169,10 @@ def run_serve(argv: Optional[List[str]] = None, out=None) -> int:
         except KeyboardInterrupt:
             print("shutting down", file=out)
         finally:
-            server.server_close()
+            # drain in-flight requests before the service (and its pool)
+            # stops: accepted requests get their responses, new
+            # connections are refused
+            stragglers = server.stop(grace_s=config.shutdown_grace_s)
+            for name in stragglers:
+                print(f"abandoning stuck request thread {name}", file=out)
     return 0

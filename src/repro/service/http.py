@@ -26,13 +26,23 @@ Built on :class:`http.server.ThreadingHTTPServer` — one thread per
 connection, all of them funnelling into the service's bounded queue, so
 overload protection lives in one place (the service), not in the HTTP
 layer.  No third-party dependencies.
+
+Shutdown is graceful: request threads are daemons (an exiting
+interpreter never hangs on a stuck client), but they are *tracked*, and
+:meth:`ServiceHTTPServer.stop` drains them — stop accepting, give
+in-flight requests a bounded grace to finish writing their responses,
+then close the listener.  ``python -m repro serve`` runs ``stop`` before
+``QueryService.stop`` so a Ctrl-C during a burst answers the accepted
+requests instead of severing their sockets mid-body.
 """
 
 from __future__ import annotations
 
+import itertools
 import threading
+import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Optional, Tuple
+from typing import List, Optional, Tuple
 from urllib.parse import parse_qs, urlparse
 
 from repro.service.service import QueryService, ServiceRequest, canonical_json
@@ -153,13 +163,41 @@ class _Handler(BaseHTTPRequestHandler):
 
 
 class ServiceHTTPServer(ThreadingHTTPServer):
-    """A :class:`ThreadingHTTPServer` bound to one :class:`QueryService`."""
+    """A :class:`ThreadingHTTPServer` bound to one :class:`QueryService`.
+
+    Request threads are daemons, so a crashed client can never hang
+    interpreter shutdown — but unlike stock ``ThreadingMixIn`` daemon
+    mode they are tracked, which is what makes :meth:`stop` able to
+    drain them within a grace budget instead of abandoning sockets with
+    half-written responses.
+    """
 
     daemon_threads = True
 
     def __init__(self, address: Tuple[str, int], service: QueryService) -> None:
         super().__init__(address, _Handler)
         self.service = service
+        self._serve_thread: Optional[threading.Thread] = None
+        self._requests_lock = threading.Lock()
+        self._request_threads: List[threading.Thread] = []  # guarded-by: _requests_lock
+        self._request_ids = itertools.count(1)
+
+    def process_request(self, request, client_address) -> None:
+        """One named, tracked daemon thread per connection."""
+        thread = threading.Thread(
+            target=self.process_request_thread,
+            args=(request, client_address),
+            name=f"repro-http-request-{next(self._request_ids)}",
+            daemon=True,
+        )
+        with self._requests_lock:
+            self._request_threads = [
+                tracked
+                for tracked in self._request_threads
+                if tracked.is_alive()
+            ]
+            self._request_threads.append(thread)
+        thread.start()
 
     def serve_background(self) -> threading.Thread:
         """Run :meth:`serve_forever` on a named daemon thread."""
@@ -169,7 +207,30 @@ class ServiceHTTPServer(ThreadingHTTPServer):
             daemon=True,
         )
         thread.start()
+        self._serve_thread = thread
         return thread
+
+    def stop(self, grace_s: float = 5.0) -> List[str]:
+        """Graceful shutdown: drain in-flight requests, close the listener.
+
+        Stops the accept loop first (no new connections), then joins
+        every tracked request thread within *grace_s*, then closes the
+        listening socket.  Returns the names of any threads still alive
+        after the grace budget — stragglers are abandoned (they are
+        daemons), never killed mid-write while the budget lasts.
+        """
+        deadline = time.monotonic() + max(0.0, grace_s)
+        self.shutdown()  # blocks until serve_forever() exits its loop
+        serve_thread = self._serve_thread
+        if serve_thread is not None and serve_thread.is_alive():
+            serve_thread.join(max(0.05, deadline - time.monotonic()))
+        with self._requests_lock:
+            in_flight = list(self._request_threads)
+        for thread in in_flight:
+            if thread.is_alive():
+                thread.join(max(0.0, deadline - time.monotonic()))
+        self.server_close()
+        return [thread.name for thread in in_flight if thread.is_alive()]
 
 
 def make_server(

@@ -368,7 +368,7 @@ class WorkerPool:
         self._stopping = False
         self._lifecycle_lock = threading.Lock()
         self._counters_lock = threading.Lock()
-        self.counters: Dict[str, int] = {
+        self.counters: Dict[str, int] = {  # guarded-by: _counters_lock
             "dispatches": 0,
             "respawns": 0,
             "crash_retries": 0,
@@ -418,6 +418,9 @@ class WorkerPool:
             try:
                 if handle.alive and handle.conn is not None and acquired:
                     try:
+                        # lock-ok: C003 the handle lock exists to serialize
+                        # this duplex pipe; the matching poll below is
+                        # bounded by the shutdown grace deadline
                         handle.conn.send(proto.request(proto.OP_SHUTDOWN))
                         handle.conn.poll(max(0.0, deadline - time.monotonic()))
                     except (BrokenPipeError, OSError, EOFError):
@@ -435,7 +438,11 @@ class WorkerPool:
                     handle.process.join(1.0)
             if handle.conn is not None:
                 handle.conn.close()
+                # lock-ok: C001 a wedged worker never yields its lock;
+                # dispatchers re-check handle.alive/_stopping under the
+                # lock before touching the pipe, so clearing is safe here
                 handle.conn = None
+            # lock-ok: C001 same shutdown protocol as handle.conn above
             handle.process = None
         with self._lifecycle_lock:
             self._started = False
@@ -457,7 +464,11 @@ class WorkerPool:
         )
         process.start()
         child_conn.close()
+        # lock-ok: C001 callers serialize handle publication: start()
+        # runs before the pool is visible (under the lifecycle lock) and
+        # _dispatch_to() respawns while holding handle.lock
         handle.process = process
+        # lock-ok: C001 same single-writer protocol as handle.process
         handle.conn = parent_conn
         handle.restarts += 1
         if handle.restarts > 0:
@@ -539,6 +550,9 @@ class WorkerPool:
                     )
                 self._spawn(handle)
             try:
+                # lock-ok: C003 serializing this duplex pipe is the
+                # handle lock's whole purpose (one in-flight request per
+                # worker); writes are small and the peer always drains
                 handle.conn.send(msg)
                 if not handle.conn.poll(timeout):
                     # deadline + grace overrun: the worker is wedged (its
@@ -550,6 +564,8 @@ class WorkerPool:
                         f"worker {handle.worker_id} overran the request "
                         f"deadline and was recycled"
                     )
+                # lock-ok: C003 cannot block: only reached after
+                # poll(timeout) reported a complete reply is buffered
                 return handle.conn.recv()
             except (BrokenPipeError, ConnectionResetError, EOFError, OSError) as exc:
                 self._kill(handle)

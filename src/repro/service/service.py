@@ -322,13 +322,14 @@ class QueryService:
             maxsize=self.config.queue_limit
         )
         self._workers: List[threading.Thread] = []
-        self._running = False
+        self._running = False  # guarded-by: _lifecycle_lock
         self._lifecycle_lock = threading.Lock()
         # ---- process worker tier (config.worker_processes > 0) ----
         # the pool serves the compute; every request still flows through
         # this (front-end) process, which is what makes self._cache a
         # genuinely *shared cross-process* result cache and keeps the
         # lifecycle semantics byte-identical to in-process serving
+        # guarded-by: _lifecycle_lock
         self._pool = None  # repro.service.pool.WorkerPool, started lazily
         # spawn-mode pools rebuild engines from this; the fork default is
         # a closure over the registered runtimes (copy-on-write)
@@ -336,11 +337,11 @@ class QueryService:
         self._plan_cache = PlanArtifactCache(size=self.config.plan_cache_size)
         # per-dataset invalidation epochs, carried on every dispatch so
         # clear_cache() propagates to every worker (even respawned ones)
-        self._epochs: Dict[str, int] = {}
+        self._epochs: Dict[str, int] = {}  # guarded-by: _epochs_lock
         self._epochs_lock = threading.Lock()
         # in-flight requests, so stop() can cancel their tokens after the
         # join grace instead of waiting unboundedly
-        self._inflight: set = set()
+        self._inflight: set = set()  # guarded-by: _inflight_lock
         self._inflight_lock = threading.Lock()
         # forked pool workers inherit this object (and, via engine
         # invalidation hooks, may call invalidate_dataset on their own
@@ -485,7 +486,10 @@ class QueryService:
                     payload={"error": "service stopped"},
                 )
             )
-        pool, self._pool = self._pool, None
+        # start() writes _pool under the lifecycle lock; take it for the
+        # swap too so a concurrent restart cannot interleave with drain
+        with self._lifecycle_lock:
+            pool, self._pool = self._pool, None
         if pool is not None:
             pool.stop(grace_s=grace)
         # killing the pool unblocks any thread that was mid-dispatch; give

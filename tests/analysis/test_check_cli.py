@@ -45,6 +45,37 @@ class TestCheckCommand:
         assert "P009" in out.getvalue()
         assert "tpch: error" in out.getvalue()
 
+    def test_concurrency_mode_is_clean_on_the_tree(self):
+        out = io.StringIO()
+        code = main(["check", "--concurrency"], out=out)
+        text = out.getvalue()
+        assert code == 0
+        assert "concurrency: clean" in text
+        # every honoured suppression is listed with its justification
+        assert "suppressed C003" in text
+
+    def test_concurrency_mode_fails_on_findings(self, monkeypatch):
+        from repro.analysis import check as check_module
+        from repro.analysis.concurrency import ConcurrencyReport, LockModel
+        from repro.analysis.diagnostics import Diagnostic, Severity
+
+        injected = ConcurrencyReport(
+            findings=[Diagnostic("C002", Severity.ERROR, "injected cycle")],
+            suppressed=[],
+            model=LockModel(),
+        )
+        import repro.analysis.concurrency as concurrency_module
+
+        monkeypatch.setattr(
+            concurrency_module,
+            "analyze_concurrency",
+            lambda root=None, sources=None: injected,
+        )
+        out = io.StringIO()
+        code = check_module.run_check(["--concurrency"], out=out)
+        assert code == 1
+        assert "injected cycle" in out.getvalue()
+
     def test_dataset_choices(self):
         assert CHECK_DATASETS == (
             "tpch",

@@ -48,7 +48,7 @@ class TestDiagnostic:
 class TestCodeCatalog:
     def test_code_shape(self):
         for code in CODE_CATALOG:
-            assert re.fullmatch(r"[PSR]\d{3}", code), code
+            assert re.fullmatch(r"[PSRC]\d{3}", code), code
 
     def test_known_codes_present(self):
         expected = (
@@ -56,6 +56,7 @@ class TestCodeCatalog:
             + [f"S{i:03d}" for i in range(1, 17)]
             + ["S020", "S021"]
             + [f"R{i:03d}" for i in range(1, 6)]
+            + [f"C{i:03d}" for i in range(1, 9)]
         )
         for code in expected:
             assert code in CODE_CATALOG, code

@@ -7,6 +7,8 @@ that need a mutable database build their own.
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 from repro.baselines import SqakEngine
@@ -20,6 +22,41 @@ from repro.datasets import (
     unnormalized_lecturer_database,
 )
 from repro.engine import KeywordSearchEngine
+
+
+@pytest.fixture(scope="session", autouse=True)
+def lock_sanitizer():
+    """Opt-in runtime lock-order sanitizer (``REPRO_LOCK_SANITIZER``).
+
+    Unset — inert.  ``1``/``on`` — instrument every lock the service
+    stack creates and fail the session on an observed lock-order
+    inversion.  ``strict`` — additionally cross-validate the static lock
+    model: a statically-inferred guard that this run created but never
+    acquired fails the session (C008).
+    """
+    mode = os.environ.get("REPRO_LOCK_SANITIZER", "").strip().lower()
+    from repro.analysis.runtime import sanitizer_from_env
+
+    sanitizer = sanitizer_from_env(mode)
+    if sanitizer is None:
+        yield None
+        return
+    sanitizer.install()
+    try:
+        yield sanitizer
+    finally:
+        sanitizer.uninstall()
+        inversions = [
+            diagnostic
+            for diagnostic in sanitizer.report()
+            if diagnostic.code == "C002"
+        ]
+        assert not inversions, "\n".join(str(d) for d in inversions)
+        if mode == "strict":
+            from repro.analysis.concurrency import build_lock_model
+
+            unexercised = sanitizer.cross_validate(build_lock_model())
+            assert not unexercised, "\n".join(str(d) for d in unexercised)
 
 
 @pytest.fixture(scope="session")

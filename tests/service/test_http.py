@@ -7,6 +7,7 @@ explicitly; every request goes through real sockets via urllib.
 from __future__ import annotations
 
 import json
+import threading
 import urllib.error
 import urllib.request
 from urllib.parse import quote
@@ -160,3 +161,120 @@ class TestServeCli:
         service = build_service(["university"], ServiceConfig(max_workers=1))
         assert service.datasets == ["university"]
         assert service._runtimes["university"].sqak is not None
+
+
+class TestGracefulShutdown:
+    """``ServiceHTTPServer.stop``: accepted requests finish, listener closes."""
+
+    def _slow_server(self, university_engine, monkeypatch):
+        service = QueryService(ServiceConfig(max_workers=2, cache_ttl_s=0.0))
+        service.register_dataset("university", university_engine)
+        release = threading.Event()
+        started = threading.Event()
+        original = university_engine.search
+
+        def slow_search(query_text, *args, **kwargs):
+            if "slowmark" in query_text:
+                started.set()
+                release.wait(15.0)
+                query_text = "AVG Credit"
+            return original(query_text, *args, **kwargs)
+
+        monkeypatch.setattr(university_engine, "search", slow_search)
+        server = make_server(service, port=0)
+        server.serve_background()
+        host, port = server.server_address[:2]
+        return service, server, f"http://{host}:{port}", release, started
+
+    def test_in_flight_request_completes_during_stop(
+        self, university_engine, monkeypatch
+    ):
+        service, server, base, release, started = self._slow_server(
+            university_engine, monkeypatch
+        )
+        with service:
+            results = {}
+
+            def request():
+                results["response"] = get(
+                    base, "/search?q=" + quote("slowmark AVG Credit")
+                )
+
+            client = threading.Thread(
+                target=request, name="slow-client", daemon=True
+            )
+            client.start()
+            assert started.wait(10.0)
+
+            stragglers = {}
+
+            def stop():
+                stragglers["names"] = server.stop(grace_s=10.0)
+
+            stopper = threading.Thread(
+                target=stop, name="stopper", daemon=True
+            )
+            stopper.start()
+            # the drain is now waiting on the in-flight request; let it
+            # finish and the response must still reach the client
+            release.set()
+            stopper.join(15.0)
+            client.join(15.0)
+            assert stragglers["names"] == []
+            status, body = results["response"]
+            assert status == 200
+            assert body["engine"] == "semantic"
+        # the listener is closed: new connections are refused
+        with pytest.raises(urllib.error.URLError):
+            urllib.request.urlopen(base + "/healthz", timeout=2.0)
+
+    def test_straggler_past_grace_is_reported_not_killed(
+        self, university_engine, monkeypatch
+    ):
+        service, server, base, release, started = self._slow_server(
+            university_engine, monkeypatch
+        )
+        with service:
+            results = {}
+
+            def request():
+                results["response"] = get(
+                    base, "/search?q=" + quote("slowmark straggler")
+                )
+
+            client = threading.Thread(
+                target=request, name="slow-client-2", daemon=True
+            )
+            client.start()
+            assert started.wait(10.0)
+            stragglers = server.stop(grace_s=0.2)
+            assert len(stragglers) == 1
+            assert stragglers[0].startswith("repro-http-request-")
+            # past the grace the thread is abandoned, not severed: once
+            # released it still completes and the client gets its bytes
+            release.set()
+            client.join(15.0)
+            status, _ = results["response"]
+            assert status == 200
+
+    def test_request_threads_are_named_and_reaped(
+        self, university_engine, monkeypatch
+    ):
+        service, server, base, release, started = self._slow_server(
+            university_engine, monkeypatch
+        )
+        release.set()
+        with service:
+            for _ in range(3):
+                status, _ = get(base, "/healthz")
+                assert status == 200
+            with server._requests_lock:
+                tracked = list(server._request_threads)
+            assert all(
+                thread.name.startswith("repro-http-request-")
+                for thread in tracked
+            )
+            # finished threads are reaped as new connections arrive;
+            # the tracker never grows without bound
+            assert len(tracked) <= 3
+            assert server.stop(grace_s=5.0) == []

@@ -1,365 +1,54 @@
 #!/usr/bin/env python
-"""Project-specific AST lint for the repro codebase.
+"""Thin CLI shim for the repro codebase lint (LR001–LR007).
 
-Rules (all violations are errors; exit code = number of findings):
-
-* **LR001** — no bare ``except:`` clauses: always name the exceptions a
-  handler is prepared for.
-* **LR002** — ``Tracer()`` may only be constructed at the pipeline
-  entry points (engine, CLI, observability, experiments, benchmarks,
-  tests); everything else must accept a tracer parameter so spans nest
-  into one trace instead of being silently dropped.
-* **LR003** — no string-literal subscripts on row variables outside
-  ``repro.relational``: row layout is that package's private concern,
-  other layers go through schemas and executors.
-* **LR004** — module-level import layering: lower layers must not import
-  upper layers (``repro.sql`` must not know about patterns or engines,
-  ``repro.fd`` only depends on itself and errors, and so on).  Lazy
-  imports inside functions are exempt — they are how intentional
-  back-references (executor -> analysis) avoid cycles.
-* **LR005** — every ``threading.Thread(...)`` construction must pass
-  both ``name=`` and ``daemon=``: anonymous threads make deadlock dumps
-  unreadable, and forgotten non-daemon threads hang interpreter
-  shutdown.  ``repro/service/`` is exempt — it is the one layer whose
-  whole job is thread lifecycle, and it names everything anyway.
-* **LR006** — ``sqlite3`` may only be imported (at any nesting level)
-  inside ``repro/backends/``: every other layer goes through the
-  :class:`~repro.backends.base.Backend` protocol, so the RDBMS
-  dependency stays swappable and the differential harness stays the
-  single place where two execution paths meet.
-* **LR007** — ``multiprocessing`` (and ``os.fork``) may only be used (at
-  any nesting level) inside ``repro/service/pool.py``: process lifecycle
-  — spawning, piping, killing, respawning — is the worker pool's whole
-  job, and every other layer reaches it through
-  :class:`~repro.service.pool.WorkerPool` so fork-safety reasoning stays
-  in one reviewable place.
-
-Usage::
+The rules now live in :mod:`repro.analysis.codebase`, where they share
+one AST walk and the ``Diagnostic`` model with the concurrency pass
+(:mod:`repro.analysis.concurrency`).  This file keeps the historical
+entry point working unchanged::
 
     python tools/lint_repro.py [--root src/repro]
 """
 
 from __future__ import annotations
 
-import argparse
-import ast
 import sys
 from pathlib import Path
-from typing import Iterator, List, Tuple
 
-# file path substrings (POSIX style) where Tracer() construction is fine
-TRACER_ALLOWED = (
-    "repro/cli.py",
-    "repro/engine.py",
-    "repro/observability/",
-    "repro/experiments/",
-    "repro/analysis/check.py",
-    # the differential harness is a pipeline entry point (`repro diff`)
-    "repro/backends/differential.py",
-    # the service is a pipeline entry point: one tracer per request
-    "repro/service/",
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+from repro.analysis.codebase import (  # noqa: E402
+    LAYERING,
+    LAYERING_EXEMPT,
+    MULTIPROCESSING_ALLOWED,
+    ROW_NAMES,
+    SQLITE_ALLOWED,
+    THREAD_RULE_EXEMPT,
+    TRACER_ALLOWED,
+    Finding,
+    iter_module_level_imports,
+    lint_file,
+    lint_tree,
+    main,
+    module_name,
 )
 
-# file path substrings where importing sqlite3 is allowed (LR006): the
-# backend package owns the one RDBMS dependency
-SQLITE_ALLOWED = ("repro/backends/",)
-
-# file path substrings where importing multiprocessing / calling os.fork
-# is allowed (LR007): the worker pool owns process lifecycle
-MULTIPROCESSING_ALLOWED = ("repro/service/pool.py",)
-
-# variable names treated as raw rows for LR003
-ROW_NAMES = ("row", "rows", "tuple_row", "record")
-
-# file path substrings where LR005 (named, explicit-daemon threads) is
-# not enforced: the serving layer owns thread lifecycle
-THREAD_RULE_EXEMPT = ("repro/service/",)
-
-# (file substring, forbidden prefix) pairs exempt from LR004: justified
-# cross-layer dependencies, each with a reason
-LAYERING_EXEMPT = (
-    # FD discovery profiles table *data*; the fd core stays relational-free
-    ("repro/fd/discovery.py", "repro.relational"),
-)
-
-# package -> module prefixes it must NOT import at module level
-LAYERING: Tuple[Tuple[str, Tuple[str, ...]], ...] = (
-    (
-        "repro.sql",
-        (
-            "repro.patterns",
-            "repro.engine",
-            "repro.unnormalized",
-            "repro.keywords",
-            "repro.orm",
-            "repro.analysis",
-        ),
-    ),
-    (
-        "repro.fd",
-        (
-            "repro.sql",
-            "repro.patterns",
-            "repro.engine",
-            "repro.relational",
-            "repro.unnormalized",
-            "repro.keywords",
-            "repro.orm",
-            "repro.analysis",
-            "repro.observability",
-        ),
-    ),
-    (
-        "repro.observability",
-        (
-            "repro.sql",
-            "repro.patterns",
-            "repro.engine",
-            "repro.relational",
-            "repro.unnormalized",
-            "repro.keywords",
-            "repro.orm",
-            "repro.fd",
-            "repro.analysis",
-        ),
-    ),
-    (
-        "repro.relational",
-        (
-            "repro.patterns",
-            "repro.engine",
-            "repro.keywords",
-            "repro.unnormalized",
-            "repro.analysis",
-        ),
-    ),
-    (
-        "repro.analysis",
-        ("repro.engine", "repro.experiments", "repro.baselines"),
-    ),
-)
-
-Finding = Tuple[Path, int, str, str]
-
-
-def _is_thread_constructor(func: ast.expr) -> bool:
-    """True for ``Thread(...)`` and ``threading.Thread(...)`` calls."""
-    if isinstance(func, ast.Name):
-        return func.id == "Thread"
-    return (
-        isinstance(func, ast.Attribute)
-        and func.attr == "Thread"
-        and isinstance(func.value, ast.Name)
-        and func.value.id == "threading"
-    )
-
-
-def module_name(root: Path, path: Path) -> str:
-    relative = path.relative_to(root.parent)
-    parts = list(relative.with_suffix("").parts)
-    if parts[-1] == "__init__":
-        parts.pop()
-    return ".".join(parts)
-
-
-def iter_module_level_imports(tree: ast.Module) -> Iterator[Tuple[int, str]]:
-    """(line, imported module) for imports outside any function body."""
-
-    class Visitor(ast.NodeVisitor):
-        def __init__(self) -> None:
-            self.found: List[Tuple[int, str]] = []
-            self.depth = 0
-
-        def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
-            self.depth += 1
-            self.generic_visit(node)
-            self.depth -= 1
-
-        visit_AsyncFunctionDef = visit_FunctionDef  # type: ignore[assignment]
-
-        def visit_Import(self, node: ast.Import) -> None:
-            if self.depth == 0:
-                for alias in node.names:
-                    self.found.append((node.lineno, alias.name))
-
-        def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
-            if self.depth == 0 and node.module:
-                self.found.append((node.lineno, node.module))
-
-    visitor = Visitor()
-    visitor.visit(tree)
-    return iter(visitor.found)
-
-
-def lint_file(root: Path, path: Path) -> List[Finding]:
-    findings: List[Finding] = []
-    source = path.read_text(encoding="utf-8")
-    tree = ast.parse(source, filename=str(path))
-    posix = path.as_posix()
-    module = module_name(root, path)
-
-    for node in ast.walk(tree):
-        if isinstance(node, (ast.Import, ast.ImportFrom)) and not any(
-            part in posix for part in SQLITE_ALLOWED
-        ):
-            imported_names = (
-                [alias.name for alias in node.names]
-                if isinstance(node, ast.Import)
-                else [node.module or ""]
-            )
-            for imported in imported_names:
-                if imported == "sqlite3" or imported.startswith("sqlite3."):
-                    findings.append(
-                        (
-                            path,
-                            node.lineno,
-                            "LR006",
-                            "sqlite3 imported outside repro/backends/; go "
-                            "through the Backend protocol instead",
-                        )
-                    )
-        if isinstance(node, (ast.Import, ast.ImportFrom)) and not any(
-            part in posix for part in MULTIPROCESSING_ALLOWED
-        ):
-            imported_names = (
-                [alias.name for alias in node.names]
-                if isinstance(node, ast.Import)
-                else [node.module or ""]
-            )
-            for imported in imported_names:
-                if imported == "multiprocessing" or imported.startswith(
-                    "multiprocessing."
-                ):
-                    findings.append(
-                        (
-                            path,
-                            node.lineno,
-                            "LR007",
-                            "multiprocessing imported outside "
-                            "repro/service/pool.py; go through WorkerPool "
-                            "instead",
-                        )
-                    )
-        if (
-            isinstance(node, ast.Call)
-            and isinstance(node.func, ast.Attribute)
-            and node.func.attr == "fork"
-            and isinstance(node.func.value, ast.Name)
-            and node.func.value.id == "os"
-            and not any(part in posix for part in MULTIPROCESSING_ALLOWED)
-        ):
-            findings.append(
-                (
-                    path,
-                    node.lineno,
-                    "LR007",
-                    "os.fork() called outside repro/service/pool.py; go "
-                    "through WorkerPool instead",
-                )
-            )
-        if isinstance(node, ast.ExceptHandler) and node.type is None:
-            findings.append(
-                (path, node.lineno, "LR001", "bare 'except:' clause")
-            )
-        if (
-            isinstance(node, ast.Call)
-            and isinstance(node.func, ast.Name)
-            and node.func.id == "Tracer"
-            and not any(part in posix for part in TRACER_ALLOWED)
-        ):
-            findings.append(
-                (
-                    path,
-                    node.lineno,
-                    "LR002",
-                    "Tracer() constructed outside a pipeline entry point; "
-                    "accept a tracer parameter instead",
-                )
-            )
-        if (
-            isinstance(node, ast.Call)
-            and _is_thread_constructor(node.func)
-            and not any(part in posix for part in THREAD_RULE_EXEMPT)
-        ):
-            kwargs = {kw.arg for kw in node.keywords if kw.arg}
-            missing = sorted({"name", "daemon"} - kwargs)
-            if missing:
-                findings.append(
-                    (
-                        path,
-                        node.lineno,
-                        "LR005",
-                        "threading.Thread(...) without explicit "
-                        + " and ".join(f"{kw}=" for kw in missing)
-                        + "; name threads and decide their daemon-ness",
-                    )
-                )
-        if (
-            isinstance(node, ast.Subscript)
-            and isinstance(node.value, ast.Name)
-            and node.value.id in ROW_NAMES
-            and isinstance(node.slice, ast.Constant)
-            and isinstance(node.slice.value, str)
-            and "repro/relational/" not in posix
-        ):
-            findings.append(
-                (
-                    path,
-                    node.lineno,
-                    "LR003",
-                    f"string subscript on row variable "
-                    f"{node.value.id}[{node.slice.value!r}] outside "
-                    f"repro.relational",
-                )
-            )
-
-    for package, forbidden in LAYERING:
-        if not (module == package or module.startswith(package + ".")):
-            continue
-        for lineno, imported in iter_module_level_imports(tree):
-            for prefix in forbidden:
-                if imported == prefix or imported.startswith(prefix + "."):
-                    if any(
-                        part in posix
-                        and (imported == exempt or imported.startswith(exempt + "."))
-                        for part, exempt in LAYERING_EXEMPT
-                    ):
-                        continue
-                    findings.append(
-                        (
-                            path,
-                            lineno,
-                            "LR004",
-                            f"{package} must not import {imported} at "
-                            f"module level",
-                        )
-                    )
-    return findings
-
-
-def lint_tree(root: Path) -> List[Finding]:
-    findings: List[Finding] = []
-    for path in sorted(root.rglob("*.py")):
-        findings.extend(lint_file(root, path))
-    return findings
-
-
-def main(argv: List[str] = None) -> int:
-    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument(
-        "--root",
-        type=Path,
-        default=Path(__file__).resolve().parent.parent / "src" / "repro",
-        help="package directory to lint (default: src/repro)",
-    )
-    args = parser.parse_args(argv)
-    findings = lint_tree(args.root)
-    for path, lineno, code, message in findings:
-        print(f"{path}:{lineno}: {code} {message}")
-    if not findings:
-        print(f"lint_repro: clean ({args.root})")
-    return min(len(findings), 1)
-
+__all__ = [
+    "Finding",
+    "LAYERING",
+    "LAYERING_EXEMPT",
+    "MULTIPROCESSING_ALLOWED",
+    "ROW_NAMES",
+    "SQLITE_ALLOWED",
+    "THREAD_RULE_EXEMPT",
+    "TRACER_ALLOWED",
+    "iter_module_level_imports",
+    "lint_file",
+    "lint_tree",
+    "main",
+    "module_name",
+]
 
 if __name__ == "__main__":
     sys.exit(main())
