@@ -15,6 +15,12 @@ Two independent gates share this module's measure/check idiom:
   more than ``SERVICE_RATIO_TOLERANCE`` (p95 ratio) /
   ``SERVICE_SHED_TOLERANCE`` (absolute shed rate at peak load) /
   ``SERVICE_THROUGHPUT_TOLERANCE`` (peak throughput-per-core).
+* **Storage tier** — the paged disk backend (``bench_storage.py``) must
+  hold its hard page-budget/ratio gates and, per dataset, must not let
+  the disk/memory latency ratio drift more than
+  ``STORAGE_RATIO_TOLERANCE`` above ``BENCH_storage_baseline.json`` nor
+  the buffer-pool hit rate drop more than
+  ``STORAGE_HIT_RATE_TOLERANCE`` below it.
 
 The measurement is *relative* — both paths run on the same process, data
 and query mix, so the speedup ratio is stable across machines in a way raw
@@ -285,6 +291,63 @@ def check_backends(result: Dict[str, object]) -> List[str]:
 
 
 # ----------------------------------------------------------------------
+# Storage-tier regression (delegates measurement to bench_storage)
+# ----------------------------------------------------------------------
+# allowed fractional growth of the disk/memory latency ratio per
+# dataset: the ratio growing means the paged storage tier got slower
+# relative to the in-memory engine on the same plans, data and machine
+STORAGE_RATIO_TOLERANCE = 0.50
+# allowed absolute drop of the buffer-pool hit rate per dataset
+STORAGE_HIT_RATE_TOLERANCE = 0.10
+
+STORAGE_BASELINE_PATH = _HERE / "BENCH_storage_baseline.json"
+
+
+def _load_bench_storage():
+    spec = importlib.util.spec_from_file_location(
+        "bench_storage", _HERE / "bench_storage.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def measure_storage() -> Dict[str, object]:
+    """Per-dataset disk-vs-memory numbers, via ``bench_storage.measure()``."""
+    return _load_bench_storage().measure()
+
+
+def check_storage(result: Dict[str, object]) -> List[str]:
+    """Hard budget/ratio gates plus drift against the baseline."""
+    bench_storage = _load_bench_storage()
+    failures = bench_storage.check(result)
+    if STORAGE_BASELINE_PATH.exists():
+        with open(STORAGE_BASELINE_PATH, encoding="utf-8") as handle:
+            baseline = json.load(handle)
+        for dataset, numbers in result["datasets"].items():
+            base = baseline["datasets"].get(dataset)
+            if base is None:
+                continue
+            ratio = float(numbers["ratio"])
+            ceiling = float(base["ratio"]) * (1.0 + STORAGE_RATIO_TOLERANCE)
+            if ratio > ceiling:
+                failures.append(
+                    f"{dataset}: disk backend regressed vs memory: ratio "
+                    f"{ratio:.2f} vs baseline {base['ratio']:.2f} "
+                    f"(ceiling {ceiling:.2f})"
+                )
+            hit_rate = float(numbers["hit_rate"])
+            floor = float(base["hit_rate"]) - STORAGE_HIT_RATE_TOLERANCE
+            if hit_rate < floor:
+                failures.append(
+                    f"{dataset}: buffer pool hit rate fell to "
+                    f"{hit_rate:.2f} vs baseline {base['hit_rate']:.2f} "
+                    f"(floor {floor:.2f})"
+                )
+    return failures
+
+
+# ----------------------------------------------------------------------
 # pytest wiring (collected by `pytest benchmarks/`)
 # ----------------------------------------------------------------------
 def test_compiled_speedup_no_regression():
@@ -300,6 +363,16 @@ def test_backends_no_regression():
     bench_backends.write_result(result)
     failures = check_backends(result)
     assert not failures, "; ".join(failures) + "\n" + bench_backends.format_result(
+        result
+    )
+
+
+def test_storage_no_regression():
+    bench_storage = _load_bench_storage()
+    result = measure_storage()
+    bench_storage.write_result(result)
+    failures = check_storage(result)
+    assert not failures, "; ".join(failures) + "\n" + bench_storage.format_result(
         result
     )
 
@@ -327,6 +400,12 @@ def main() -> int:
     print(bench_backends.format_result(backends_result))
     print(f"wrote {bench_backends.RESULT_PATH}")
     failures.extend(check_backends(backends_result))
+    bench_storage = _load_bench_storage()
+    storage_result = measure_storage()
+    bench_storage.write_result(storage_result)
+    print(bench_storage.format_result(storage_result))
+    print(f"wrote {bench_storage.RESULT_PATH}")
+    failures.extend(check_storage(storage_result))
     service_result = measure_service()
     bench_service.write_result(service_result)
     print(bench_service.format_result(service_result))

@@ -38,6 +38,11 @@ invocations are unchanged).  It has two layers:
     (at any nesting level) inside ``repro/service/pool.py``: process
     lifecycle is the worker pool's whole job, so fork-safety reasoning
     stays in one reviewable place.
+  * **LR008** — raw file-I/O primitives — binary-mode ``open``,
+    ``mmap``, and the ``os.pread``/``os.pwrite`` family — may only be
+    used inside ``repro/storage/``: page layout, torn-write handling and
+    buffer-pool accounting live in the storage engine, and everything
+    else reads bytes through it (or sticks to text-mode files).
 
 Findings are plain ``(path, lineno, code, message)`` tuples for the CLI
 shim, and :func:`as_diagnostics` lifts them into the shared
@@ -173,6 +178,14 @@ SQLITE_ALLOWED = ("repro/backends/",)
 # file path substrings where importing multiprocessing / calling os.fork
 # is allowed (LR007): the worker pool owns process lifecycle
 MULTIPROCESSING_ALLOWED = ("repro/service/pool.py",)
+
+# file path substrings where raw file I/O (binary open, mmap, os.pread /
+# os.pwrite family) is allowed (LR008): the paged storage engine owns
+# byte-level file access
+STORAGE_IO_ALLOWED = ("repro/storage/",)
+
+# os.* positioned-I/O functions confined by LR008
+_STORAGE_IO_OS_FUNCS = ("pread", "pwrite", "preadv", "pwritev")
 
 # variable names treated as raw rows for LR003
 ROW_NAMES = ("row", "rows", "tuple_row", "record")
@@ -317,6 +330,20 @@ def _confined_import(
             findings.append((source.path, node.lineno, code, message))
 
 
+def _open_mode(node: ast.Call) -> Optional[str]:
+    """The literal mode string of an ``open(...)`` call, if written as
+    one (second positional argument or ``mode=`` keyword)."""
+    mode: Optional[str] = None
+    if len(node.args) >= 2 and isinstance(node.args[1], ast.Constant):
+        value = node.args[1].value
+        mode = value if isinstance(value, str) else None
+    for keyword in node.keywords:
+        if keyword.arg == "mode" and isinstance(keyword.value, ast.Constant):
+            value = keyword.value.value
+            mode = value if isinstance(value, str) else None
+    return mode
+
+
 def analyze_source(source: SourceFile) -> List[Finding]:
     """Run every LR rule over one parsed module (a single AST walk)."""
     findings: List[Finding] = []
@@ -358,6 +385,51 @@ def analyze_source(source: SourceFile) -> List[Finding]:
                     "LR007",
                     "os.fork() called outside repro/service/pool.py; go "
                     "through WorkerPool instead",
+                )
+            )
+        _confined_import(
+            source,
+            node,
+            "mmap",
+            STORAGE_IO_ALLOWED,
+            "LR008",
+            "mmap imported outside repro/storage/; byte-level file "
+            "access belongs to the storage engine",
+            findings,
+        )
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id == "open"
+            and not any(part in posix for part in STORAGE_IO_ALLOWED)
+        ):
+            mode = _open_mode(node)
+            if isinstance(mode, str) and "b" in mode:
+                findings.append(
+                    (
+                        source.path,
+                        node.lineno,
+                        "LR008",
+                        f"binary-mode open({mode!r}) outside "
+                        f"repro/storage/; byte-level file access belongs "
+                        f"to the storage engine",
+                    )
+                )
+        if (
+            isinstance(node, ast.Attribute)
+            and node.attr in _STORAGE_IO_OS_FUNCS
+            and isinstance(node.value, ast.Name)
+            and node.value.id == "os"
+            and not any(part in posix for part in STORAGE_IO_ALLOWED)
+        ):
+            findings.append(
+                (
+                    source.path,
+                    node.lineno,
+                    "LR008",
+                    f"os.{node.attr} used outside repro/storage/; "
+                    f"byte-level file access belongs to the storage "
+                    f"engine",
                 )
             )
         if isinstance(node, ast.ExceptHandler) and node.type is None:

@@ -1,11 +1,12 @@
 """Pluggable execution backends (see ``docs/BACKENDS.md``).
 
 A :class:`~repro.backends.base.Backend` executes SELECT statements
-against a loaded :class:`~repro.relational.database.Database`.  Two ship
-with the repo — the in-memory engine (``"memory"``, the default) and a
-real SQLite database (``"sqlite"``) — and
-:mod:`repro.backends.differential` keeps them agreeing on every workload
-query (``python -m repro diff``).
+against a loaded :class:`~repro.relational.database.Database`.  Three
+ship with the repo — the in-memory engine (``"memory"``, the default), a
+real SQLite database (``"sqlite"``), and the paged storage engine
+(``"disk"``, compiled plans over heap files + a buffer pool; see
+``docs/STORAGE.md``) — and :mod:`repro.backends.differential` keeps them
+agreeing on every workload query (``python -m repro diff``).
 """
 
 from repro.backends.base import (
@@ -14,11 +15,13 @@ from repro.backends.base import (
     create_backend,
     register_backend,
 )
+from repro.backends.disk import DiskBackend
 from repro.backends.memory import MemoryBackend
 from repro.backends.sqlite import SqliteBackend
 
 __all__ = [
     "Backend",
+    "DiskBackend",
     "MemoryBackend",
     "SqliteBackend",
     "available_backends",

@@ -69,8 +69,13 @@ class Backend(abc.ABC):
     # Protocol
     # ------------------------------------------------------------------
     @abc.abstractmethod
-    def load(self, database: Database) -> None:
-        """Bind (and materialize, where applicable) *database*."""
+    def load(self, database: Database, tracer: Any = NULL_TRACER) -> None:
+        """Bind (and materialize, where applicable) *database*.
+
+        Implementations report setup work inside a ``materialize`` span
+        on *tracer* (with row/page counters), so ``--explain`` output
+        attributes backend setup time instead of folding it into the
+        first query."""
 
     @abc.abstractmethod
     def execute(self, query: Union[Select, str], tracer: Any = NULL_TRACER) -> QueryResult:
@@ -118,12 +123,18 @@ def available_backends() -> List[str]:
     return names
 
 
-def create_backend(name: str, database: Database, **options: Any) -> Backend:
+def create_backend(
+    name: str,
+    database: Database,
+    tracer: Any = NULL_TRACER,
+    **options: Any,
+) -> Backend:
     """Construct the backend registered as *name* and load *database*.
 
     ``options`` are forwarded to the backend factory (``path=...`` selects
-    an on-disk file for the SQLite backend, ``executor=...`` shares an
-    existing executor with the memory backend).
+    an on-disk location for the SQLite and disk backends, ``executor=...``
+    shares an existing executor with the memory backend).  *tracer*
+    observes the initial materialization (``materialize`` span).
     """
     try:
         factory = _REGISTRY[name]
@@ -132,5 +143,5 @@ def create_backend(name: str, database: Database, **options: Any) -> Backend:
             f"unknown backend {name!r} (available: {', '.join(available_backends())})"
         ) from None
     backend = factory(**options)
-    backend.load(database)
+    backend.load(database, tracer=tracer)
     return backend

@@ -1,11 +1,15 @@
 """``repro diff`` — the differential correctness harness.
 
 Every SQL statement the pipeline generates for the evaluation workload is
-executed on **two independent backends** — the in-memory engine
+executed on **independent backends** — the in-memory engine
 (:class:`~repro.backends.memory.MemoryBackend`, compiled physical plans)
 and a real RDBMS (:class:`~repro.backends.sqlite.SqliteBackend`, rendered
 SQL) — and the results are asserted equivalent as canonical row multisets
-(the coercion rules live in :mod:`repro.backends.normalize`).
+(the coercion rules live in :mod:`repro.backends.normalize`).  With
+``--backend disk`` the sweep becomes three-way: the paged storage engine
+(:class:`~repro.backends.disk.DiskBackend`, compiled plans over heap
+files and on-disk indexes) joins as a third leg, each leg diffed against
+the in-memory reference.
 
 The sweep covers the same workload as ``repro check`` (Tables 3 and 4 on
 tpch / acmdl, normalized and §4.1-denormalized — the unnormalized datasets
@@ -30,9 +34,9 @@ import argparse
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
+from repro.backends.base import Backend, create_backend
 from repro.backends.memory import MemoryBackend
 from repro.backends.normalize import canonical_rows, rows_match
-from repro.backends.sqlite import SqliteBackend
 from repro.errors import ReproError, UnsupportedQueryError
 from repro.observability import NULL_TRACER
 from repro.sql.ast import Select
@@ -77,11 +81,12 @@ class Mismatch:
     source: str  # "semantic" or "sqak"
     sql: str
     detail: str
+    backend: str = "sqlite"  # the leg that disagreed with memory
 
     def render(self) -> str:
         return (
-            f"{self.dataset} {self.qid} [{self.source}] MISMATCH: "
-            f"{self.detail}\n  {self.sql}"
+            f"{self.dataset} {self.qid} [{self.source}] {self.backend} "
+            f"MISMATCH: {self.detail}\n  {self.sql}"
         )
 
 
@@ -106,12 +111,16 @@ def _describe_rows(rows: List[Tuple[Any, ...]], limit: int = 3) -> str:
 
 def diff_statement(
     memory: MemoryBackend,
-    sqlite: SqliteBackend,
+    sqlite: Backend,
     select: Select,
     tracer: Any = NULL_TRACER,
 ) -> Optional[str]:
     """Run *select* on both backends; ``None`` on agreement, else a
-    human-readable description of the disagreement."""
+    human-readable description of the disagreement.
+
+    The second backend is any :class:`~repro.backends.base.Backend` —
+    the parameter keeps its historical name for compatibility."""
+    label = getattr(sqlite, "name", "sqlite")
     tracer.count("diff_queries")
     try:
         memory_rows = canonical_rows(memory.execute(select, tracer=tracer).rows)
@@ -124,7 +133,7 @@ def diff_statement(
     tracer.count("diff_mismatches")
     return (
         f"memory={_describe_rows(memory_rows)} vs "
-        f"sqlite={_describe_rows(sqlite_rows)}"
+        f"{label}={_describe_rows(sqlite_rows)}"
     )
 
 
@@ -191,25 +200,34 @@ def diff_dataset(
     skip_sqak: bool = False,
     tracer: Any = NULL_TRACER,
     report: Optional[DiffReport] = None,
+    backends: Tuple[str, ...] = ("sqlite",),
 ) -> DiffReport:
-    """Differential sweep over one dataset's workload."""
+    """Differential sweep over one dataset's workload.
+
+    Each backend named in *backends* is diffed against the in-memory
+    reference on every statement (``("sqlite", "disk")`` makes the sweep
+    three-way)."""
     report = report if report is not None else DiffReport()
     database, statements = collect_statements(dataset, k=k, skip_sqak=skip_sqak)
     memory = MemoryBackend()
     memory.load(database)
-    sqlite = SqliteBackend()
-    sqlite.load(database)
+    legs = [create_backend(name, database, tracer=tracer) for name in backends]
     try:
         for qid, source, select in statements:
             report.statements += 1
             report.per_dataset[dataset] = report.per_dataset.get(dataset, 0) + 1
-            detail = diff_statement(memory, sqlite, select, tracer=tracer)
-            if detail is not None:
-                report.mismatches.append(
-                    Mismatch(dataset, qid, source, render(select), detail)
-                )
+            for leg in legs:
+                detail = diff_statement(memory, leg, select, tracer=tracer)
+                if detail is not None:
+                    report.mismatches.append(
+                        Mismatch(
+                            dataset, qid, source, render(select), detail,
+                            backend=leg.name,
+                        )
+                    )
     finally:
-        sqlite.close()
+        for leg in legs:
+            leg.close()
     return report
 
 
@@ -241,6 +259,16 @@ def build_diff_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="only diff the semantic engine",
     )
+    parser.add_argument(
+        "--backend",
+        choices=("sqlite", "disk"),
+        default="sqlite",
+        help=(
+            "extra leg to diff against the in-memory reference: sqlite "
+            "(default, two-way) or disk (three-way — sqlite AND the "
+            "paged storage engine)"
+        ),
+    )
     return parser
 
 
@@ -252,13 +280,14 @@ def run_diff(argv: Optional[List[str]] = None, out: Any = None) -> int:
     out = out or sys.stdout
     args = build_diff_parser().parse_args(argv)
     datasets = args.datasets or list(DIFF_DATASETS)
+    backends = ("sqlite", "disk") if args.backend == "disk" else ("sqlite",)
     tracer = Tracer()
     report = DiffReport()
     for dataset in datasets:
         before = len(report.mismatches)
         diff_dataset(
             dataset, k=args.top, skip_sqak=args.skip_sqak,
-            tracer=tracer, report=report,
+            tracer=tracer, report=report, backends=backends,
         )
         bad = len(report.mismatches) - before
         status = "ok" if bad == 0 else f"{bad} MISMATCHES"
@@ -270,7 +299,8 @@ def run_diff(argv: Optional[List[str]] = None, out: Any = None) -> int:
         print(mismatch.render(), file=out)
     print(
         f"diff: {report.statements} statements compared on "
-        f"memory vs sqlite, {len(report.mismatches)} mismatches",
+        f"memory vs {', '.join(backends)}, "
+        f"{len(report.mismatches)} mismatches",
         file=out,
     )
     return 1 if report.mismatches else 0

@@ -54,10 +54,18 @@ class MemoryBackend(Backend):
             )
         return self._executor
 
-    def load(self, database: Database) -> None:
-        if self._executor is not None and self._executor.database is not database:
-            self._executor = None
-        self.database = database
+    def load(self, database: Database, tracer: Any = NULL_TRACER) -> None:
+        # nothing is copied — the backend executes over the database
+        # in place — but the span keeps setup reporting uniform across
+        # backends (sqlite/disk do real work here)
+        with tracer.span("materialize", backend=self.name):
+            if self._executor is not None and self._executor.database is not database:
+                self._executor = None
+            self.database = database
+            tracer.count(
+                "materialized_rows",
+                sum(len(table) for table in database.tables()),
+            )
 
     def execute(self, query: Union[Select, str], tracer: Any = NULL_TRACER) -> QueryResult:
         result = self.executor.execute(query, tracer=tracer)

@@ -84,12 +84,12 @@ class SqliteBackend(Backend):
     # ------------------------------------------------------------------
     # Loading / materialization
     # ------------------------------------------------------------------
-    def load(self, database: Database) -> None:
+    def load(self, database: Database, tracer: Any = NULL_TRACER) -> None:
         with self._lock:
             self.database = database
-            self._materialize()
+            self._materialize(tracer)
 
-    def _materialize(self) -> None:
+    def _materialize(self, tracer: Any = NULL_TRACER) -> None:
         database = self._require_database()
         if self._conn is not None:
             self._conn.close()
@@ -97,26 +97,30 @@ class SqliteBackend(Backend):
         target = self.path if self.path is not None else ":memory:"
         # one connection shared across threads, serialized by self._lock
         conn = sqlite3.connect(target, check_same_thread=False)
-        try:
-            for relation in database.schema:
-                conn.execute(f"DROP TABLE IF EXISTS {_q(relation.name)}")
-                conn.execute(self._create_table_sql(relation))
-            for relation in database.schema:
-                table = database.table(relation.name)
-                if not table.rows:
-                    continue
-                placeholders = ", ".join("?" for _ in relation.columns)
-                conn.executemany(
-                    f"INSERT INTO {_q(relation.name)} VALUES ({placeholders})",
-                    (tuple(_to_storage(v) for v in row) for row in table.rows),
-                )
-            for statement in self._index_sql(database):
-                conn.execute(statement)
-            conn.execute("PRAGMA foreign_keys = ON")
-            conn.commit()
-        except sqlite3.Error as exc:
-            conn.close()
-            raise BackendError(f"sqlite materialization failed: {exc}") from exc
+        with tracer.span("materialize", backend=self.name):
+            rows_loaded = 0
+            try:
+                for relation in database.schema:
+                    conn.execute(f"DROP TABLE IF EXISTS {_q(relation.name)}")
+                    conn.execute(self._create_table_sql(relation))
+                for relation in database.schema:
+                    table = database.table(relation.name)
+                    if not table.rows:
+                        continue
+                    placeholders = ", ".join("?" for _ in relation.columns)
+                    conn.executemany(
+                        f"INSERT INTO {_q(relation.name)} VALUES ({placeholders})",
+                        (tuple(_to_storage(v) for v in row) for row in table.rows),
+                    )
+                    rows_loaded += len(table.rows)
+                for statement in self._index_sql(database):
+                    conn.execute(statement)
+                conn.execute("PRAGMA foreign_keys = ON")
+                conn.commit()
+            except sqlite3.Error as exc:
+                conn.close()
+                raise BackendError(f"sqlite materialization failed: {exc}") from exc
+            tracer.count("materialized_rows", rows_loaded)
         self._conn = conn
         self._loaded_version = database.data_version
 
@@ -161,10 +165,10 @@ class SqliteBackend(Backend):
     # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
-    def _ensure_fresh(self) -> sqlite3.Connection:
+    def _ensure_fresh(self, tracer: Any = NULL_TRACER) -> sqlite3.Connection:
         database = self._require_database()
         if self._conn is None or self._loaded_version != database.data_version:
-            self._materialize()
+            self._materialize(tracer)
         assert self._conn is not None
         return self._conn
 
@@ -181,7 +185,7 @@ class SqliteBackend(Backend):
             for i, item in enumerate(select.items)
         ]
         with self._lock:
-            conn = self._ensure_fresh()
+            conn = self._ensure_fresh(tracer)
             with tracer.span("execute", backend=self.name):
                 try:
                     cursor = conn.execute(sql)

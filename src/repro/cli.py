@@ -12,6 +12,8 @@ Examples::
     python -m repro --dataset tpch --backend sqlite "COUNT part GROUPBY supplier"
     python -m repro check --dataset tpch-unnorm
     python -m repro diff --dataset acmdl-unnorm
+    python -m repro diff --backend disk --dataset university
+    python -m repro gen --dataset tpch --sf 4 --out ./tpch-sf4
     python -m repro serve --port 8080 --datasets university,tpch
     python -m repro --reproduce
 
@@ -98,12 +100,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--backend",
-        choices=("memory", "sqlite"),
+        choices=("memory", "sqlite", "disk"),
         default="memory",
         help=(
             "execution backend for answers: the in-memory engine "
-            "(default) or a real SQLite database materialized from the "
-            "dataset (see docs/BACKENDS.md)"
+            "(default), a real SQLite database, or the paged on-disk "
+            "storage engine materialized from the dataset (see "
+            "docs/BACKENDS.md and docs/STORAGE.md)"
         ),
     )
     parser.add_argument(
@@ -251,6 +254,10 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
         from repro.service.cli import run_serve
 
         return run_serve(list(argv[1:]), out)
+    if argv and argv[0] == "gen":
+        from repro.datasets.gen import run_gen
+
+        return run_gen(list(argv[1:]), out)
     parser = build_parser()
     args = parser.parse_args(argv)
 

@@ -8,6 +8,7 @@ from repro.datasets.denormalize import (
     denormalize_acmdl,
     denormalize_tpch,
 )
+from repro.datasets.gen import generate_scaled, run_gen
 from repro.datasets.tpch import TpchConfig, tpch_schema
 from repro.datasets.tpch import generate as generate_tpch
 from repro.datasets.university import (
@@ -29,7 +30,9 @@ __all__ = [
     "enrolment_database",
     "enrolment_schema",
     "generate_acmdl",
+    "generate_scaled",
     "generate_tpch",
+    "run_gen",
     "tpch_schema",
     "university_database",
     "university_schema",

@@ -17,7 +17,7 @@ value-collision structure, which this seeded generator plants:
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Dict, List, Sequence, Set, Tuple
 
 from repro.relational.database import Database
@@ -84,6 +84,18 @@ class AcmdlConfig:
     gill_authors: int = 6
     john_authors: int = 4
     mary_authors: int = 3
+
+    def scaled(self, sf: float) -> "AcmdlConfig":
+        """This config with its organic row-count knobs multiplied by
+        *sf* (>= 1); planted value-collision counts stay fixed."""
+        if sf < 1:
+            raise ValueError(f"scale factor must be >= 1, got {sf!r}")
+        return replace(
+            self,
+            authors=round(self.authors * sf),
+            editors=round(self.editors * sf),
+            papers=round(self.papers * sf),
+        )
 
 
 def acmdl_schema() -> DatabaseSchema:

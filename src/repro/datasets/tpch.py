@@ -21,7 +21,7 @@ Scale is configurable; defaults keep the full evaluation under a second.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Dict, List, Sequence, Set, Tuple
 
 from repro.relational.database import Database
@@ -63,6 +63,24 @@ class TpchConfig:
     yellow_tomato_parts: int = 13
     chocolate_suppliers: int = 4
     chocolate_lineitems: int = 22
+
+    def scaled(self, sf: float) -> "TpchConfig":
+        """This config with its organic row-count knobs multiplied by
+        *sf* (>= 1).
+
+        Only the bulk knobs (parts, suppliers, customers, orders) grow;
+        the planted value-collision counts stay fixed, so the workload
+        answer shapes are identical at every scale factor.
+        """
+        if sf < 1:
+            raise ValueError(f"scale factor must be >= 1, got {sf!r}")
+        return replace(
+            self,
+            parts=round(self.parts * sf),
+            suppliers=round(self.suppliers * sf),
+            customers=round(self.customers * sf),
+            orders=round(self.orders * sf),
+        )
 
 
 def tpch_schema() -> DatabaseSchema:

@@ -229,9 +229,12 @@ class KeywordSearchEngine:
     # ------------------------------------------------------------------
     # Backends
     # ------------------------------------------------------------------
-    def get_backend(self, name: Optional[str] = None) -> Backend:
+    def get_backend(self, name: Optional[str] = None, tracer=NULL_TRACER) -> Backend:
         """The execution backend registered as *name* (default: the
-        engine's configured backend), created and loaded on first use."""
+        engine's configured backend), created and loaded on first use.
+
+        *tracer* observes first-use setup (the backend's ``materialize``
+        span), so ``--explain`` attributes backend setup time."""
         if name is None:
             configured: Optional[Backend] = getattr(self, "backend", None)
             if configured is not None:
@@ -241,7 +244,7 @@ class KeywordSearchEngine:
             backend = self._backends.get(name)
             if backend is None:
                 backend = create_backend(
-                    name, self.database, **self._backend_options
+                    name, self.database, tracer=tracer, **self._backend_options
                 )
                 self._backends[name] = backend
             return backend
@@ -317,7 +320,7 @@ class KeywordSearchEngine:
         run on (default: the engine's configured backend; the plan cache
         is shared either way for analysis/EXPLAIN purposes).
         """
-        executor = self.get_backend(backend)
+        executor = self.get_backend(backend, tracer=tracer)
         ranked = self.patterns(query_text, tracer=tracer)[: (k or self.top_k)]
         interpretations: List[Interpretation] = []
         token = current_token()

@@ -90,6 +90,11 @@ class DeadlineExceededError(ReproError):
     :class:`~repro.cancellation.CancellationToken` was cancelled."""
 
 
+class StorageError(ReproError):
+    """Disk-storage failure: corrupt page, exhausted buffer pool, or an
+    incomplete/unreadable materialization directory."""
+
+
 class ServiceError(ReproError):
     """Base class for query-service (serving-layer) errors."""
 

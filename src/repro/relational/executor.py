@@ -89,12 +89,16 @@ class Executor:
         tracer=None,
         compile_plans: bool = True,
         validate: bool = False,
+        backend_label: str = "memory",
     ) -> None:
         self.database = database
         self.use_hash_joins = use_hash_joins
         self.tracer = tracer or NULL_TRACER
         self.compile_plans = compile_plans
         self.validate = validate
+        # shown as the execute-span's backend attribute; the disk backend
+        # runs this same executor over paged storage under its own label
+        self.backend_label = backend_label
         self._plan_cache: "OrderedDict[str, Tuple[Any, CompiledPlan]]" = OrderedDict()
         self._plan_lock = threading.Lock()
 
@@ -112,7 +116,7 @@ class Executor:
         select = parse(query) if isinstance(query, str) else query
         if self.validate:
             self._validate(select, tracer)
-        with tracer.span("execute", backend="memory"):
+        with tracer.span("execute", backend=self.backend_label):
             if self.compile_plans:
                 plan = self.plan_for(select, tracer)
                 return plan.execute(tracer)

@@ -1,0 +1,171 @@
+"""Heap files: a relation's rows in slotted pages, read through the pool.
+
+A heap file is bulk-built once per materialization (tables are
+append-only between data-version bumps, so there is no in-place update
+path) and then served read-only.  The read path exposes the rows as
+:class:`HeapRows`, a lazy sequence:
+
+* ``rows[pos]`` — the row-position access pattern index-backed scans
+  use; binary-searches the per-page record counts for the owning page,
+  pins it, decodes one record, unpins;
+* ``iter(rows)`` / ``list(rows)`` — a sequential scan pinning one page
+  at a time;
+* ``len(rows)`` — from the manifest, no I/O.
+
+Row *positions* are the same dense 0..n-1 insertion-order positions the
+in-memory indexes use, so position sets computed by the disk indexes
+plug straight into :class:`~repro.relational.plan.CompiledPlan`'s
+index-scan machinery.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from itertools import accumulate
+from typing import Any, Iterable, Iterator, List, Sequence, Tuple
+
+from repro.errors import StorageError
+from repro.relational.schema import RelationSchema
+from repro.storage.page import SlottedPage
+from repro.storage.pager import BufferPool, Pager
+from repro.storage.serde import decode_row, encode_row
+
+__all__ = ["HeapFile", "HeapRows", "build_heap"]
+
+Row = Tuple[Any, ...]
+
+
+def build_heap(
+    path: str,
+    schema: RelationSchema,
+    rows: Iterable[Sequence[Any]],
+    page_size: int,
+) -> List[int]:
+    """Write *rows* into a fresh heap file; returns records-per-page.
+
+    The build path writes pages sequentially through a private
+    :class:`Pager` (no pool: nothing is re-read during a build, caching
+    would only evict pages the serving side wants).
+    """
+    pager = Pager(path, page_size, create=True)
+    try:
+        page_counts: List[int] = []
+        data = bytearray(page_size)
+        page = SlottedPage.initialize(data)
+        for row in rows:
+            record = encode_row(row, schema)
+            if page.insert(record) is None:
+                pager.write_page(pager.page_count, bytes(data))
+                page_counts.append(page.slot_count)
+                page = SlottedPage.initialize(data)
+                if page.insert(record) is None:  # pragma: no cover - guarded
+                    raise StorageError(
+                        f"{schema.name}: record does not fit a blank page"
+                    )
+        if page.slot_count:
+            pager.write_page(pager.page_count, bytes(data))
+            page_counts.append(page.slot_count)
+        pager.sync()
+    finally:
+        pager.close()
+    return page_counts
+
+
+class HeapFile:
+    """Read-side handle for one materialized relation."""
+
+    def __init__(
+        self,
+        pool: BufferPool,
+        file_id: str,
+        schema: RelationSchema,
+        page_counts: Sequence[int],
+    ) -> None:
+        self.pool = pool
+        self.file_id = file_id
+        self.schema = schema
+        self.page_counts = list(page_counts)
+        # cumulative[i] == first row position on page i+1
+        self._cumulative = list(accumulate(self.page_counts))
+        self.row_count = self._cumulative[-1] if self._cumulative else 0
+
+    @property
+    def page_count(self) -> int:
+        return len(self.page_counts)
+
+    @property
+    def rows(self) -> "HeapRows":
+        return HeapRows(self)
+
+    def row(self, position: int) -> Row:
+        """Decode the row at dense *position* (one page pin)."""
+        if not (0 <= position < self.row_count):
+            raise StorageError(
+                f"{self.schema.name}: row position {position} out of range "
+                f"(0..{self.row_count - 1})"
+            )
+        page_no = bisect_right(self._cumulative, position)
+        first = self._cumulative[page_no - 1] if page_no else 0
+        frame = self.pool.pin(self.file_id, page_no)
+        try:
+            record = SlottedPage(frame.data).record(position - first)
+        finally:
+            self.pool.unpin(frame)
+        return decode_row(record, self.schema)
+
+    def scan(self) -> Iterator[Row]:
+        """All rows in position order, one page pinned at a time."""
+        for page_no, expected in enumerate(self.page_counts):
+            frame = self.pool.pin(self.file_id, page_no)
+            try:
+                page = SlottedPage(frame.data)
+                if page.slot_count != expected:
+                    raise StorageError(
+                        f"{self.schema.name}: page {page_no} holds "
+                        f"{page.slot_count} records, manifest says {expected}"
+                    )
+                decoded = [decode_row(record, self.schema) for record in page.records()]
+            finally:
+                self.pool.unpin(frame)
+            yield from decoded
+
+    def __len__(self) -> int:
+        return self.row_count
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"HeapFile({self.schema.name!r}, rows={self.row_count}, "
+            f"pages={self.page_count})"
+        )
+
+
+class HeapRows(Sequence[Row]):
+    """Lazy sequence view over a heap file's rows.
+
+    Satisfies the access patterns of the executor and
+    :class:`~repro.relational.plan.CompiledPlan` (``len``, integer
+    indexing, iteration) without ever materializing the relation."""
+
+    __slots__ = ("_heap",)
+
+    def __init__(self, heap: HeapFile) -> None:
+        self._heap = heap
+
+    def __len__(self) -> int:
+        return self._heap.row_count
+
+    def __getitem__(self, position):  # type: ignore[override]
+        if isinstance(position, slice):
+            return [
+                self._heap.row(pos)
+                for pos in range(*position.indices(self._heap.row_count))
+            ]
+        if position < 0:
+            position += self._heap.row_count
+        return self._heap.row(position)
+
+    def __iter__(self) -> Iterator[Row]:
+        return self._heap.scan()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"HeapRows({self._heap.schema.name!r}, n={len(self)})"

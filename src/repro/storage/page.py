@@ -1,0 +1,111 @@
+"""The slotted-page record layout.
+
+Every heap page is::
+
+    [n_slots: u16][free_end: u16]  [slot 0][slot 1]...        ...records
+    header (4 bytes)               slot array grows ->   <- records grow
+
+Each slot is ``[offset: u16][length: u16]``.  Records are stored from the
+end of the page backwards; the slot array grows forwards from the
+header; the gap between them is the free space.  Records are immutable
+once inserted (the engine's tables are append-only), so there is no
+compaction or tombstone logic — a page is full when the next record plus
+its slot no longer fits.
+
+:class:`SlottedPage` is a view over a ``bytearray`` (typically a buffer
+pool frame's data): mutations write straight into the underlying buffer.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Iterator, Optional
+
+from repro.errors import StorageError
+
+__all__ = ["PAGE_HEADER_SIZE", "SLOT_SIZE", "SlottedPage"]
+
+PAGE_HEADER_SIZE = 4
+SLOT_SIZE = 4
+_HEADER = struct.Struct("<HH")
+_SLOT = struct.Struct("<HH")
+
+
+class SlottedPage:
+    """A slotted-page view over one page-sized ``bytearray``."""
+
+    __slots__ = ("data",)
+
+    def __init__(self, data: bytearray) -> None:
+        self.data = data
+
+    @classmethod
+    def initialize(cls, data: bytearray) -> "SlottedPage":
+        """Format a blank page in place (0 slots, all space free)."""
+        page = cls(data)
+        _HEADER.pack_into(data, 0, 0, len(data))
+        return page
+
+    # ------------------------------------------------------------------
+    # Header accessors
+    # ------------------------------------------------------------------
+    @property
+    def slot_count(self) -> int:
+        return _HEADER.unpack_from(self.data, 0)[0]
+
+    @property
+    def free_end(self) -> int:
+        return _HEADER.unpack_from(self.data, 0)[1]
+
+    @property
+    def free_space(self) -> int:
+        return self.free_end - PAGE_HEADER_SIZE - self.slot_count * SLOT_SIZE
+
+    @staticmethod
+    def capacity_for(record_size: int, page_size: int) -> int:
+        """How many records of *record_size* fit on one blank page."""
+        return max(
+            0, (page_size - PAGE_HEADER_SIZE) // (record_size + SLOT_SIZE)
+        )
+
+    # ------------------------------------------------------------------
+    # Records
+    # ------------------------------------------------------------------
+    def insert(self, record: bytes) -> Optional[int]:
+        """Append a record; returns its slot index, or None if it does
+        not fit on this page."""
+        if len(record) > len(self.data) - PAGE_HEADER_SIZE - SLOT_SIZE:
+            raise StorageError(
+                f"record of {len(record)} bytes cannot fit any "
+                f"{len(self.data)}-byte page"
+            )
+        if len(record) + SLOT_SIZE > self.free_space:
+            return None
+        n_slots, free_end = _HEADER.unpack_from(self.data, 0)
+        offset = free_end - len(record)
+        self.data[offset:free_end] = record
+        _SLOT.pack_into(
+            self.data, PAGE_HEADER_SIZE + n_slots * SLOT_SIZE, offset, len(record)
+        )
+        _HEADER.pack_into(self.data, 0, n_slots + 1, offset)
+        return n_slots
+
+    def record(self, slot: int) -> bytes:
+        if not (0 <= slot < self.slot_count):
+            raise StorageError(
+                f"slot {slot} out of range (page has {self.slot_count})"
+            )
+        offset, length = _SLOT.unpack_from(
+            self.data, PAGE_HEADER_SIZE + slot * SLOT_SIZE
+        )
+        return bytes(self.data[offset:offset + length])
+
+    def records(self) -> Iterator[bytes]:
+        for slot in range(self.slot_count):
+            yield self.record(slot)
+
+    def __len__(self) -> int:
+        return self.slot_count
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"SlottedPage(slots={self.slot_count}, free={self.free_space})"

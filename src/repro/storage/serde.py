@@ -1,0 +1,115 @@
+"""Row serialization for heap pages.
+
+A row is encoded column by column, in schema order.  Each column starts
+with a one-byte tag:
+
+* ``0`` — NULL (nothing follows);
+* ``1`` — value follows, encoded by the column's declared
+  :class:`~repro.relational.types.DataType`:
+  INT as a signed 64-bit little-endian integer, FLOAT as an IEEE-754
+  double, BOOL as one byte, TEXT/DATE as a ``u32`` byte length plus
+  UTF-8 bytes;
+* ``2`` — an INT too wide for 64 bits, stored as its decimal string
+  (``coerce`` accepts arbitrary-precision integers, so the row format
+  must too).
+
+Decoding is the exact inverse; round-tripping any coerced row returns an
+equal tuple with identical Python types, which the differential harness
+depends on (``bool`` stays ``bool``, ``int`` never becomes ``float``).
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Any, Sequence, Tuple
+
+from repro.errors import StorageError
+from repro.relational.schema import RelationSchema
+from repro.relational.types import DataType
+
+__all__ = ["decode_row", "encode_row"]
+
+_I64 = struct.Struct("<q")
+_F64 = struct.Struct("<d")
+_U32 = struct.Struct("<I")
+_I64_MIN = -(2**63)
+_I64_MAX = 2**63 - 1
+
+
+def encode_row(row: Sequence[Any], schema: RelationSchema) -> bytes:
+    """Encode one coerced row (see :func:`repro.relational.types.coerce`)."""
+    if len(row) != len(schema.columns):
+        raise StorageError(
+            f"{schema.name}: cannot encode {len(row)} values into "
+            f"{len(schema.columns)} columns"
+        )
+    parts = bytearray()
+    for value, column in zip(row, schema.columns):
+        if value is None:
+            parts.append(0)
+            continue
+        dtype = column.dtype
+        if dtype is DataType.INT:
+            if _I64_MIN <= value <= _I64_MAX:
+                parts.append(1)
+                parts += _I64.pack(value)
+            else:
+                text = str(value).encode("ascii")
+                parts.append(2)
+                parts += _U32.pack(len(text))
+                parts += text
+        elif dtype is DataType.FLOAT:
+            parts.append(1)
+            parts += _F64.pack(value)
+        elif dtype is DataType.BOOL:
+            parts.append(1)
+            parts.append(1 if value else 0)
+        else:  # TEXT / DATE
+            raw = value.encode("utf-8")
+            parts.append(1)
+            parts += _U32.pack(len(raw))
+            parts += raw
+    return bytes(parts)
+
+
+def decode_row(buffer: bytes, schema: RelationSchema) -> Tuple[Any, ...]:
+    """Decode one record produced by :func:`encode_row`."""
+    values = []
+    offset = 0
+    try:
+        for column in schema.columns:
+            tag = buffer[offset]
+            offset += 1
+            if tag == 0:
+                values.append(None)
+                continue
+            dtype = column.dtype
+            if dtype is DataType.INT:
+                if tag == 2:
+                    (length,) = _U32.unpack_from(buffer, offset)
+                    offset += 4
+                    values.append(int(buffer[offset:offset + length]))
+                    offset += length
+                else:
+                    values.append(_I64.unpack_from(buffer, offset)[0])
+                    offset += 8
+            elif dtype is DataType.FLOAT:
+                values.append(_F64.unpack_from(buffer, offset)[0])
+                offset += 8
+            elif dtype is DataType.BOOL:
+                values.append(bool(buffer[offset]))
+                offset += 1
+            else:  # TEXT / DATE
+                (length,) = _U32.unpack_from(buffer, offset)
+                offset += 4
+                values.append(buffer[offset:offset + length].decode("utf-8"))
+                offset += length
+    except (IndexError, struct.error, UnicodeDecodeError) as exc:
+        raise StorageError(
+            f"{schema.name}: corrupt record ({exc})"
+        ) from exc
+    if offset != len(buffer):
+        raise StorageError(
+            f"{schema.name}: {len(buffer) - offset} trailing bytes in record"
+        )
+    return tuple(values)

@@ -1,0 +1,169 @@
+"""B+-tree vs a sorted-dict oracle, at page sizes tiny enough to force
+multi-level splits, with first-class duplicate keys."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import StorageError
+from repro.storage import BufferPool, Pager
+from repro.storage.bptree import BPlusTree
+
+#: 64-byte pages: leaf capacity (64-7)//12 = 4, internal capacity
+#: (64-11)//12 = 4 — a few dozen keys already build three levels.
+TINY_PAGE = 64
+
+#: A small key pool so random runs hit duplicates constantly.
+keys = st.integers(min_value=0, max_value=12).map(float)
+
+
+def fresh_tree(tmp_path, name="ix.bpt", page_size=TINY_PAGE, capacity=8):
+    pool = BufferPool(capacity)
+    pager = Pager(str(tmp_path / name), page_size, create=True)
+    pool.register(name, pager)
+    return BPlusTree.create(pool, name), pager
+
+
+class Oracle:
+    """The spec: a dict of key -> multiset of values."""
+
+    def __init__(self):
+        self.data = {}
+
+    def insert(self, key, value):
+        self.data.setdefault(key, []).append(value)
+
+    def search_eq(self, key):
+        return sorted(self.data.get(key, []))
+
+    def search_range(self, low, high):
+        return sorted(
+            value
+            for key, values in self.data.items()
+            if low <= key <= high
+            for value in values
+        )
+
+    def items(self):
+        return [
+            (key, value)
+            for key in sorted(self.data)
+            for value in self.data[key]
+        ]
+
+
+class TestAgainstOracle:
+    @settings(max_examples=60, deadline=None)
+    @given(st.lists(keys, max_size=120))
+    def test_insert_matches_sorted_dict(self, tmp_path_factory, inserted):
+        tmp_path = tmp_path_factory.mktemp("bpt")
+        tree, pager = fresh_tree(tmp_path)
+        oracle = Oracle()
+        for value, key in enumerate(inserted):
+            tree.insert(key, value)
+            oracle.insert(key, value)
+        try:
+            for key in set(inserted) | {-1.0, 99.0}:
+                assert sorted(tree.search_eq(key)) == oracle.search_eq(key)
+            assert sorted(tree.items()) == sorted(oracle.items())
+            keys_seen = [key for key, _ in tree.items()]
+            assert keys_seen == sorted(keys_seen)
+        finally:
+            pager.close()
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.lists(keys, max_size=80),
+        st.tuples(keys, keys).map(sorted),
+    )
+    def test_range_matches_sorted_dict(self, tmp_path_factory, inserted, bounds):
+        tmp_path = tmp_path_factory.mktemp("bpt")
+        low, high = bounds
+        tree, pager = fresh_tree(tmp_path)
+        oracle = Oracle()
+        for value, key in enumerate(inserted):
+            tree.insert(key, value)
+            oracle.insert(key, value)
+        try:
+            assert sorted(tree.search_range(low, high)) == oracle.search_range(
+                low, high
+            )
+        finally:
+            pager.close()
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(st.tuples(keys, st.integers(0, 1000)), max_size=120))
+    def test_bulk_build_equals_incremental(self, tmp_path_factory, pairs):
+        tmp_path = tmp_path_factory.mktemp("bpt")
+        pairs = sorted(pairs, key=lambda pair: pair[0])
+        pool = BufferPool(8)
+        pager = Pager(str(tmp_path / "bulk.bpt"), TINY_PAGE, create=True)
+        pool.register("bulk.bpt", pager)
+        tree = BPlusTree.bulk_build(pool, "bulk.bpt", pairs)
+        try:
+            assert list(tree.items()) == pairs
+            for key in {key for key, _ in pairs}:
+                expected = sorted(v for k, v in pairs if k == key)
+                assert sorted(tree.search_eq(key)) == expected
+        finally:
+            pager.close()
+
+
+class TestEdges:
+    def test_empty_tree(self, tmp_path):
+        tree, pager = fresh_tree(tmp_path)
+        assert tree.search_eq(1.0) == []
+        assert tree.search_range() == []
+        assert len(tree) == 0
+        pager.close()
+
+    def test_open_bounds_and_exclusive_ends(self, tmp_path):
+        tree, pager = fresh_tree(tmp_path)
+        for value, key in enumerate([1.0, 2.0, 2.0, 3.0, 4.0]):
+            tree.insert(key, value)
+        assert sorted(tree.search_range(low=3.0)) == [3, 4]
+        assert sorted(tree.search_range(high=2.0)) == [0, 1, 2]
+        assert sorted(tree.search_range(2.0, 4.0, include_low=False)) == [3, 4]
+        assert sorted(tree.search_range(1.0, 3.0, include_high=False)) == [0, 1, 2]
+        pager.close()
+
+    def test_bulk_build_rejects_unsorted(self, tmp_path):
+        pool = BufferPool(8)
+        pager = Pager(str(tmp_path / "bad.bpt"), TINY_PAGE, create=True)
+        pool.register("bad.bpt", pager)
+        with pytest.raises(StorageError, match="sorted"):
+            BPlusTree.bulk_build(pool, "bad.bpt", [(2.0, 0), (1.0, 1)])
+        pager.close()
+
+    def test_page_too_small(self, tmp_path):
+        pool = BufferPool(8)
+        pager = Pager(str(tmp_path / "small.bpt"), 64, create=True)
+        pool.register("small.bpt", pager)
+        # 64 bytes is the floor; the constructor itself guards below it
+        tree = BPlusTree.create(pool, "small.bpt")
+        assert tree.leaf_capacity >= 2
+        pager.close()
+
+    def test_reopen_after_flush(self, tmp_path):
+        tree, pager = fresh_tree(tmp_path)
+        for value, key in enumerate([5.0, 1.0, 3.0, 3.0, 2.0]):
+            tree.insert(key, value)
+        tree.pool.flush()
+        pager.sync()
+        pager.close()
+        pool = BufferPool(4)
+        reopened_pager = Pager(str(tmp_path / "ix.bpt"), TINY_PAGE)
+        pool.register("ix.bpt", reopened_pager)
+        reopened = BPlusTree(pool, "ix.bpt")
+        assert sorted(reopened.search_eq(3.0)) == [2, 3]
+        assert [key for key, _ in reopened.items()] == [1.0, 2.0, 3.0, 3.0, 5.0]
+        reopened_pager.close()
+
+    def test_bad_magic(self, tmp_path):
+        pool = BufferPool(4)
+        pager = Pager(str(tmp_path / "junk.bpt"), TINY_PAGE, create=True)
+        pager.allocate()
+        pool.register("junk.bpt", pager)
+        with pytest.raises(StorageError, match="magic"):
+            BPlusTree(pool, "junk.bpt")
+        pager.close()

@@ -1,0 +1,59 @@
+"""Static hash index: probes, duplicate values, overflow chains."""
+
+import pytest
+
+from repro.errors import StorageError
+from repro.storage import BufferPool, HashFile, Pager
+from repro.storage.hashindex import hash_key
+
+PAGE = 64  # (64 - 6) // 12 = 4 entries per bucket page
+
+
+def open_index(tmp_path, items, page_size=PAGE, name="ix.hash"):
+    path = str(tmp_path / name)
+    buckets = HashFile.build(path, items, page_size)
+    pool = BufferPool(8)
+    pool.register(name, Pager(path, page_size))
+    index = HashFile(pool, name)
+    assert index.buckets == buckets
+    return index
+
+
+class TestHashFile:
+    def test_point_probes(self, tmp_path):
+        items = [(f"value-{i}", i) for i in range(30)]
+        index = open_index(tmp_path, items)
+        for value, position in items:
+            assert position in index.positions(value)
+        assert index.positions("value-0") == {0}
+
+    def test_absent_value(self, tmp_path):
+        index = open_index(tmp_path, [("present", 0)])
+        assert index.positions("absent") == set()
+
+    def test_duplicates_force_overflow_chains(self, tmp_path):
+        # 20 identical values hash to one bucket: at 4 entries per page
+        # the chain must span several overflow pages
+        items = [("dup", i) for i in range(20)] + [("other", 99)]
+        index = open_index(tmp_path, items)
+        assert index.positions("dup") == set(range(20))
+        assert index.positions("other") == {99}
+
+    def test_empty_index(self, tmp_path):
+        index = open_index(tmp_path, [])
+        assert index.buckets >= 1
+        assert index.positions("anything") == set()
+
+    def test_bad_magic(self, tmp_path):
+        path = tmp_path / "junk.hash"
+        pager = Pager(str(path), PAGE, create=True)
+        pager.allocate()
+        pager.close()
+        pool = BufferPool(4)
+        pool.register("junk.hash", Pager(str(path), PAGE))
+        with pytest.raises(StorageError, match="magic"):
+            HashFile(pool, "junk.hash")
+
+    def test_hash_key_is_stable(self):
+        assert hash_key("abc") == hash_key("abc")
+        assert hash_key("abc") != hash_key("abd")

@@ -1,0 +1,81 @@
+"""Heap files: build, positional access, sequential scans."""
+
+import pytest
+
+from repro.errors import StorageError
+from repro.relational.schema import DatabaseSchema
+from repro.relational.types import DataType
+from repro.storage import BufferPool, HeapFile, Pager
+from repro.storage.heap import build_heap
+
+
+def make_schema():
+    schema = DatabaseSchema("heapdb")
+    schema.add_relation(
+        "T",
+        [("id", DataType.INT), ("name", DataType.TEXT)],
+        ["id"],
+    )
+    return schema.relation("T")
+
+
+SCHEMA = make_schema()
+ROWS = [(i, f"name-{i:03d}") for i in range(50)]
+
+
+def open_heap(tmp_path, rows=ROWS, page_size=128, pool_capacity=4):
+    path = str(tmp_path / "T.heap")
+    page_counts = build_heap(path, SCHEMA, rows, page_size)
+    pool = BufferPool(pool_capacity)
+    pool.register("T.heap", Pager(path, page_size))
+    return HeapFile(pool, "T.heap", SCHEMA, page_counts), page_counts, pool
+
+
+class TestHeapFile:
+    def test_build_spans_many_pages(self, tmp_path):
+        heap, page_counts, _ = open_heap(tmp_path)
+        assert heap.page_count > 1
+        assert sum(page_counts) == len(ROWS)
+        assert len(heap) == len(ROWS)
+
+    def test_positional_access(self, tmp_path):
+        heap, _, _ = open_heap(tmp_path)
+        for position in (0, 1, 25, len(ROWS) - 1):
+            assert heap.row(position) == ROWS[position]
+
+    def test_scan_preserves_order(self, tmp_path):
+        heap, _, _ = open_heap(tmp_path)
+        assert list(heap.scan()) == ROWS
+
+    def test_position_out_of_range(self, tmp_path):
+        heap, _, _ = open_heap(tmp_path)
+        with pytest.raises(StorageError):
+            heap.row(len(ROWS))
+
+    def test_scan_respects_small_pool(self, tmp_path):
+        heap, _, pool = open_heap(tmp_path, pool_capacity=2)
+        assert list(heap.scan()) == ROWS
+        assert pool.stats["max_resident"] <= 2
+        assert pool.stats["evictions"] > 0
+
+    def test_empty_table(self, tmp_path):
+        heap, page_counts, _ = open_heap(tmp_path, rows=[])
+        assert len(heap) == 0
+        assert list(heap.scan()) == []
+        assert sum(page_counts) == 0
+
+
+class TestHeapRows:
+    def test_sequence_protocol(self, tmp_path):
+        heap, _, _ = open_heap(tmp_path)
+        rows = heap.rows
+        assert len(rows) == len(ROWS)
+        assert rows[0] == ROWS[0]
+        assert rows[-1] == ROWS[-1]
+        assert rows[10:13] == ROWS[10:13]
+        assert list(rows) == ROWS
+
+    def test_index_errors_mirror_lists(self, tmp_path):
+        heap, _, _ = open_heap(tmp_path)
+        with pytest.raises((IndexError, StorageError)):
+            heap.rows[len(ROWS)]

@@ -1,0 +1,68 @@
+"""Slotted-page layout: insertion, retrieval, fullness."""
+
+import pytest
+
+from repro.errors import StorageError
+from repro.storage import SlottedPage
+from repro.storage.page import PAGE_HEADER_SIZE, SLOT_SIZE
+
+
+def blank(page_size=64):
+    return SlottedPage.initialize(bytearray(page_size))
+
+
+class TestSlottedPage:
+    def test_blank_page(self):
+        page = blank()
+        assert page.slot_count == 0
+        assert len(page) == 0
+        assert page.free_space == 64 - PAGE_HEADER_SIZE
+
+    def test_insert_and_record_roundtrip(self):
+        page = blank()
+        assert page.insert(b"alpha") == 0
+        assert page.insert(b"beta") == 1
+        assert page.record(0) == b"alpha"
+        assert page.record(1) == b"beta"
+        assert list(page.records()) == [b"alpha", b"beta"]
+
+    def test_empty_records_are_representable(self):
+        page = blank()
+        assert page.insert(b"") == 0
+        assert page.record(0) == b""
+
+    def test_page_full_returns_none(self):
+        page = blank()
+        record = b"x" * 8
+        inserted = 0
+        while page.insert(record) is not None:
+            inserted += 1
+        assert inserted == SlottedPage.capacity_for(8, 64)
+        assert inserted >= 2
+        # the page is full but intact
+        assert list(page.records()) == [record] * inserted
+
+    def test_record_too_big_for_any_page_raises(self):
+        page = blank()
+        too_big = b"x" * (64 - PAGE_HEADER_SIZE - SLOT_SIZE + 1)
+        with pytest.raises(StorageError, match="cannot fit"):
+            page.insert(too_big)
+
+    def test_slot_out_of_range(self):
+        page = blank()
+        page.insert(b"only")
+        with pytest.raises(StorageError, match="slot 1 out of range"):
+            page.record(1)
+        with pytest.raises(StorageError, match="out of range"):
+            page.record(-1)
+
+    def test_mutations_write_through_to_the_buffer(self):
+        data = bytearray(64)
+        page = SlottedPage.initialize(data)
+        page.insert(b"shared")
+        # a second view over the same buffer sees the record
+        assert SlottedPage(data).record(0) == b"shared"
+
+    def test_capacity_for_degenerate_sizes(self):
+        assert SlottedPage.capacity_for(1000, 64) == 0
+        assert SlottedPage.capacity_for(1, 64) == (64 - PAGE_HEADER_SIZE) // 5

@@ -25,6 +25,7 @@ DOC_FILES = [
     "docs/OBSERVABILITY.md",
     "docs/PERFORMANCE.md",
     "docs/SERVING.md",
+    "docs/STORAGE.md",
 ]
 
 _BLOCK_RE = re.compile(r"```python\n(.*?)```", re.DOTALL)

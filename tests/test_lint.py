@@ -280,6 +280,85 @@ class TestRules:
             == []
         )
 
+    def test_lr008_binary_open_outside_storage(self, tmp_path):
+        findings = lint_source(
+            tmp_path,
+            "relational/x.py",
+            """
+            def f(path):
+                with open(path, "rb") as handle:
+                    return handle.read()
+            """,
+        )
+        assert [code for code, _ in findings] == ["LR008"]
+        findings = lint_source(
+            tmp_path,
+            "engine.py",
+            """
+            def f(path):
+                return open(path, mode="r+b")
+            """,
+        )
+        assert [code for code, _ in findings] == ["LR008"]
+
+    def test_lr008_text_open_is_fine(self, tmp_path):
+        assert (
+            lint_source(
+                tmp_path,
+                "relational/x.py",
+                """
+                def f(path):
+                    with open(path, "r", encoding="utf-8") as handle:
+                        return handle.read()
+                """,
+            )
+            == []
+        )
+        # a non-literal mode cannot be judged statically; stay silent
+        assert (
+            lint_source(
+                tmp_path,
+                "relational/x.py",
+                """
+                def f(path, mode):
+                    return open(path, mode)
+                """,
+            )
+            == []
+        )
+
+    def test_lr008_mmap_and_positioned_io_outside_storage(self, tmp_path):
+        findings = lint_source(tmp_path, "cli.py", "import mmap\n")
+        assert [code for code, _ in findings] == ["LR008"]
+        findings = lint_source(
+            tmp_path,
+            "service/x.py",
+            """
+            import os
+
+            def f(fd):
+                return os.pread(fd, 4096, 0)
+            """,
+        )
+        assert [code for code, _ in findings] == ["LR008"]
+
+    def test_lr008_allowed_inside_storage(self, tmp_path):
+        assert (
+            lint_source(
+                tmp_path,
+                "storage/pager.py",
+                """
+                import mmap
+                import os
+
+                def f(path, fd):
+                    handle = open(path, "r+b")
+                    return handle, os.pwrite(fd, b"x", 0)
+                """,
+            )
+            == []
+        )
+
     def test_lr004_fd_discovery_exemption(self, tmp_path):
         assert (
             lint_source(
