@@ -1,0 +1,311 @@
+"""Plan-quality sweep: the cost-based optimizer vs the size-only greedy.
+
+A join-aggregate workload over SF-scaled TPC-H and ACMDL (scale factor
+``SCALE_FACTOR`` >= 2) runs twice on the same data in the same process:
+once with ``optimizer="cost"`` (statistics, DP join ordering, access
+paths) and once with ``optimizer="off"`` (the original size-only greedy
+pipeline).  Three numbers gate the sweep:
+
+* **total ratio** — optimizer-on wall time over optimizer-off wall time,
+  summed across the whole workload.  The optimizer must never make the
+  workload slower overall (``<= MAX_TOTAL_RATIO``).
+* **big-join speedup** — optimizer-off over optimizer-on time on the
+  >= 4-relation subset, where join-order choices dominate.  The cyclic
+  queries (TPC-H Q5 shape: the supplier-customer nation/region edge
+  closes a cycle) are the planted traps: the greedy min-product pick
+  joins the expanding many-to-many edge early, the DP search defers it.
+* **median q-error** — per-operator ``max(est/actual, actual/est)``
+  collected from every optimized plan's :attr:`CompiledPlan.last_run`.
+  The estimator may be wrong in the tails but must be right in the
+  middle (``<= MAX_MEDIAN_Q_ERROR``).
+
+Correctness is asserted before any timing means anything: both modes
+must return canonically equal rows for every statement (float aggregates
+are compared through ``rows_match``, since a different join order sums
+in a different addition order).
+
+Numbers go to ``BENCH_planner.json``; ``check_regression.py`` compares
+them against the committed ``BENCH_planner_baseline.json``.  Refresh the
+baseline by copying the result file over it after an intentional planner
+change.
+
+Run standalone (``python benchmarks/bench_planner.py``) or via
+``pytest benchmarks/bench_planner.py``.
+"""
+
+from __future__ import annotations
+
+import json
+import statistics
+import sys
+import time
+from pathlib import Path
+from typing import Dict, List, Tuple
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.backends.normalize import rows_match  # noqa: E402
+from repro.datasets import generate_acmdl, generate_tpch  # noqa: E402
+from repro.datasets.acmdl import AcmdlConfig  # noqa: E402
+from repro.datasets.tpch import TpchConfig  # noqa: E402
+from repro.observability import Tracer  # noqa: E402
+from repro.relational.executor import Executor  # noqa: E402
+from repro.sql.parser import parse  # noqa: E402
+
+SCALE_FACTOR = 2.0  # the acceptance floor is SF >= 2
+REPEATS = 3  # best-of-N to shed scheduler noise
+BIG_JOIN_RELATIONS = 4  # the subset where join ordering dominates
+
+# hard gates (machine-relative: both modes run in-process on the same data)
+MAX_TOTAL_RATIO = 1.0  # optimizer-on must not slow the workload down
+MIN_BIG_JOIN_SPEEDUP = 1.3  # and must win where join ordering matters
+MAX_MEDIAN_Q_ERROR = 4.0  # estimates must be right in the middle
+
+_HERE = Path(__file__).resolve().parent
+RESULT_PATH = _HERE / "BENCH_planner.json"
+BASELINE_PATH = _HERE / "BENCH_planner_baseline.json"
+
+#: (dataset, qid, sql, relation count).  The >= 4-relation queries are
+#: the plan-quality subset; the cyclic ones are the greedy traps.
+WORKLOAD: Tuple[Tuple[str, str, str, int], ...] = (
+    (
+        "tpch",
+        "q5-cycle",
+        'SELECT N.nname, SUM(O.amount) AS rev FROM Customer C, "Order" O, '
+        "Lineitem L, Supplier S, Nation N WHERE C.custkey = O.custkey "
+        "AND O.orderkey = L.orderkey AND L.suppkey = S.suppkey "
+        "AND S.nationkey = C.nationkey AND N.nationkey = C.nationkey "
+        "GROUP BY N.nname",
+        5,
+    ),
+    (
+        "tpch",
+        "region-cycle",
+        "SELECT R.rname, SUM(O.amount) AS rev FROM Region R, Nation N1, "
+        'Nation N2, Customer C, "Order" O, Lineitem L, Supplier S '
+        "WHERE C.nationkey = N1.nationkey AND S.nationkey = N2.nationkey "
+        "AND N1.regionkey = R.regionkey AND N2.regionkey = R.regionkey "
+        "AND O.custkey = C.custkey AND L.orderkey = O.orderkey "
+        "AND L.suppkey = S.suppkey GROUP BY R.rname",
+        7,
+    ),
+    (
+        "tpch",
+        "nation-revenue",
+        "SELECT N.nname, SUM(O.amount) AS total FROM Supplier S, Customer C, "
+        '"Order" O, Nation N WHERE S.nationkey = N.nationkey '
+        "AND C.nationkey = N.nationkey AND O.custkey = C.custkey "
+        "GROUP BY N.nname",
+        4,
+    ),
+    (
+        "tpch",
+        "france-parts",
+        "SELECT P.type, COUNT(L.quantity) AS n FROM Part P, Lineitem L, "
+        "Supplier S, Nation N WHERE L.partkey = P.partkey "
+        "AND L.suppkey = S.suppkey AND S.nationkey = N.nationkey "
+        "AND N.nname = 'FRANCE' GROUP BY P.type",
+        4,
+    ),
+    (
+        "tpch",
+        "region-customers",
+        "SELECT R.rname, COUNT(C.cname) AS n FROM Region R, Nation N, "
+        "Customer C WHERE N.regionkey = R.regionkey "
+        "AND C.nationkey = N.nationkey GROUP BY R.rname",
+        3,
+    ),
+    (
+        "tpch",
+        "big-orders",
+        'SELECT C.cname, COUNT(O.orderkey) AS n FROM Customer C, "Order" O '
+        "WHERE O.custkey = C.custkey AND O.amount > 50000 GROUP BY C.cname",
+        2,
+    ),
+    (
+        "acmdl",
+        "publisher-authors",
+        "SELECT U.name, COUNT(A.lname) AS n FROM Publisher U, Proceeding P, "
+        "Paper R, Write W, Author A WHERE P.publisherid = U.publisherid "
+        "AND R.procid = P.procid AND W.paperid = R.paperid "
+        "AND W.authorid = A.authorid GROUP BY U.name",
+        5,
+    ),
+    (
+        "acmdl",
+        "editor-papers",
+        "SELECT E.lname, COUNT(R.paperid) AS n FROM Editor E, Edit D, "
+        "Proceeding P, Paper R WHERE D.editorid = E.editorid "
+        "AND D.procid = P.procid AND R.procid = P.procid GROUP BY E.lname",
+        4,
+    ),
+    (
+        "acmdl",
+        "long-proceedings",
+        "SELECT A.lname, COUNT(P.procid) AS n FROM Author A, Write W, "
+        "Paper R, Proceeding P WHERE W.authorid = A.authorid "
+        "AND W.paperid = R.paperid AND R.procid = P.procid "
+        "AND P.pages > 200 GROUP BY A.lname",
+        4,
+    ),
+    (
+        "acmdl",
+        "papers-per-proceeding",
+        "SELECT P.acronym, COUNT(R.paperid) AS n FROM Proceeding P, Paper R "
+        "WHERE R.procid = P.procid GROUP BY P.acronym",
+        2,
+    ),
+)
+
+
+def _databases():
+    return {
+        "tpch": generate_tpch(TpchConfig().scaled(SCALE_FACTOR)),
+        "acmdl": generate_acmdl(AcmdlConfig().scaled(SCALE_FACTOR)),
+    }
+
+
+def _time_one(executor: Executor, select) -> float:
+    best = float("inf")
+    for _ in range(REPEATS):
+        start = time.perf_counter()
+        executor.execute(select)
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def measure() -> Dict[str, object]:
+    """Per-query optimizer-on vs optimizer-off timings plus q-errors."""
+    databases = _databases()
+    executors = {
+        name: (
+            Executor(database, optimizer="cost"),
+            Executor(database, optimizer="off"),
+        )
+        for name, database in databases.items()
+    }
+    queries: List[Dict[str, object]] = []
+    q_errors: List[float] = []
+    total_on = total_off = 0.0
+    big_on = big_off = 0.0
+    tracer = Tracer()
+    for dataset, qid, sql, relations in WORKLOAD:
+        on, off = executors[dataset]
+        select = parse(sql)
+        # correctness first (and this warms both plan caches): a benchmark
+        # of two modes that disagree measures nothing
+        assert rows_match(on.execute(select).rows, off.execute(select).rows), (
+            f"{dataset} {qid}: optimizer on/off disagree"
+        )
+        on_s = _time_one(on, select)
+        off_s = _time_one(off, select)
+        plan = on.plan_for(select, tracer)
+        plan.execute(tracer=tracer)
+        assert plan.last_run is not None, f"{dataset} {qid}: no run observed"
+        per_query_errors = plan.last_run.q_errors()
+        q_errors.extend(per_query_errors)
+        total_on += on_s
+        total_off += off_s
+        if relations >= BIG_JOIN_RELATIONS:
+            big_on += on_s
+            big_off += off_s
+        queries.append(
+            {
+                "dataset": dataset,
+                "qid": qid,
+                "relations": relations,
+                "cost_ms": on_s * 1000.0,
+                "heuristic_ms": off_s * 1000.0,
+                "speedup": off_s / on_s if on_s else float("inf"),
+                "median_q_error": statistics.median(per_query_errors),
+            }
+        )
+    return {
+        "scale_factor": SCALE_FACTOR,
+        "queries": queries,
+        "total_cost_ms": total_on * 1000.0,
+        "total_heuristic_ms": total_off * 1000.0,
+        "total_ratio": total_on / total_off if total_off else float("inf"),
+        "big_join_speedup": big_off / big_on if big_on else float("inf"),
+        "median_q_error": statistics.median(q_errors),
+        "observations": len(q_errors),
+    }
+
+
+def check(result: Dict[str, object]) -> List[str]:
+    """Failure messages (empty when the check passes)."""
+    failures: List[str] = []
+    ratio = float(result["total_ratio"])
+    if ratio > MAX_TOTAL_RATIO:
+        failures.append(
+            f"optimizer-on workload is {ratio:.2f}x the heuristic total "
+            f"(allowed: {MAX_TOTAL_RATIO:.1f}x)"
+        )
+    speedup = float(result["big_join_speedup"])
+    if speedup < MIN_BIG_JOIN_SPEEDUP:
+        failures.append(
+            f"optimizer wins only {speedup:.2f}x on the "
+            f">={BIG_JOIN_RELATIONS}-relation subset "
+            f"(required: {MIN_BIG_JOIN_SPEEDUP:.1f}x)"
+        )
+    q_error = float(result["median_q_error"])
+    if q_error > MAX_MEDIAN_Q_ERROR:
+        failures.append(
+            f"median cardinality q-error is {q_error:.2f} "
+            f"(allowed: {MAX_MEDIAN_Q_ERROR:.1f})"
+        )
+    return failures
+
+
+def write_result(result: Dict[str, object]) -> None:
+    with open(RESULT_PATH, "w", encoding="utf-8") as handle:
+        json.dump(result, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def format_result(result: Dict[str, object]) -> str:
+    lines = [
+        f"SF{result['scale_factor']:g} plan-quality sweep, "
+        f"{len(result['queries'])} queries: "
+        f"cost {result['total_cost_ms']:.1f} ms, "
+        f"heuristic {result['total_heuristic_ms']:.1f} ms "
+        f"(ratio {result['total_ratio']:.2f}), "
+        f">={BIG_JOIN_RELATIONS}-relation speedup "
+        f"{result['big_join_speedup']:.2f}x, "
+        f"median q-error {result['median_q_error']:.2f} "
+        f"over {result['observations']} operators"
+    ]
+    for numbers in result["queries"]:
+        lines.append(
+            f"  {numbers['dataset']}/{numbers['qid']} "
+            f"({numbers['relations']} rel): "
+            f"cost {numbers['cost_ms']:.1f} ms, "
+            f"heuristic {numbers['heuristic_ms']:.1f} ms "
+            f"({numbers['speedup']:.2f}x), "
+            f"q-err {numbers['median_q_error']:.2f}"
+        )
+    return "\n".join(lines)
+
+
+def test_planner_beats_heuristic_and_estimates_hold():
+    result = measure()
+    write_result(result)
+    failures = check(result)
+    assert not failures, "; ".join(failures) + "\n" + format_result(result)
+
+
+def main() -> int:
+    result = measure()
+    write_result(result)
+    print(format_result(result))
+    print(f"wrote {RESULT_PATH}")
+    failures = check(result)
+    for failure in failures:
+        print(f"FAIL: {failure}")
+    if not failures:
+        print("OK")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -348,6 +348,74 @@ def check_storage(result: Dict[str, object]) -> List[str]:
 
 
 # ----------------------------------------------------------------------
+# Plan-quality regression (delegates measurement to bench_planner)
+# ----------------------------------------------------------------------
+# allowed fractional growth of the optimizer-on/heuristic total ratio:
+# the ratio growing means the cost-based planner got slower relative to
+# the size-only greedy on the same workload, data and machine
+PLANNER_RATIO_TOLERANCE = 0.50
+# allowed fractional drop of the >=4-relation subset speedup: losing it
+# means the DP search stopped finding the plans the greedy misses
+PLANNER_SPEEDUP_TOLERANCE = 0.35
+# allowed absolute growth of the median cardinality q-error: estimates
+# drifting here means the statistics or selectivity model regressed
+PLANNER_Q_ERROR_TOLERANCE = 1.0
+
+PLANNER_BASELINE_PATH = _HERE / "BENCH_planner_baseline.json"
+
+
+def _load_bench_planner():
+    spec = importlib.util.spec_from_file_location(
+        "bench_planner", _HERE / "bench_planner.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def measure_planner() -> Dict[str, object]:
+    """The plan-quality sweep numbers, via ``bench_planner.measure()``."""
+    return _load_bench_planner().measure()
+
+
+def check_planner(result: Dict[str, object]) -> List[str]:
+    """Hard plan-quality gates plus drift against the baseline."""
+    bench_planner = _load_bench_planner()
+    failures = bench_planner.check(result)
+    if PLANNER_BASELINE_PATH.exists():
+        with open(PLANNER_BASELINE_PATH, encoding="utf-8") as handle:
+            baseline = json.load(handle)
+        ratio = float(result["total_ratio"])
+        ceiling = float(baseline["total_ratio"]) * (
+            1.0 + PLANNER_RATIO_TOLERANCE
+        )
+        if ratio > ceiling:
+            failures.append(
+                f"planner total ratio regressed: {ratio:.2f} vs baseline "
+                f"{baseline['total_ratio']:.2f} (ceiling {ceiling:.2f})"
+            )
+        speedup = float(result["big_join_speedup"])
+        floor = float(baseline["big_join_speedup"]) * (
+            1.0 - PLANNER_SPEEDUP_TOLERANCE
+        )
+        if speedup < floor:
+            failures.append(
+                f"big-join speedup regressed: {speedup:.2f}x vs baseline "
+                f"{baseline['big_join_speedup']:.2f}x (floor {floor:.2f}x)"
+            )
+        q_error = float(result["median_q_error"])
+        q_ceiling = (
+            float(baseline["median_q_error"]) + PLANNER_Q_ERROR_TOLERANCE
+        )
+        if q_error > q_ceiling:
+            failures.append(
+                f"median q-error regressed: {q_error:.2f} vs baseline "
+                f"{baseline['median_q_error']:.2f} (ceiling {q_ceiling:.2f})"
+            )
+    return failures
+
+
+# ----------------------------------------------------------------------
 # pytest wiring (collected by `pytest benchmarks/`)
 # ----------------------------------------------------------------------
 def test_compiled_speedup_no_regression():
@@ -373,6 +441,16 @@ def test_storage_no_regression():
     bench_storage.write_result(result)
     failures = check_storage(result)
     assert not failures, "; ".join(failures) + "\n" + bench_storage.format_result(
+        result
+    )
+
+
+def test_planner_no_regression():
+    bench_planner = _load_bench_planner()
+    result = measure_planner()
+    bench_planner.write_result(result)
+    failures = check_planner(result)
+    assert not failures, "; ".join(failures) + "\n" + bench_planner.format_result(
         result
     )
 
@@ -406,6 +484,12 @@ def main() -> int:
     print(bench_storage.format_result(storage_result))
     print(f"wrote {bench_storage.RESULT_PATH}")
     failures.extend(check_storage(storage_result))
+    bench_planner = _load_bench_planner()
+    planner_result = measure_planner()
+    bench_planner.write_result(planner_result)
+    print(bench_planner.format_result(planner_result))
+    print(f"wrote {bench_planner.RESULT_PATH}")
+    failures.extend(check_planner(planner_result))
     service_result = measure_service()
     bench_service.write_result(service_result)
     print(bench_service.format_result(service_result))

@@ -43,6 +43,13 @@ invocations are unchanged).  It has two layers:
     used inside ``repro/storage/``: page layout, torn-write handling and
     buffer-pool accounting live in the storage engine, and everything
     else reads bytes through it (or sticks to text-mode files).
+  * **LR009** — the cost model and statistics sampling stay inside
+    ``repro/planner/``: ``random`` may only be imported there (and in
+    ``repro/datasets/``, whose synthetic generators legitimately draw
+    values), and ``*_COST_PARAMS`` constants may only be *defined* in
+    the planner package — other layers import
+    :func:`repro.planner.params_for_backend` instead of forking their
+    own coefficients, so calibration happens in exactly one place.
 
 Findings are plain ``(path, lineno, code, message)`` tuples for the CLI
 shim, and :func:`as_diagnostics` lifts them into the shared
@@ -187,6 +194,13 @@ STORAGE_IO_ALLOWED = ("repro/storage/",)
 # os.* positioned-I/O functions confined by LR008
 _STORAGE_IO_OS_FUNCS = ("pread", "pwrite", "preadv", "pwritev")
 
+# file path substrings where importing random is allowed (LR009): the
+# planner samples for statistics, the dataset generators draw values
+RANDOM_ALLOWED = ("repro/planner/", "repro/datasets/")
+
+# module-level constant-name suffix the cost model owns (LR009)
+_COST_CONSTANT_SUFFIX = "_COST_PARAMS"
+
 # variable names treated as raw rows for LR003
 ROW_NAMES = ("row", "rows", "tuple_row", "record")
 
@@ -212,6 +226,7 @@ LAYERING: Tuple[Tuple[str, Tuple[str, ...]], ...] = (
             "repro.keywords",
             "repro.orm",
             "repro.analysis",
+            "repro.planner",
         ),
     ),
     (
@@ -226,6 +241,7 @@ LAYERING: Tuple[Tuple[str, Tuple[str, ...]], ...] = (
             "repro.orm",
             "repro.analysis",
             "repro.observability",
+            "repro.planner",
         ),
     ),
     (
@@ -240,6 +256,7 @@ LAYERING: Tuple[Tuple[str, Tuple[str, ...]], ...] = (
             "repro.orm",
             "repro.fd",
             "repro.analysis",
+            "repro.planner",
         ),
     ),
     (
@@ -250,6 +267,24 @@ LAYERING: Tuple[Tuple[str, Tuple[str, ...]], ...] = (
             "repro.keywords",
             "repro.unnormalized",
             "repro.analysis",
+            # the executor consumes the planner lazily (plan-time import
+            # inside a property); module level stays one-directional
+            "repro.planner",
+        ),
+    ),
+    (
+        "repro.planner",
+        (
+            "repro.patterns",
+            "repro.engine",
+            "repro.keywords",
+            "repro.orm",
+            "repro.unnormalized",
+            "repro.analysis",
+            "repro.backends",
+            "repro.service",
+            "repro.experiments",
+            "repro.baselines",
         ),
     ),
     (
@@ -397,6 +432,16 @@ def analyze_source(source: SourceFile) -> List[Finding]:
             "access belongs to the storage engine",
             findings,
         )
+        _confined_import(
+            source,
+            node,
+            "random",
+            RANDOM_ALLOWED,
+            "LR009",
+            "random imported outside repro/planner/ and repro/datasets/; "
+            "statistics sampling belongs to the planner",
+            findings,
+        )
         if (
             isinstance(node, ast.Call)
             and isinstance(node.func, ast.Name)
@@ -487,6 +532,31 @@ def analyze_source(source: SourceFile) -> List[Finding]:
                     f"repro.relational",
                 )
             )
+
+    if "repro/planner/" not in posix:
+        # LR009 (cost half): *_COST_PARAMS definitions outside the
+        # planner fork the cost model — import params_for_backend instead
+        for statement in source.tree.body:
+            if isinstance(statement, ast.Assign):
+                names = [t for t in statement.targets if isinstance(t, ast.Name)]
+            elif isinstance(statement, ast.AnnAssign) and isinstance(
+                statement.target, ast.Name
+            ):
+                names = [statement.target]
+            else:
+                continue
+            for name in names:
+                if name.id.endswith(_COST_CONSTANT_SUFFIX):
+                    findings.append(
+                        (
+                            source.path,
+                            statement.lineno,
+                            "LR009",
+                            f"cost-model constant {name.id} defined outside "
+                            f"repro/planner/; import "
+                            f"repro.planner.params_for_backend instead",
+                        )
+                    )
 
     for package, forbidden in LAYERING:
         module = source.module

@@ -85,6 +85,8 @@ CODE_CATALOG: Dict[str, str] = {
     # -- plan analyzers ------------------------------------------------
     "S020": "index lookup kind is unsound for the column datatype",
     "S021": "pushed predicate references a column outside its scan",
+    "S022": "estimated plan cardinality exceeds the row budget",
+    "S023": "index lookup available but the plan chose a sequential scan",
     # -- rewrite analyzers ---------------------------------------------
     "R001": "rewritten SQL references a relation outside the base schema",
     "R002": "rewrite changed the GROUP BY keys",

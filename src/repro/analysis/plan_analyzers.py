@@ -13,6 +13,18 @@ its implementation:
 * **S021** — every pushed predicate may reference only the scan's own
   alias (a cross-scan predicate evaluated on one table reads garbage).
 
+Two planner-facing advisories read the optimizer's
+:class:`~repro.planner.optimizer.PlanDecisions` when the plan carries
+them (``plan.decisions`` is ``None`` under ``optimizer=off``):
+
+* **S022** (warning) — the estimated joined cardinality exceeds the
+  *row_budget*, so the statement is predicted to materialize an
+  intermediate large enough to deserve a look before running it;
+* **S023** (info) — an index lookup was available on a scan but the
+  cost model chose the sequential path, the visible trace of an
+  access-path decision (informational: skipping an unselective index is
+  usually the *right* call, see ``docs/PLANNER.md``).
+
 Derived scans are analyzed recursively through their sub-plans.
 """
 
@@ -29,9 +41,17 @@ from repro.sql.render import render_expr
 _TEXT_LIKE = (DataType.TEXT, DataType.DATE)
 _NUMERIC = (DataType.INT, DataType.FLOAT)
 
+#: S022 threshold: joined cardinalities the planner itself handles fine
+#: stay silent — only estimates predicting a runaway intermediate warn
+DEFAULT_ROW_BUDGET = 1_000_000
 
-def analyze_plan(plan: CompiledPlan, location: str = "") -> List[Diagnostic]:
-    """Soundness diagnostics for one compiled physical plan."""
+
+def analyze_plan(
+    plan: CompiledPlan,
+    location: str = "",
+    row_budget: int = DEFAULT_ROW_BUDGET,
+) -> List[Diagnostic]:
+    """Soundness + planner diagnostics for one compiled physical plan."""
     diagnostics: List[Diagnostic] = []
     for scan in plan.scans:
         if isinstance(scan, _TableScan):
@@ -42,8 +62,54 @@ def analyze_plan(plan: CompiledPlan, location: str = "") -> List[Diagnostic]:
                 if location
                 else f"derived {scan.alias}"
             )
-            diagnostics.extend(analyze_plan(scan.subplan, sub_location))
+            diagnostics.extend(
+                analyze_plan(scan.subplan, sub_location, row_budget=row_budget)
+            )
             diagnostics.extend(_check_pushed_scope(scan, location))
+    diagnostics.extend(_check_decisions(plan, location, row_budget))
+    return diagnostics
+
+
+def _check_decisions(
+    plan: CompiledPlan, location: str, row_budget: int
+) -> List[Diagnostic]:
+    """S022/S023: advisories derived from the optimizer's decisions."""
+    decisions = plan.decisions
+    if decisions is None:
+        return []
+    diagnostics: List[Diagnostic] = []
+    if decisions.est_joined > row_budget:
+        diagnostics.append(
+            Diagnostic(
+                "S022",
+                Severity.WARNING,
+                f"estimated joined cardinality "
+                f"{decisions.est_joined:,.0f} exceeds the row budget "
+                f"{row_budget:,}",
+                location,
+                hint="a predicted runaway intermediate — check the join "
+                "conditions (or raise row_budget if the size is intended)",
+            )
+        )
+    for scan in plan.scans:
+        if not isinstance(scan, _TableScan):
+            continue
+        decision = decisions.scans.get(scan.alias)
+        if decision is None:
+            continue
+        for pushed, kept in zip(scan.pushed, decision.index_choices):
+            lookup = pushed.lookup
+            if lookup is None or lookup.kind == "never" or kept is not False:
+                continue
+            diagnostics.append(
+                Diagnostic(
+                    "S023",
+                    Severity.INFO,
+                    f"scan {scan.alias!r}: {lookup.describe()} available "
+                    f"but the cost model chose a sequential scan",
+                    location,
+                )
+            )
     return diagnostics
 
 

@@ -35,11 +35,13 @@ class MemoryBackend(Backend):
         executor: Optional[Executor] = None,
         compile_plans: bool = True,
         use_hash_joins: bool = True,
+        optimizer: str = "cost",
     ) -> None:
         super().__init__()
         self._executor = executor
         self._compile_plans = compile_plans
         self._use_hash_joins = use_hash_joins
+        self._optimizer = optimizer
         if executor is not None:
             self.database = executor.database
 
@@ -51,6 +53,7 @@ class MemoryBackend(Backend):
                 database,
                 compile_plans=self._compile_plans,
                 use_hash_joins=self._use_hash_joins,
+                optimizer=self._optimizer,
             )
         return self._executor
 

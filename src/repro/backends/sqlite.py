@@ -32,7 +32,7 @@ from __future__ import annotations
 
 import sqlite3
 import threading
-from typing import Any, Dict, List, Optional, Tuple, Union
+from typing import Any, Dict, Iterable, List, Optional, Tuple, Union
 
 from repro.backends.base import Backend, register_backend
 from repro.errors import BackendError
@@ -74,9 +74,20 @@ class SqliteBackend(Backend):
     dialect = SQLITE_DIALECT
     capabilities = frozenset({"persistent", "sql-text", "real-rdbms"})
 
-    def __init__(self, path: Optional[str] = None) -> None:
+    def __init__(
+        self,
+        path: Optional[str] = None,
+        index_hints: Union[str, Iterable[Tuple[str, str]], None] = None,
+    ) -> None:
+        """*index_hints* adds secondary indexes beyond the foreign-key
+        ones: ``"auto"`` derives them from planner statistics
+        (:func:`repro.planner.recommend_indexes`, what the engine passes
+        when its optimizer is on), an iterable of ``(table, column)``
+        pairs names them explicitly, None (the default) keeps the
+        foreign-key-only behavior."""
         super().__init__()
         self.path = path
+        self.index_hints = index_hints
         self._conn: Optional[sqlite3.Connection] = None
         self._loaded_version: Optional[Tuple[int, int]] = None
         self._lock = threading.RLock()
@@ -143,8 +154,9 @@ class SqliteBackend(Backend):
         return f"CREATE TABLE {_q(relation.name)} ({body})"
 
     def _index_sql(self, database: Database) -> List[str]:
-        """One index per foreign key: the columns
-        :meth:`Database.hash_index` builds hash joins over."""
+        """One index per foreign key (the columns
+        :meth:`Database.hash_index` builds hash joins over), plus any
+        hinted secondary indexes."""
         statements: List[str] = []
         seen: set = set()
         for relation in database.schema:
@@ -153,14 +165,36 @@ class SqliteBackend(Backend):
                 if key in seen:
                     continue
                 seen.add(key)
-                index_name = "ix_" + "_".join((relation.name,) + fk.columns)
-                statements.append(
-                    f"CREATE INDEX IF NOT EXISTS {_q(index_name)} ON "
-                    f"{_q(relation.name)} ("
-                    + ", ".join(_q(c) for c in fk.columns)
-                    + ")"
-                )
+                statements.append(self._create_index_sql(relation.name, fk.columns))
+        for table, column in self._hinted_indexes(database):
+            key = (table, (column,))
+            if key in seen:
+                continue
+            seen.add(key)
+            statements.append(self._create_index_sql(table, (column,)))
         return statements
+
+    def _hinted_indexes(self, database: Database) -> List[Tuple[str, str]]:
+        """Resolve ``index_hints`` into concrete ``(table, column)`` pairs."""
+        hints = self.index_hints
+        if hints is None:
+            return []
+        if hints == "auto":
+            # imported lazily: repro.planner sits above the backends'
+            # dependencies and is only needed when hints are requested
+            from repro.planner import StatisticsCatalog, recommend_indexes
+
+            return recommend_indexes(StatisticsCatalog(database))
+        return [(table, column) for table, column in hints]
+
+    @staticmethod
+    def _create_index_sql(table: str, columns: Tuple[str, ...]) -> str:
+        index_name = "ix_" + "_".join((table,) + tuple(columns))
+        return (
+            f"CREATE INDEX IF NOT EXISTS {_q(index_name)} ON {_q(table)} ("
+            + ", ".join(_q(c) for c in columns)
+            + ")"
+        )
 
     # ------------------------------------------------------------------
     # Execution

@@ -13,6 +13,8 @@ Examples::
     python -m repro check --dataset tpch-unnorm
     python -m repro diff --dataset acmdl-unnorm
     python -m repro diff --backend disk --dataset university
+    python -m repro stats --dataset tpch --table Customer
+    python -m repro --dataset tpch --optimizer off "SUM amount GROUPBY nname"
     python -m repro gen --dataset tpch --sf 4 --out ./tpch-sf4
     python -m repro serve --port 8080 --datasets university,tpch
     python -m repro --reproduce
@@ -107,6 +109,17 @@ def build_parser() -> argparse.ArgumentParser:
             "(default), a real SQLite database, or the paged on-disk "
             "storage engine materialized from the dataset (see "
             "docs/BACKENDS.md and docs/STORAGE.md)"
+        ),
+    )
+    parser.add_argument(
+        "--optimizer",
+        choices=("cost", "off"),
+        default="cost",
+        help=(
+            "plan-choice policy: cost (default, statistics-driven join "
+            "reordering and access-path selection — see docs/PLANNER.md) "
+            "or off (the size-only greedy heuristic, byte-for-byte the "
+            "pre-planner behavior)"
         ),
     )
     parser.add_argument(
@@ -238,6 +251,90 @@ def _run_sqak(sqak: SqakEngine, query: str, explain: bool, out) -> int:
     return 0
 
 
+def build_stats_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro stats",
+        description=(
+            "collect planner statistics — sampled NDV, null fractions, "
+            "equi-height histograms, MCV lists — for a dataset's tables "
+            "(the profiles the cost-based optimizer plans with; see "
+            "docs/PLANNER.md)"
+        ),
+    )
+    source = parser.add_mutually_exclusive_group()
+    source.add_argument(
+        "--dataset",
+        choices=DATASETS,
+        default="university",
+        help="built-in dataset to profile (default: university)",
+    )
+    source.add_argument(
+        "--db-dir",
+        type=Path,
+        help="directory with schema.json + CSVs (see repro.relational.io)",
+    )
+    parser.add_argument(
+        "--table",
+        action="append",
+        dest="tables",
+        metavar="NAME",
+        help="table to profile (repeatable; default: every table)",
+    )
+    parser.add_argument(
+        "--sample",
+        type=int,
+        metavar="N",
+        help="reservoir sample size (default: 512)",
+    )
+    parser.add_argument(
+        "--buckets",
+        type=int,
+        metavar="N",
+        help="equi-height histogram buckets (default: 16)",
+    )
+    parser.add_argument(
+        "--seed",
+        type=int,
+        metavar="N",
+        help="sampling seed (default: 2016; profiles are deterministic)",
+    )
+    return parser
+
+
+def run_stats(argv: Optional[List[str]] = None, out=None) -> int:
+    """``python -m repro stats`` — print table profiles for a dataset."""
+    out = out or sys.stdout
+    args = build_stats_parser().parse_args(argv)
+    from repro.planner import StatisticsCatalog, StatsConfig
+
+    try:
+        database, _fds, _hints, _joins = _load_source(args)
+        overrides = {
+            key: value
+            for key, value in (
+                ("sample_size", args.sample),
+                ("histogram_buckets", args.buckets),
+                ("seed", args.seed),
+            )
+            if value is not None
+        }
+        catalog = StatisticsCatalog(database, StatsConfig(**overrides))
+        tracer = Tracer()
+        names = args.tables or [relation.name for relation in database.schema]
+        for name in names:
+            print(catalog.profile(name, tracer).format(), file=out)
+            print(file=out)
+        print(
+            f"profiled {len(names)} tables "
+            f"(data version {database.data_version})",
+            file=out,
+        )
+        return 0
+    except ReproError as exc:
+        print(f"error: {exc}", file=out)
+        return 2
+
+
 def main(argv: Optional[List[str]] = None, out=None) -> int:
     out = out or sys.stdout
     if argv is None:
@@ -258,6 +355,8 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
         from repro.datasets.gen import run_gen
 
         return run_gen(list(argv[1:]), out)
+    if argv and argv[0] == "stats":
+        return run_stats(list(argv[1:]), out)
     parser = build_parser()
     args = parser.parse_args(argv)
 
@@ -272,7 +371,10 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
         if args.schema:
             print(database.summary(), file=out)
             engine = KeywordSearchEngine(
-                database, fds=fds or None, name_hints=name_hints or None
+                database,
+                fds=fds or None,
+                name_hints=name_hints or None,
+                optimizer=args.optimizer,
             )
             print(file=out)
             print(engine.graph.describe(), file=out)
@@ -283,7 +385,10 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
             if args.backend != "memory":
                 from repro.backends import create_backend
 
-                backend = create_backend(args.backend, database)
+                options = (
+                    {"optimizer": args.optimizer} if args.backend == "disk" else {}
+                )
+                backend = create_backend(args.backend, database, **options)
                 try:
                     print(backend.execute(args.query).format_table(), file=out)
                 finally:
@@ -291,7 +396,12 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
                 return 0
             from repro.relational.executor import execute_sql
 
-            print(execute_sql(database, args.query).format_table(), file=out)
+            print(
+                execute_sql(
+                    database, args.query, optimizer=args.optimizer
+                ).format_table(),
+                file=out,
+            )
             return 0
         if args.sqak:
             if args.backend != "memory":
@@ -299,7 +409,10 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
             sqak = SqakEngine(database, extra_joins=extra_joins)
             return _run_sqak(sqak, args.query, args.explain, out)
         engine = KeywordSearchEngine(
-            database, fds=fds or None, name_hints=name_hints or None
+            database,
+            fds=fds or None,
+            name_hints=name_hints or None,
+            optimizer=args.optimizer,
         )
         return _run_semantic(
             engine,

@@ -23,7 +23,7 @@ import threading
 from collections import OrderedDict
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.analysis.diagnostics import AnalysisReport, Diagnostic, Severity
 from repro.backends.base import Backend, create_backend
@@ -162,6 +162,7 @@ class KeywordSearchEngine:
         check_fds: bool = False,
         compile_plans: bool = True,
         use_hash_joins: bool = True,
+        optimizer: str = "cost",
         strict: bool = False,
         backend: str = "memory",
         backend_options: Optional[Dict[str, object]] = None,
@@ -178,8 +179,15 @@ class KeywordSearchEngine:
         self.dedup_relationships = dedup_relationships
         self.disambiguate = disambiguate
         self.rewrite_sql = rewrite_sql
+        # plan-choice policy: "cost" = statistics-driven join reordering
+        # and access-path selection (repro.planner); "off" = the greedy
+        # pre-planner heuristics, kept as the ablation baseline
+        self.optimizer_mode = optimizer
         self.executor = Executor(
-            database, use_hash_joins=use_hash_joins, compile_plans=compile_plans
+            database,
+            use_hash_joins=use_hash_joins,
+            compile_plans=compile_plans,
+            optimizer=optimizer,
         )
         # execution backends, keyed by name.  The memory backend wraps the
         # engine's own executor (sharing its plan cache); others — e.g.
@@ -243,8 +251,17 @@ class KeywordSearchEngine:
         with self._backend_lock:
             backend = self._backends.get(name)
             if backend is None:
+                options = dict(self._backend_options)
+                if name == "disk":
+                    # the disk executor costs plans with disk-calibrated
+                    # coefficients; the ablation flag flows through too
+                    options.setdefault("optimizer", self.optimizer_mode)
+                elif name == "sqlite" and self.optimizer_mode != "off":
+                    # statistics-driven secondary indexes on top of the
+                    # foreign-key ones the backend always creates
+                    options.setdefault("index_hints", "auto")
                 backend = create_backend(
-                    name, self.database, tracer=tracer, **self._backend_options
+                    name, self.database, tracer=tracer, **options
                 )
                 self._backends[name] = backend
             return backend
@@ -441,6 +458,18 @@ class KeywordSearchEngine:
         """
         interpretations = self.compile(query_text, k, tracer=tracer)
         return self._analyze_compiled(query_text, interpretations, tracer=tracer)
+
+    def analyze_stats(self, tracer=NULL_TRACER) -> Dict[str, Any]:
+        """Collect (or serve cached) planner statistics for every table.
+
+        Returns ``{relation: TableProfile}`` — sampled NDV, null
+        fractions, min/max, equi-height histograms and MCV lists (see
+        ``docs/PLANNER.md``).  Profiles live in the executor's optimizer
+        catalog, so collecting them here warms the cost-based planner;
+        they are invalidated by :attr:`Database.data_version` and by
+        :meth:`clear_cache`.  CLI entry point: ``python -m repro stats``.
+        """
+        return self.executor.statistics(tracer)
 
     def _analyze_compiled(
         self,

@@ -1,0 +1,568 @@
+"""Cost-based plan decisions: join order and access paths.
+
+:meth:`Optimizer.decide` runs once per compiled plan (memoized by
+rendered SQL and ``data_version``) and produces a
+:class:`PlanDecisions`:
+
+* per-scan row estimates and **access-path choices** — for every pushed
+  predicate with an index strategy, cost a probe (fixed setup plus
+  per-candidate fetch/verify) against the sequential scan it would
+  replace and keep the cheaper path;
+* a **join order**: within each connected component of the equi-join
+  graph (up to :data:`DP_RELATION_LIMIT` relations) a Selinger-style
+  dynamic program over connected sub-plans minimizes the summed
+  hash-join cost, using NDV-based equi-join selectivities; larger
+  components fall back to the executor's runtime greedy (size-product)
+  order;
+* output estimates for the join result, the GROUP BY group count and
+  the final result, surfaced as ``est≈`` annotations in ``--explain``
+  and compared against actuals after each execution.
+
+The optimizer only *reorders* the same hash joins and *disables*
+index lookups the scan would otherwise consult — every path it picks
+exists in today's executor, which is why ``optimizer=off`` restores the
+previous behavior byte-for-byte.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from repro.errors import SqlExecutionError
+from repro.observability import NULL_TRACER
+from repro.planner.cardinality import (
+    expression_selectivity,
+    group_output_estimate,
+    join_selectivity,
+    predicate_selectivity,
+    scan_selectivity,
+)
+from repro.planner.cost import (
+    MEMORY_COST_PARAMS,
+    CostParams,
+    hash_join_cost,
+    index_scan_cost,
+    seq_scan_cost,
+)
+from repro.planner.stats import (
+    DEFAULT_PREDICATE_SELECTIVITY,
+    ColumnProfile,
+    StatisticsCatalog,
+    StatsConfig,
+    TableProfile,
+)
+from repro.sql.ast import ColumnRef, Expr
+from repro.sql.render import render
+
+__all__ = [
+    "DP_RELATION_LIMIT",
+    "JoinDecision",
+    "ScanDecision",
+    "PlanDecisions",
+    "Optimizer",
+    "recommend_indexes",
+]
+
+#: largest connected join-graph component ordered by dynamic programming;
+#: beyond it the executor's runtime greedy order takes over
+DP_RELATION_LIMIT = 8
+
+#: row estimate for a derived table whose sub-plan carries no decisions
+DERIVED_DEFAULT_ROWS = 100.0
+
+
+@dataclass(frozen=True)
+class JoinDecision:
+    """One decided hash join: merge the components owning exactly these
+    alias sets, in this order."""
+
+    left: FrozenSet[str]
+    right: FrozenSet[str]
+    est_rows: float
+
+    def describe(self) -> str:
+        left = "+".join(sorted(self.left))
+        right = "+".join(sorted(self.right))
+        return f"{left} ⋈ {right}"
+
+
+@dataclass(frozen=True)
+class ScanDecision:
+    """Estimates and access-path choices for one FROM item."""
+
+    alias: str
+    relation: Optional[str]
+    base_rows: float
+    est_rows: float
+    #: aligned with the scan's pushed predicates: True/False = use/skip
+    #: the available index lookup, None = no index strategy exists
+    index_choices: Tuple[Optional[bool], ...]
+
+
+@dataclass(frozen=True)
+class PlanDecisions:
+    """Everything the optimizer decided for one compiled plan."""
+
+    scans: Dict[str, ScanDecision]
+    join_steps: Tuple[JoinDecision, ...]
+    search: str  # 'dp' | 'greedy-runtime' | 'single' | 'none'
+    est_joined: float
+    est_groups: Optional[float]
+    est_output: float
+
+    @property
+    def indexes_kept(self) -> int:
+        return sum(
+            1
+            for scan in self.scans.values()
+            for choice in scan.index_choices
+            if choice is True
+        )
+
+    @property
+    def indexes_skipped(self) -> int:
+        return sum(
+            1
+            for scan in self.scans.values()
+            for choice in scan.index_choices
+            if choice is False
+        )
+
+
+class _Edge:
+    """An equi-join edge of the join graph."""
+
+    __slots__ = ("left", "right", "selectivity")
+
+    def __init__(self, left: str, right: str, selectivity: float) -> None:
+        self.left = left
+        self.right = right
+        self.selectivity = selectivity
+
+
+class Optimizer:
+    """Statistics-driven decisions for :class:`CompiledPlan`.
+
+    One instance is owned by each :class:`~repro.relational.executor.
+    Executor` (lazily, when its ``optimizer`` mode is ``"cost"``); the
+    statistics catalog and the decision memo are both dropped by
+    :meth:`invalidate` and keyed to ``data_version``, so mutation epochs
+    can never serve stale decisions.
+    """
+
+    memo_size = 256
+
+    def __init__(
+        self,
+        database: Any,
+        config: Optional[StatsConfig] = None,
+        cost_params: Optional[CostParams] = None,
+        catalog: Optional[StatisticsCatalog] = None,
+    ) -> None:
+        self.database = database
+        self.params = cost_params or MEMORY_COST_PARAMS
+        self.catalog = catalog or StatisticsCatalog(database, config)
+        self._memo: "OrderedDict[Any, PlanDecisions]" = OrderedDict()
+        self._memo_lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # Entry points
+    # ------------------------------------------------------------------
+    def invalidate(self) -> None:
+        """Drop cached statistics and plan decisions."""
+        self.catalog.invalidate()
+        with self._memo_lock:
+            self._memo.clear()
+
+    @property
+    def memo_len(self) -> int:
+        with self._memo_lock:
+            return len(self._memo)
+
+    def decide(self, plan: Any, tracer: Any = NULL_TRACER) -> PlanDecisions:
+        """Decisions for *plan*, memoized by SQL text and data version."""
+        key = (render(plan.select), self.database.data_version)
+        with self._memo_lock:
+            cached = self._memo.get(key)
+            if cached is not None:
+                self._memo.move_to_end(key)
+                tracer.count("planner_memo_hits")
+                return cached
+        with tracer.span("plan_costing"):
+            decisions = self._decide(plan, tracer)
+        tracer.count("planner_plans_costed")
+        if decisions.search == "dp":
+            tracer.count("planner_dp_searches")
+        elif decisions.search == "greedy-runtime":
+            tracer.count("planner_greedy_fallbacks")
+        tracer.count("planner_index_paths_kept", decisions.indexes_kept)
+        tracer.count("planner_index_paths_skipped", decisions.indexes_skipped)
+        with self._memo_lock:
+            self._memo[key] = decisions
+            self._memo.move_to_end(key)
+            while len(self._memo) > self.memo_size:
+                self._memo.popitem(last=False)
+        return decisions
+
+    # ------------------------------------------------------------------
+    # Decision pipeline
+    # ------------------------------------------------------------------
+    def _decide(self, plan: Any, tracer: Any) -> PlanDecisions:
+        profiles: Dict[str, Optional[TableProfile]] = {}
+        scans: Dict[str, ScanDecision] = {}
+        for scan in plan.scans:
+            decision, profile = self._scan_decision(scan, tracer)
+            scans[scan.alias] = decision
+            profiles[scan.alias] = profile
+        edges, residuals = self._join_graph(plan, scans, profiles)
+
+        def subset_rows(subset: FrozenSet[str]) -> float:
+            rows = 1.0
+            for alias in subset:
+                rows *= max(0.0, scans[alias].est_rows)
+            for edge in edges:
+                if edge.left in subset and edge.right in subset:
+                    rows *= edge.selectivity
+            for aliases, selectivity in residuals:
+                if len(aliases) > 1 and aliases <= subset:
+                    rows *= selectivity
+            return rows
+
+        steps: List[JoinDecision] = []
+        search = "single" if len(scans) <= 1 else "none"
+        for component in self._components(list(scans), edges):
+            if len(component) < 2:
+                continue
+            if len(component) > DP_RELATION_LIMIT:
+                # too many relations for exhaustive search: keep the
+                # executor's runtime greedy order for the whole plan
+                steps = []
+                search = "greedy-runtime"
+                break
+            search = "dp"
+            steps.extend(self._dp_order(sorted(component), edges, subset_rows))
+        est_joined = subset_rows(frozenset(scans))
+        est_groups, est_output = self._output_estimates(
+            plan, est_joined, profiles, scans
+        )
+        return PlanDecisions(
+            scans=scans,
+            join_steps=tuple(steps),
+            search=search,
+            est_joined=est_joined,
+            est_groups=est_groups,
+            est_output=est_output,
+        )
+
+    def _scan_decision(
+        self, scan: Any, tracer: Any
+    ) -> Tuple[ScanDecision, Optional[TableProfile]]:
+        table_name = getattr(scan, "table_name", None)
+        if table_name is None:
+            # derived table: estimates flow up from the sub-plan
+            sub = getattr(scan.subplan, "decisions", None)
+            base = sub.est_output if sub is not None else DERIVED_DEFAULT_ROWS
+            est = base
+            for pred in scan.pushed:
+                est *= expression_selectivity(pred.expr, lambda _expr: None)
+            return (
+                ScanDecision(
+                    alias=scan.alias,
+                    relation=None,
+                    base_rows=base,
+                    est_rows=max(0.0, min(base, est)),
+                    index_choices=tuple(None for _ in scan.pushed),
+                ),
+                None,
+            )
+        profile = self.catalog.profile(table_name, tracer)
+        column_of = self._column_resolver(scan, profile)
+        base = float(profile.rows)
+        selectivities = [
+            predicate_selectivity(pred.expr, pred.closure, profile, column_of)
+            for pred in scan.pushed
+        ]
+        joint = scan_selectivity(
+            [pred.expr for pred in scan.pushed],
+            [pred.closure for pred in scan.pushed],
+            profile,
+            column_of,
+        )
+        est = max(0.0, min(base, base * joint))
+        choices: List[Optional[bool]] = []
+        for pred, selectivity in zip(scan.pushed, selectivities):
+            if pred.lookup is None:
+                choices.append(None)
+            elif pred.lookup.kind == "never":
+                choices.append(True)  # answers from the empty set, free
+            else:
+                candidates = selectivity * base
+                choices.append(
+                    index_scan_cost(self.params, candidates)
+                    < seq_scan_cost(self.params, base)
+                )
+        return (
+            ScanDecision(
+                alias=scan.alias,
+                relation=table_name,
+                base_rows=base,
+                est_rows=est,
+                index_choices=tuple(choices),
+            ),
+            profile,
+        )
+
+    @staticmethod
+    def _column_resolver(
+        scan: Any, profile: TableProfile
+    ) -> Callable[[Expr], Optional[ColumnProfile]]:
+        def column_of(expr: Expr) -> Optional[ColumnProfile]:
+            if not isinstance(expr, ColumnRef):
+                return None
+            if expr.qualifier is not None and expr.qualifier != scan.alias:
+                return None
+            return profile.column(expr.name)
+
+        return column_of
+
+    def _join_graph(
+        self,
+        plan: Any,
+        scans: Dict[str, ScanDecision],
+        profiles: Dict[str, Optional[TableProfile]],
+    ) -> Tuple[List[_Edge], List[Tuple[FrozenSet[str], float]]]:
+        edges: List[_Edge] = []
+        residuals: List[Tuple[FrozenSet[str], float]] = []
+        known = set(scans)
+        for conjunct in plan.pending:
+            if not conjunct.aliases or not set(conjunct.aliases) <= known:
+                continue  # unknown qualifier: fails at runtime, not costed
+            if (
+                conjunct.is_equi
+                and len(conjunct.aliases) == 2
+                and conjunct.left_alias in conjunct.aliases
+            ):
+                left_alias = conjunct.left_alias
+                right_alias = next(iter(conjunct.aliases - {left_alias}))
+                selectivity = join_selectivity(
+                    self._ref_ndv(conjunct.left_ref, left_alias, scans, profiles),
+                    self._ref_ndv(conjunct.right_ref, right_alias, scans, profiles),
+                )
+                edges.append(_Edge(left_alias, right_alias, selectivity))
+            else:
+                residuals.append(
+                    (frozenset(conjunct.aliases), DEFAULT_PREDICATE_SELECTIVITY)
+                )
+        return edges, residuals
+
+    @staticmethod
+    def _ref_ndv(
+        ref: Optional[ColumnRef],
+        alias: str,
+        scans: Dict[str, ScanDecision],
+        profiles: Dict[str, Optional[TableProfile]],
+    ) -> float:
+        est_rows = max(1.0, scans[alias].est_rows)
+        profile = profiles.get(alias)
+        if profile is None or ref is None:
+            return est_rows
+        column = profile.column(ref.name)
+        if column is None:
+            return est_rows
+        # filtering a table cannot raise its distinct count
+        return max(1.0, min(column.ndv, est_rows))
+
+    @staticmethod
+    def _components(
+        aliases: List[str], edges: List[_Edge]
+    ) -> List[List[str]]:
+        neighbours: Dict[str, set] = {alias: set() for alias in aliases}
+        for edge in edges:
+            neighbours[edge.left].add(edge.right)
+            neighbours[edge.right].add(edge.left)
+        seen: set = set()
+        components: List[List[str]] = []
+        for alias in aliases:
+            if alias in seen:
+                continue
+            frontier = [alias]
+            component = []
+            while frontier:
+                node = frontier.pop()
+                if node in seen:
+                    continue
+                seen.add(node)
+                component.append(node)
+                frontier.extend(neighbours[node] - seen)
+            components.append(component)
+        return components
+
+    def _dp_order(
+        self,
+        nodes: Sequence[str],
+        edges: List[_Edge],
+        subset_rows: Callable[[FrozenSet[str]], float],
+    ) -> List[JoinDecision]:
+        """Selinger-style DP over connected sub-sets of one component."""
+        index = {alias: i for i, alias in enumerate(nodes)}
+        count = len(nodes)
+        adjacency = [0] * count
+        for edge in edges:
+            if edge.left in index and edge.right in index:
+                adjacency[index[edge.left]] |= 1 << index[edge.right]
+                adjacency[index[edge.right]] |= 1 << index[edge.left]
+        full = (1 << count) - 1
+
+        alias_cache: Dict[int, FrozenSet[str]] = {}
+
+        def aliases_of(mask: int) -> FrozenSet[str]:
+            cached = alias_cache.get(mask)
+            if cached is None:
+                cached = frozenset(
+                    nodes[i] for i in range(count) if mask & (1 << i)
+                )
+                alias_cache[mask] = cached
+            return cached
+
+        rows_cache: Dict[int, float] = {}
+
+        def rows_of(mask: int) -> float:
+            cached = rows_cache.get(mask)
+            if cached is None:
+                cached = subset_rows(aliases_of(mask))
+                rows_cache[mask] = cached
+            return cached
+
+        def crosses(left_mask: int, right_mask: int) -> bool:
+            for i in range(count):
+                if left_mask & (1 << i) and adjacency[i] & right_mask:
+                    return True
+            return False
+
+        best_cost: Dict[int, float] = {1 << i: 0.0 for i in range(count)}
+        choice: Dict[int, Tuple[int, int]] = {}
+        masks = sorted(range(1, full + 1), key=lambda m: bin(m).count("1"))
+        for mask in masks:
+            if bin(mask).count("1") < 2:
+                continue
+            best: Optional[float] = None
+            split: Optional[Tuple[int, int]] = None
+            sub = (mask - 1) & mask
+            while sub:
+                other = mask ^ sub
+                if sub < other:
+                    left_cost = best_cost.get(sub)
+                    right_cost = best_cost.get(other)
+                    if (
+                        left_cost is not None
+                        and right_cost is not None
+                        and crosses(sub, other)
+                    ):
+                        cost = (
+                            left_cost
+                            + right_cost
+                            + hash_join_cost(
+                                self.params,
+                                rows_of(sub),
+                                rows_of(other),
+                                rows_of(mask),
+                            )
+                        )
+                        if best is None or cost < best:
+                            best = cost
+                            split = (sub, other)
+                sub = (sub - 1) & mask
+            if best is not None and split is not None:
+                best_cost[mask] = best
+                choice[mask] = split
+        steps: List[JoinDecision] = []
+
+        def emit(mask: int) -> None:
+            if bin(mask).count("1") < 2:
+                return
+            left_mask, right_mask = choice[mask]
+            emit(left_mask)
+            emit(right_mask)
+            steps.append(
+                JoinDecision(
+                    left=aliases_of(left_mask),
+                    right=aliases_of(right_mask),
+                    est_rows=rows_of(mask),
+                )
+            )
+
+        emit(full)
+        return steps
+
+    def _output_estimates(
+        self,
+        plan: Any,
+        est_joined: float,
+        profiles: Dict[str, Optional[TableProfile]],
+        scans: Dict[str, ScanDecision],
+    ) -> Tuple[Optional[float], float]:
+        select = plan.select
+        aggregated = select.has_aggregates() or bool(select.group_by)
+        est_groups: Optional[float] = None
+        if aggregated:
+            if select.group_by:
+                ndvs: List[float] = []
+                for expr in select.group_by:
+                    ndvs.append(
+                        self._group_key_ndv(plan, expr, profiles, scans, est_joined)
+                    )
+                est_groups = group_output_estimate(est_joined, ndvs)
+            else:
+                est_groups = 1.0
+            est_output = est_groups
+        else:
+            est_output = est_joined
+        if select.limit is not None:
+            est_output = min(est_output, float(select.limit))
+        return est_groups, est_output
+
+    def _group_key_ndv(
+        self,
+        plan: Any,
+        expr: Expr,
+        profiles: Dict[str, Optional[TableProfile]],
+        scans: Dict[str, ScanDecision],
+        est_joined: float,
+    ) -> float:
+        fallback = max(1.0, est_joined ** 0.5)
+        if not isinstance(expr, ColumnRef):
+            return fallback
+        try:
+            alias = plan._alias_of_ref(expr)
+        except SqlExecutionError:
+            return fallback
+        if alias not in scans:
+            return fallback
+        return self._ref_ndv(expr, alias, scans, profiles)
+
+
+def recommend_indexes(
+    catalog: StatisticsCatalog,
+    tracer: Any = NULL_TRACER,
+    min_rows: int = 64,
+    min_ndv_fraction: float = 0.1,
+) -> List[Tuple[str, str]]:
+    """Secondary-index recommendations from table statistics.
+
+    Suggests ``(table, column)`` pairs where an equality probe would be
+    selective: tables of at least *min_rows* rows and columns whose
+    estimated distinct count is at least *min_ndv_fraction* of the row
+    count.  The SQLite backend turns these into ``CREATE INDEX``
+    statements on top of its foreign-key indexes.
+    """
+    recommendations: List[Tuple[str, str]] = []
+    for relation, profile in sorted(catalog.profiles(tracer).items()):
+        if profile.rows < min_rows:
+            continue
+        for column in profile.columns:
+            if column.ndv >= profile.rows * min_ndv_fraction:
+                recommendations.append((relation, column.column))
+    return recommendations

@@ -1,0 +1,312 @@
+"""Sampled table statistics for the cost-based planner.
+
+A :class:`TableProfile` is built in one pass over a table: exact row
+count, per-column null fractions and min/max, a reservoir sample of row
+tuples (``random.Random`` seeded from :class:`StatsConfig`, so profiles
+are deterministic), and per-column summaries derived from the sample —
+sampled NDV (a GEE-style extrapolation when the table is larger than the
+sample), an equi-height histogram and an MCV list (both built by the
+deterministic constructors in :mod:`repro.relational.statistics`).
+
+:class:`StatisticsCatalog` caches one profile per relation, keyed to
+:attr:`Database.data_version` — any mutation epoch drops every cached
+profile, and :meth:`invalidate` does so explicitly for
+``engine.clear_cache()``.
+
+Lint rule LR009 confines statistics *sampling* (and the cost-model
+constants next door in ``repro.planner.cost``) to this package.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+import threading
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.observability import NULL_TRACER
+from repro.relational.algebra import null_safe_sort_key
+from repro.relational.statistics import (
+    EquiHeightHistogram,
+    MostCommonValues,
+    build_equi_height,
+    build_mcv,
+)
+
+__all__ = [
+    "StatsConfig",
+    "ColumnProfile",
+    "TableProfile",
+    "StatisticsCatalog",
+    "estimate_ndv",
+    "profile_table",
+]
+
+#: reservoir size: large enough for stable estimates, small enough that
+#: profiling never dominates even a disk-backed ANALYZE pass
+DEFAULT_SAMPLE_SIZE = 512
+DEFAULT_HISTOGRAM_BUCKETS = 16
+DEFAULT_MCV_SIZE = 8
+#: fixed sampling seed — profiles must be reproducible across runs
+DEFAULT_SEED = 2016
+
+#: selectivity assumed for predicates the estimator cannot model
+DEFAULT_PREDICATE_SELECTIVITY = 1.0 / 3.0
+
+
+@dataclass(frozen=True)
+class StatsConfig:
+    """Knobs of the statistics collector."""
+
+    sample_size: int = DEFAULT_SAMPLE_SIZE
+    histogram_buckets: int = DEFAULT_HISTOGRAM_BUCKETS
+    mcv_size: int = DEFAULT_MCV_SIZE
+    seed: int = DEFAULT_SEED
+
+
+@dataclass(frozen=True)
+class ColumnProfile:
+    """Planner-facing summary of one column."""
+
+    column: str
+    ndv: float
+    null_fraction: float
+    minimum: Optional[Any]
+    maximum: Optional[Any]
+    histogram: Optional[EquiHeightHistogram]
+    mcv: Optional[MostCommonValues]
+
+    def eq_selectivity(self, value: Any) -> float:
+        """Estimated fraction of rows with ``column = value``."""
+        if value is None:
+            return 0.0
+        non_null = 1.0 - self.null_fraction
+        if non_null <= 0.0:
+            return 0.0
+        if self.mcv is not None:
+            known = self.mcv.fraction_of(value)
+            if known is not None:
+                return min(1.0, known * non_null)
+            remaining_mass = non_null * max(0.0, 1.0 - self.mcv.coverage)
+            remaining_ndv = max(1.0, self.ndv - len(self.mcv.values))
+            return min(1.0, remaining_mass / remaining_ndv)
+        return min(1.0, non_null / max(1.0, self.ndv))
+
+    def range_selectivity(self, op: str, value: Any) -> float:
+        """Estimated fraction of rows satisfying ``column <op> value``."""
+        if (
+            self.histogram is None
+            or not isinstance(value, (int, float))
+            or isinstance(value, bool)
+        ):
+            return DEFAULT_PREDICATE_SELECTIVITY
+        below = self.histogram.le_fraction(float(value))
+        if op in ("<", "<="):
+            fraction = below
+        elif op in (">", ">="):
+            fraction = 1.0 - below
+        else:
+            return DEFAULT_PREDICATE_SELECTIVITY
+        return min(1.0, max(0.0, fraction * (1.0 - self.null_fraction)))
+
+    def format(self) -> str:
+        parts = [
+            f"ndv≈{self.ndv:.0f}",
+            f"nulls={self.null_fraction:.2f}",
+            f"min={self.minimum!r}",
+            f"max={self.maximum!r}",
+        ]
+        if self.histogram is not None:
+            parts.append(f"histogram[{self.histogram.buckets}]")
+        if self.mcv is not None:
+            parts.append(f"mcv[{len(self.mcv.values)}]")
+        return f"{self.column}: " + " ".join(parts)
+
+
+@dataclass(frozen=True)
+class TableProfile:
+    """Planner-facing summary of one table, plus its row sample."""
+
+    relation: str
+    rows: int
+    sample: Tuple[Tuple[Any, ...], ...]
+    columns: Tuple[ColumnProfile, ...]
+
+    def column(self, name: str) -> Optional[ColumnProfile]:
+        lowered = name.lower()
+        for profile in self.columns:
+            if profile.column.lower() == lowered:
+                return profile
+        return None
+
+    @property
+    def sampled_rows(self) -> int:
+        return len(self.sample)
+
+    def format(self) -> str:
+        lines = [
+            f"{self.relation}: {self.rows} rows (sampled {self.sampled_rows})"
+        ]
+        lines.extend("  " + profile.format() for profile in self.columns)
+        return "\n".join(lines)
+
+
+def estimate_ndv(sample_counts: Dict[Any, int], rows: int, sampled: int) -> float:
+    """Estimate a column's distinct count from sample value frequencies.
+
+    Exact when the sample covers the whole table; otherwise the GEE
+    estimator ``sqrt(N/n) * f1 + (d - f1)`` scales up the singleton count
+    (values seen exactly once are the ones a sample under-reports).
+    """
+    distinct = len(sample_counts)
+    if distinct == 0:
+        return 0.0
+    if sampled >= rows or sampled == 0:
+        return float(distinct)
+    singletons = sum(1 for count in sample_counts.values() if count == 1)
+    estimate = math.sqrt(rows / sampled) * singletons + (distinct - singletons)
+    return float(min(rows, max(distinct, estimate)))
+
+
+def profile_table(
+    relation: str,
+    column_names: Tuple[str, ...],
+    rows: Any,
+    config: StatsConfig = StatsConfig(),
+) -> TableProfile:
+    """Profile one table in a single pass over *rows*.
+
+    *rows* may be any sequence of tuples — an in-memory table's row list
+    or a disk table's lazy heap-backed sequence; either way every row is
+    visited exactly once (ANALYZE semantics).
+    """
+    width = len(column_names)
+    rng = random.Random(config.seed)
+    reservoir: List[Tuple[Any, ...]] = []
+    nulls = [0] * width
+    minimums: List[Optional[Any]] = [None] * width
+    maximums: List[Optional[Any]] = [None] * width
+    min_keys: List[Any] = [None] * width
+    max_keys: List[Any] = [None] * width
+    total = 0
+    sample_size = max(1, config.sample_size)
+    for row in rows:
+        total += 1
+        if len(reservoir) < sample_size:
+            reservoir.append(tuple(row))
+        else:
+            slot = rng.randrange(total)
+            if slot < sample_size:
+                reservoir[slot] = tuple(row)
+        for index in range(width):
+            value = row[index]
+            if value is None:
+                nulls[index] += 1
+                continue
+            key = null_safe_sort_key(value)
+            if minimums[index] is None or key < min_keys[index]:
+                minimums[index] = value
+                min_keys[index] = key
+            if maximums[index] is None or key > max_keys[index]:
+                maximums[index] = value
+                max_keys[index] = key
+    columns = []
+    for index, name in enumerate(column_names):
+        sample_values = [row[index] for row in reservoir]
+        counts: Dict[Any, int] = {}
+        for value in sample_values:
+            if value is None:
+                continue
+            counts[value] = counts.get(value, 0) + 1
+        columns.append(
+            ColumnProfile(
+                column=name,
+                ndv=estimate_ndv(counts, total, len(reservoir)),
+                null_fraction=nulls[index] / total if total else 0.0,
+                minimum=minimums[index],
+                maximum=maximums[index],
+                histogram=build_equi_height(
+                    sample_values, buckets=config.histogram_buckets
+                ),
+                mcv=build_mcv(sample_values, size=config.mcv_size),
+            )
+        )
+    return TableProfile(
+        relation=relation,
+        rows=total,
+        sample=tuple(reservoir),
+        columns=tuple(columns),
+    )
+
+
+class StatisticsCatalog:
+    """Version-keyed cache of :class:`TableProfile` for one database.
+
+    Accepts anything duck-typed like
+    :class:`~repro.relational.database.Database` (``schema``, ``table()``,
+    ``data_version``) — the disk backend's ``DiskDatabase`` included.
+    Profiles built under one ``data_version`` are dropped as soon as the
+    version moves, so a mutation epoch can never serve stale statistics.
+    """
+
+    def __init__(self, database: Any, config: Optional[StatsConfig] = None) -> None:
+        self.database = database
+        self.config = config or StatsConfig()
+        self._profiles: Dict[str, TableProfile] = {}
+        self._version: Any = None
+        self._lock = threading.Lock()
+        self.builds = 0
+
+    @property
+    def version(self) -> Any:
+        with self._lock:
+            return self._version
+
+    @property
+    def cached_relations(self) -> Tuple[str, ...]:
+        with self._lock:
+            return tuple(sorted(self._profiles))
+
+    def invalidate(self) -> None:
+        """Drop every cached profile (``engine.clear_cache()`` hook)."""
+        with self._lock:
+            self._profiles.clear()
+            self._version = None
+
+    def profile(self, relation: str, tracer: Any = NULL_TRACER) -> TableProfile:
+        """The profile of *relation*, building (and caching) on miss."""
+        version = self.database.data_version
+        key = relation.lower()
+        with self._lock:
+            if version != self._version:
+                self._profiles.clear()
+                self._version = version
+            cached = self._profiles.get(key)
+            if cached is not None:
+                tracer.count("planner_stats_hits")
+                return cached
+        table = self.database.table(relation)
+        with tracer.span("analyze_table", relation=relation):
+            built = profile_table(
+                table.schema.name,
+                tuple(table.schema.column_names),
+                table.rows,
+                self.config,
+            )
+        tracer.count("planner_stats_builds")
+        tracer.count("planner_stats_rows_profiled", built.rows)
+        with self._lock:
+            # a concurrent mutation during the build makes this entry
+            # stale immediately; only publish it under the version we read
+            if self._version == version and self.database.data_version == version:
+                self._profiles[key] = built
+            self.builds += 1
+        return built
+
+    def profiles(self, tracer: Any = NULL_TRACER) -> Dict[str, TableProfile]:
+        """Profiles for every relation of the schema (ANALYZE everything)."""
+        return {
+            relation.name: self.profile(relation.name, tracer)
+            for relation in self.database.schema
+        }

@@ -73,6 +73,14 @@ class Executor:
     Semantically identical, asymptotically worse — kept for the planner
     ablation benchmark (DESIGN.md section 5).
 
+    ``optimizer`` selects the plan-choice policy for compiled plans:
+    ``"cost"`` (the default) lazily constructs a
+    :class:`repro.planner.Optimizer` — statistics-driven join reordering,
+    access-path selection and per-operator row estimates — while
+    ``"off"`` is the ablation that preserves the pre-planner behavior
+    byte-for-byte (greedy size-product join order, index whenever one
+    exists).  The interpreted path never consults the optimizer.
+
     ``validate=True`` runs the static SQL analyzers
     (:func:`repro.analysis.analyze_select`) over every statement before
     executing it and raises :class:`SqlExecutionError` on error-severity
@@ -90,7 +98,12 @@ class Executor:
         compile_plans: bool = True,
         validate: bool = False,
         backend_label: str = "memory",
+        optimizer: str = "cost",
     ) -> None:
+        if optimizer not in ("cost", "off"):
+            raise ValueError(
+                f"unknown optimizer mode {optimizer!r}: expected 'cost' or 'off'"
+            )
         self.database = database
         self.use_hash_joins = use_hash_joins
         self.tracer = tracer or NULL_TRACER
@@ -99,6 +112,8 @@ class Executor:
         # shown as the execute-span's backend attribute; the disk backend
         # runs this same executor over paged storage under its own label
         self.backend_label = backend_label
+        self.optimizer_mode = optimizer
+        self._optimizer: Any = None
         self._plan_cache: "OrderedDict[str, Tuple[Any, CompiledPlan]]" = OrderedDict()
         self._plan_lock = threading.Lock()
 
@@ -138,7 +153,13 @@ class Executor:
                 self._plan_cache.move_to_end(key)
                 tracer.count("plan_cache_hits")
                 return entry[1]
-        plan = CompiledPlan(select, self.database, use_hash_joins=self.use_hash_joins)
+        plan = CompiledPlan(
+            select,
+            self.database,
+            use_hash_joins=self.use_hash_joins,
+            optimizer=self.optimizer,
+            tracer=tracer,
+        )
         tracer.count("plan_cache_misses")
         tracer.count("compiled_predicates", plan.compiled_predicates)
         with self._plan_lock:
@@ -163,9 +184,46 @@ class Executor:
             summary = "; ".join(str(d) for d in errors)
             raise SqlExecutionError(f"statement failed validation: {summary}")
 
+    @property
+    def optimizer(self) -> Any:
+        """The lazily built :class:`repro.planner.Optimizer`, or None when
+        the mode is ``"off"`` (or hash joins are disabled — there is no
+        join order to choose under the cross-join ablation)."""
+        if self.optimizer_mode == "off" or not self.use_hash_joins:
+            return None
+        with self._plan_lock:
+            if self._optimizer is None:
+                # imported lazily: repro.planner depends on repro.relational,
+                # so a module-level import here would be circular
+                from repro.planner import Optimizer, params_for_backend
+
+                self._optimizer = Optimizer(
+                    self.database,
+                    cost_params=params_for_backend(self.backend_label),
+                )
+            return self._optimizer
+
+    def statistics(self, tracer=NULL_TRACER) -> Dict[str, Any]:
+        """Table profiles for every relation (``engine.analyze_stats()``).
+
+        Served from the optimizer's statistics catalog when one is active
+        (so a later query costs nothing to plan); with the optimizer off
+        a throwaway catalog still answers the inspection request.
+        """
+        optimizer = self.optimizer
+        if optimizer is not None:
+            return optimizer.catalog.profiles(tracer)
+        from repro.planner import StatisticsCatalog
+
+        return StatisticsCatalog(self.database).profiles(tracer)
+
     def clear_plan_cache(self) -> None:
+        """Drop cached plans *and* the optimizer's statistics + memos."""
         with self._plan_lock:
             self._plan_cache.clear()
+            optimizer = self._optimizer
+        if optimizer is not None:
+            optimizer.invalidate()
 
     @property
     def plan_cache_len(self) -> int:
@@ -454,7 +512,10 @@ class Executor:
 
 
 def execute_sql(
-    database: Database, sql: Union[Select, str], validate: bool = False
+    database: Database,
+    sql: Union[Select, str],
+    validate: bool = False,
+    optimizer: str = "cost",
 ) -> QueryResult:
     """One-shot convenience wrapper around :class:`Executor`."""
-    return Executor(database, validate=validate).execute(sql)
+    return Executor(database, validate=validate, optimizer=optimizer).execute(sql)

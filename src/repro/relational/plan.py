@@ -16,11 +16,20 @@ the data up front:
   into closures (:func:`~repro.relational.expressions.compile_scalar` and
   friends), eliminating the per-row AST walk and column re-resolution.
 
-Join *order* stays a greedy runtime decision (smallest size product first),
-exactly mirroring the interpreted executor, so both paths produce identical
-results — the semantics-equivalence tests run every experiment query
-through both.  Executor-level caching and invalidation (by rendered SQL and
-:attr:`Database.data_version`) live in
+Join *order* is decided in one of two ways.  Without an optimizer (the
+``optimizer="off"`` ablation, and direct ``CompiledPlan(...)``
+construction) it stays a greedy runtime decision — smallest size product
+first — exactly mirroring the interpreted executor.  When the executor
+passes a cost-based optimizer (``repro.planner``, the default), its
+:class:`PlanDecisions` are computed at compile time: a DP-chosen join
+order (applied step by step in :meth:`CompiledPlan._join`, falling back
+to the greedy order if the decisions ever stop matching the runtime
+components), per-predicate index-vs-seq-scan choices, and per-operator
+row estimates that :meth:`CompiledPlan.execute` pairs with actuals in
+:attr:`CompiledPlan.last_run` (surfaced by ``--explain``).  Both modes
+produce identical result *sets* — the semantics-equivalence tests run
+every experiment query through both.  Executor-level caching and
+invalidation (by rendered SQL and :attr:`Database.data_version`) live in
 :class:`~repro.relational.executor.Executor`.
 """
 
@@ -132,14 +141,21 @@ class IndexLookup:
 
 
 class _Pushed:
-    """A single-scan predicate: compiled closure plus optional index path."""
+    """A single-scan predicate: compiled closure plus optional index path.
 
-    __slots__ = ("expr", "closure", "lookup")
+    ``use_lookup`` is the access-path switch: the cost-based optimizer
+    sets it to False when a sequential scan beats the index probe (the
+    closure verifies every row either way, so the choice is purely
+    physical).  Without an optimizer it stays True — index whenever one
+    exists, today's heuristic."""
+
+    __slots__ = ("expr", "closure", "lookup", "use_lookup")
 
     def __init__(self, expr: Expr, closure, lookup: Optional[IndexLookup]) -> None:
         self.expr = expr
         self.closure = closure
         self.lookup = lookup
+        self.use_lookup = True
 
 
 class _TableScan:
@@ -222,7 +238,7 @@ class _TableScan:
         positions: Optional[Set[int]] = None
         lookups = 0
         for pred in self.pushed:
-            if pred.lookup is None:
+            if pred.lookup is None or not pred.use_lookup:
                 continue
             found = pred.lookup.positions(database)
             if found is None:
@@ -244,10 +260,20 @@ class _TableScan:
             tracer.count("rows_filtered", before - len(selected))
         return Rowset(self.binding, selected)
 
-    def describe(self, indent: str = "") -> List[str]:
-        lines = [f"{indent}scan {self.table_name} AS {self.alias}"]
+    def describe(
+        self, indent: str = "", estimate: Optional[float] = None,
+        actual: Optional[int] = None,
+    ) -> List[str]:
+        header = f"{indent}scan {self.table_name} AS {self.alias}"
+        header += _rows_note(estimate, actual)
+        lines = [header]
         for pred in self.pushed:
-            via = pred.lookup.describe() if pred.lookup else "compiled filter"
+            if pred.lookup is not None and not pred.use_lookup:
+                via = f"compiled filter (seq scan; skipped {pred.lookup.describe()})"
+            elif pred.lookup is not None:
+                via = pred.lookup.describe()
+            else:
+                via = "compiled filter"
             lines.append(f"{indent}  push {render_expr(pred.expr)} via {via}")
         return lines
 
@@ -255,9 +281,22 @@ class _TableScan:
 class _DerivedScan:
     """A derived table: a nested compiled sub-plan."""
 
-    def __init__(self, item: DerivedTable, database: Database, use_hash_joins: bool) -> None:
+    def __init__(
+        self,
+        item: DerivedTable,
+        database: Database,
+        use_hash_joins: bool,
+        optimizer: Any = None,
+        tracer=NULL_TRACER,
+    ) -> None:
         self.alias = item.alias
-        self.subplan = CompiledPlan(item.select, database, use_hash_joins=use_hash_joins)
+        self.subplan = CompiledPlan(
+            item.select,
+            database,
+            use_hash_joins=use_hash_joins,
+            optimizer=optimizer,
+            tracer=tracer,
+        )
         self.labels: Tuple[ColumnLabel, ...] = tuple(
             (item.alias, name) for name in self.subplan.output_columns
         )
@@ -278,14 +317,69 @@ class _DerivedScan:
             tracer.count("rows_filtered", before - len(selected))
         return Rowset(self.binding, selected)
 
-    def describe(self, indent: str = "") -> List[str]:
-        lines = [f"{indent}derived {self.alias}:"]
+    def describe(
+        self, indent: str = "", estimate: Optional[float] = None,
+        actual: Optional[int] = None,
+    ) -> List[str]:
+        lines = [f"{indent}derived {self.alias}{_rows_note(estimate, actual)}:"]
         lines.extend(self.subplan.describe(indent + "  "))
         for pred in self.pushed:
             lines.append(
                 f"{indent}  push {render_expr(pred.expr)} via compiled filter"
             )
         return lines
+
+
+def _rows_note(estimate: Optional[float], actual: Optional[int]) -> str:
+    """`` (est≈N, actual M rows)`` suffix for explain lines, when known."""
+    if estimate is None:
+        return ""
+    note = f" (est≈{estimate:,.0f}"
+    if actual is not None:
+        note += f", actual {actual:,}"
+    return note + " rows)"
+
+
+class Observation:
+    """Estimated vs. actual output rows of one executed operator."""
+
+    __slots__ = ("label", "estimated", "actual")
+
+    def __init__(self, label: str, estimated: float, actual: int) -> None:
+        self.label = label
+        self.estimated = estimated
+        self.actual = actual
+
+    @property
+    def q_error(self) -> float:
+        """``max(est/actual, actual/est)`` with both floored at one row."""
+        estimated = max(1.0, float(self.estimated))
+        actual = max(1.0, float(self.actual))
+        return max(estimated / actual, actual / estimated)
+
+
+class PlanRun:
+    """Per-operator estimated-vs-actual rows for one plan execution.
+
+    Stored on :attr:`CompiledPlan.last_run` after every optimized
+    execution; the plan-quality benchmark and ``--explain`` read it."""
+
+    __slots__ = ("operators",)
+
+    def __init__(self) -> None:
+        self.operators: List[Observation] = []
+
+    def record(self, label: str, estimated: float, actual: int) -> None:
+        self.operators.append(Observation(label, estimated, actual))
+
+    def actual_for(self, label: str) -> Optional[int]:
+        for observation in self.operators:
+            if observation.label == label:
+                return observation.actual
+        return None
+
+    def q_errors(self) -> List[float]:
+        return [observation.q_error for observation in self.operators]
 
 
 class _Conjunct:
@@ -341,11 +435,22 @@ class CompiledPlan:
     """A reusable physical plan for one ``Select`` over one database."""
 
     def __init__(
-        self, select: Select, database: Database, use_hash_joins: bool = True
+        self,
+        select: Select,
+        database: Database,
+        use_hash_joins: bool = True,
+        optimizer: Any = None,
+        tracer=NULL_TRACER,
     ) -> None:
         self.select = select
         self.database = database
         self.use_hash_joins = use_hash_joins
+        # duck-typed repro.planner.Optimizer (this module must not import
+        # upper layers); None keeps the greedy heuristics byte-for-byte
+        self._optimizer = optimizer if use_hash_joins else None
+        self._compile_tracer = tracer
+        self.decisions: Any = None
+        self.last_run: Optional[PlanRun] = None
         self.output_columns: List[str] = [
             item.output_name(default=f"col{i + 1}")
             for i, item in enumerate(select.items)
@@ -366,6 +471,9 @@ class CompiledPlan:
         self._projector_cache: Dict[Tuple[ColumnLabel, ...], Callable] = {}
         self._group_key_cache: Dict[Tuple[ColumnLabel, ...], Callable] = {}
         self._aggregate_cache: Dict[Tuple[ColumnLabel, ...], List[Callable]] = {}
+        if self._optimizer is not None:
+            self.decisions = self._optimizer.decide(self, tracer)
+            self._apply_index_choices()
 
     # ------------------------------------------------------------------
     # Compilation
@@ -382,7 +490,13 @@ class CompiledPlan:
                 self.scans.append(_TableScan(item, self.database))
             elif isinstance(item, DerivedTable):
                 self.scans.append(
-                    _DerivedScan(item, self.database, self.use_hash_joins)
+                    _DerivedScan(
+                        item,
+                        self.database,
+                        self.use_hash_joins,
+                        optimizer=self._optimizer,
+                        tracer=self._compile_tracer,
+                    )
                 )
             else:  # pragma: no cover - defensive
                 raise SqlExecutionError(f"unknown FROM item {item!r}")
@@ -454,6 +568,16 @@ class CompiledPlan:
             else:
                 self.pending.append(_Conjunct(expr, aliases, False))
 
+    def _apply_index_choices(self) -> None:
+        """Turn the optimizer's access-path choices into scan behavior."""
+        for scan in self.scans:
+            decision = self.decisions.scans.get(scan.alias)
+            if decision is None:
+                continue
+            for pred, choice in zip(scan.pushed, decision.index_choices):
+                if choice is False and pred.lookup is not None:
+                    pred.use_lookup = False
+
     @property
     def compiled_predicates(self) -> int:
         """Number of predicate closures compiled into this plan (pushed +
@@ -474,15 +598,27 @@ class CompiledPlan:
         # loops, so deadlines from repro.service abort a plan mid-flight
         token = current_token()
         token.check()
-        components = [
-            _Component({scan.alias}, scan.execute(self.database, tracer))
-            for scan in self.scans
-        ]
+        run = PlanRun() if self.decisions is not None else None
+        components = []
+        for scan in self.scans:
+            rowset = scan.execute(self.database, tracer)
+            if run is not None:
+                decision = self.decisions.scans.get(scan.alias)
+                if decision is not None:
+                    run.record(f"scan {scan.alias}", decision.est_rows, len(rowset))
+            components.append(_Component({scan.alias}, rowset))
         pending = list(self.pending)
         pending = self._apply_pending(components, pending, tracer)
-        merged = self._join(components, pending, tracer)
+        merged = self._join(components, pending, tracer, run)
         token.check()
-        return self._project(merged.rowset, tracer)
+        result = self._project(merged.rowset, tracer)
+        if run is not None:
+            run.record("output", self.decisions.est_output, len(result.rows))
+            # single reference assignment: racing executions each publish
+            # a complete PlanRun; readers see one or the other
+            self.last_run = run
+            tracer.count("planner_runs_observed")
+        return result
 
     def _apply_pending(
         self,
@@ -515,15 +651,29 @@ class CompiledPlan:
         components: List[_Component],
         pending: List[_Conjunct],
         tracer,
+        run: Optional[PlanRun] = None,
     ) -> _Component:
         token = current_token()
+        steps: List[Any] = []
+        if self.decisions is not None and self.use_hash_joins:
+            steps = list(self.decisions.join_steps)
         while len(components) > 1:
             token.check()
-            pair = (
-                self._pick_join_pair(components, pending)
-                if self.use_hash_joins
-                else None
-            )
+            pair = None
+            step = None
+            if steps:
+                candidate = steps.pop(0)
+                pair = self._find_step_pair(components, candidate)
+                if pair is None:
+                    # the decided order no longer matches the runtime
+                    # components: abandon it, fall back to the greedy order
+                    steps = []
+                    tracer.count("planner_step_fallbacks")
+                else:
+                    step = candidate
+                    tracer.count("planner_steps_applied")
+            if pair is None and self.use_hash_joins:
+                pair = self._pick_join_pair(components, pending)
             if pair is None:
                 components.sort(key=lambda component: len(component.rowset))
                 left, right = components[0], components[1]
@@ -544,6 +694,11 @@ class CompiledPlan:
                 tracer.count("hash_joins")
                 tracer.count("hash_join_rows", len(merged.rowset))
             pending = self._apply_pending(components, pending, tracer)
+            if run is not None and step is not None:
+                # measured after residual predicates, like the estimate
+                run.record(
+                    f"join {step.describe()}", step.est_rows, len(merged.rowset)
+                )
         if pending:
             only = components[0]
             binding = only.rowset.binding
@@ -553,6 +708,22 @@ class CompiledPlan:
                     binding, [row for row in only.rowset.rows if fn(row)]
                 )
         return components[0]
+
+    @staticmethod
+    def _find_step_pair(
+        components: List[_Component], step: Any
+    ) -> Optional[Tuple[_Component, _Component]]:
+        """The component pair a decided join step names, by exact alias-set
+        match — or None when the decisions went stale."""
+        left = right = None
+        for component in components:
+            if component.aliases == step.left:
+                left = component
+            elif component.aliases == step.right:
+                right = component
+        if left is None or right is None:
+            return None
+        return (left, right)
 
     def _pick_join_pair(
         self, components: List[_Component], pending: List[_Conjunct]
@@ -705,12 +876,26 @@ class CompiledPlan:
     # ------------------------------------------------------------------
     def describe(self, indent: str = "") -> List[str]:
         lines: List[str] = []
+        run = self.last_run
         for scan in self.scans:
-            lines.extend(scan.describe(indent))
+            estimate = None
+            if self.decisions is not None:
+                decision = self.decisions.scans.get(scan.alias)
+                if decision is not None:
+                    estimate = decision.est_rows
+            actual = run.actual_for(f"scan {scan.alias}") if run else None
+            lines.extend(scan.describe(indent, estimate, actual))
         for conjunct in self.pending:
             kind = "equi-join" if conjunct.is_equi else "filter"
             join_mode = "hash" if self.use_hash_joins else "cross+filter"
             lines.append(f"{indent}{kind} {render_expr(conjunct.expr)} [{join_mode}]")
+        if self.decisions is not None and self.decisions.join_steps:
+            for number, step in enumerate(self.decisions.join_steps, 1):
+                actual = run.actual_for(f"join {step.describe()}") if run else None
+                lines.append(
+                    f"{indent}join order {number}: {step.describe()}"
+                    + _rows_note(step.est_rows, actual)
+                )
         summary: List[str] = []
         if self._aggregated:
             if self.select.group_by:
@@ -725,7 +910,11 @@ class CompiledPlan:
             summary.append("sort")
         if self.select.limit is not None:
             summary.append(f"limit {self.select.limit}")
-        lines.append(indent + "; ".join(summary))
+        summary_line = indent + "; ".join(summary)
+        if self.decisions is not None:
+            actual = run.actual_for("output") if run else None
+            summary_line += _rows_note(self.decisions.est_output, actual)
+        lines.append(summary_line)
         return lines
 
     def explain(self) -> str:

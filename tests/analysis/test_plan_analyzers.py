@@ -1,7 +1,9 @@
-"""Plan analyzers: index-lookup soundness and pushed-predicate scope."""
+"""Plan analyzers: index-lookup soundness, pushed-predicate scope, and
+the planner advisories (S022 row budget, S023 skipped index)."""
 
 import pytest
 
+from repro.analysis.diagnostics import Severity
 from repro.analysis.plan_analyzers import analyze_plan
 from repro.datasets import university_database
 from repro.relational.executor import Executor
@@ -17,7 +19,14 @@ def database():
 
 @pytest.fixture(scope="module")
 def executor(database):
-    return Executor(database, compile_plans=True)
+    # soundness checks target the heuristic pipeline; the planner
+    # advisories (S022/S023) get their own cost-mode executor below
+    return Executor(database, compile_plans=True, optimizer="off")
+
+
+@pytest.fixture(scope="module")
+def cost_executor(database):
+    return Executor(database, compile_plans=True, optimizer="cost")
 
 
 def plan_for(executor, sql):
@@ -129,3 +138,48 @@ class TestPushedScope:
         )
         # sanity: the derived scan's subplan is analyzed (clean here)
         assert analyze_plan(plan) == []
+
+
+class TestPlannerAdvisories:
+    def test_no_advisories_without_decisions(self, executor):
+        plan = plan_for(executor, "SELECT Sid FROM Student WHERE Age = 24")
+        assert plan.decisions is None
+        assert analyze_plan(plan, row_budget=0) == []
+
+    def test_s022_row_budget_exceeded(self, cost_executor):
+        plan = plan_for(
+            cost_executor, "SELECT S.Sname, E.Grade FROM Student S, Enrol E"
+        )
+        found = [d for d in analyze_plan(plan, row_budget=1) if d.code == "S022"]
+        assert len(found) == 1
+        assert found[0].severity is Severity.WARNING
+
+    def test_s022_silent_under_budget(self, cost_executor):
+        plan = plan_for(cost_executor, "SELECT Sid FROM Student")
+        assert "S022" not in codes(analyze_plan(plan))
+
+    def test_s023_skipped_index_is_info(self, cost_executor):
+        # tiny table: a seq scan beats paying the index probe, so the
+        # cost model skips the available hash lookup — and says so
+        plan = plan_for(
+            cost_executor, "SELECT Sid FROM Student WHERE Age = 24"
+        )
+        skipped = [
+            pushed
+            for scan in table_scans(plan)
+            for pushed in scan.pushed
+            if pushed.lookup is not None and not pushed.use_lookup
+        ]
+        assert skipped, "expected the cost model to skip the index probe"
+        found = [d for d in analyze_plan(plan) if d.code == "S023"]
+        assert found and all(d.severity is Severity.INFO for d in found)
+
+    def test_s023_does_not_fail_check(self, cost_executor):
+        from repro.analysis.diagnostics import AnalysisReport
+
+        plan = plan_for(
+            cost_executor, "SELECT Sid FROM Student WHERE Age = 24"
+        )
+        report = AnalysisReport()
+        report.extend(analyze_plan(plan))
+        assert not report.has_findings

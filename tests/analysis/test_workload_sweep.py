@@ -1,9 +1,11 @@
-"""Zero-diagnostics sweep: the real pipeline must analyze clean.
+"""Zero-findings sweep: the real pipeline must analyze clean.
 
 Every evaluation query, on every dataset, with both engines — the
-analyzers must find nothing.  This is the same contract ``repro check``
-enforces in CI; here it runs on the two smaller datasets per family to
-keep the suite fast (CI runs the full matrix).
+analyzers must find nothing of WARNING severity or worse.  This is the
+same contract ``repro check`` enforces in CI (``has_findings`` ignores
+INFO advisories such as S023 skipped-index notes, which the cost-based
+planner emits by design); here it runs on the two smaller datasets per
+family to keep the suite fast (CI runs the full matrix).
 """
 
 import pytest
@@ -46,22 +48,28 @@ def acmdl_engine():
     return KeywordSearchEngine(generate_acmdl())
 
 
+def _assert_no_findings(report):
+    assert not report.has_findings, report.render()
+    # anything below WARNING must be a planner advisory, not an error
+    assert all(d.code == "S023" for d in report.diagnostics), report.render()
+
+
 @pytest.mark.parametrize("spec", TPCH_QUERIES, ids=lambda s: s.qid)
 def test_tpch_normalized_is_clean(tpch_engine, spec):
     report = tpch_engine.analyze(spec.text)
-    assert report.render() == "no diagnostics"
+    _assert_no_findings(report)
 
 
 @pytest.mark.parametrize("spec", TPCH_QUERIES, ids=lambda s: s.qid)
 def test_tpch_unnormalized_is_clean(tpch_unnorm_engine, spec):
     report = tpch_unnorm_engine.analyze(spec.text)
-    assert report.render() == "no diagnostics"
+    _assert_no_findings(report)
 
 
 @pytest.mark.parametrize("spec", ACMDL_QUERIES, ids=lambda s: s.qid)
 def test_acmdl_normalized_is_clean(acmdl_engine, spec):
     report = acmdl_engine.analyze(spec.text)
-    assert report.render() == "no diagnostics"
+    _assert_no_findings(report)
 
 
 @pytest.mark.parametrize("spec", TPCH_QUERIES, ids=lambda s: s.qid)

@@ -43,6 +43,43 @@ def test_every_dataset_round_trips(dataset):
         backend.close()
 
 
+class TestIndexHints:
+    def test_explicit_hints_create_indexes(self):
+        database, _, _, _ = load_dataset("tpch")
+        backend = SqliteBackend(index_hints=[("Customer", "mktsegment")])
+        backend.load(database)
+        try:
+            assert "ix_Customer_mktsegment" in backend.index_names()
+        finally:
+            backend.close()
+
+    def test_auto_hints_extend_fk_indexes(self):
+        database, _, _, _ = load_dataset("tpch")
+        plain = SqliteBackend()
+        hinted = SqliteBackend(index_hints="auto")
+        plain.load(database)
+        hinted.load(database)
+        try:
+            fk_only = set(plain.index_names())
+            auto = set(hinted.index_names())
+            assert fk_only < auto  # strictly more indexes, FK set intact
+            sql = 'SELECT COUNT(*) FROM "Order"'
+            assert hinted.execute(sql).rows == plain.execute(sql).rows
+        finally:
+            plain.close()
+            hinted.close()
+
+    def test_hints_deduplicate_against_fk_indexes(self):
+        database, _, _, _ = load_dataset("tpch")
+        backend = SqliteBackend(index_hints=[("Customer", "nationkey")])
+        backend.load(database)
+        try:
+            names = backend.index_names()
+            assert names.count("ix_Customer_nationkey") == 1
+        finally:
+            backend.close()
+
+
 def test_on_disk_database_persists(tmp_path):
     path = tmp_path / "university.db"
     backend = SqliteBackend(path=str(path))

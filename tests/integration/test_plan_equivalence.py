@@ -15,10 +15,20 @@ from repro.relational.executor import Executor
 
 
 def _assert_equivalent(database, select):
-    compiled = Executor(database, compile_plans=True).execute(select)
     interpreted = Executor(database, compile_plans=False).execute(select)
-    assert compiled == interpreted
-    assert compiled.rows == interpreted.rows  # same order as well
+    # optimizer off: byte-for-byte the pre-planner pipeline, including
+    # row order
+    heuristic = Executor(
+        database, compile_plans=True, optimizer="off"
+    ).execute(select)
+    assert heuristic == interpreted
+    assert heuristic.rows == interpreted.rows  # same order as well
+    # cost-based optimizer: join reordering may permute rows, but the
+    # result must stay multiset-identical (QueryResult == canonicalizes)
+    optimized = Executor(
+        database, compile_plans=True, optimizer="cost"
+    ).execute(select)
+    assert optimized == interpreted
 
 
 def _semantic_selects(engine, specs):

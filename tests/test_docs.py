@@ -24,6 +24,7 @@ DOC_FILES = [
     "docs/BACKENDS.md",
     "docs/OBSERVABILITY.md",
     "docs/PERFORMANCE.md",
+    "docs/PLANNER.md",
     "docs/SERVING.md",
     "docs/STORAGE.md",
 ]

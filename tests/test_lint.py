@@ -376,6 +376,79 @@ class TestRules:
         )
         assert [code for code, _ in findings] == ["LR004"]
 
+    def test_lr009_random_outside_planner(self, tmp_path):
+        findings = lint_source(
+            tmp_path,
+            "relational/x.py",
+            """
+            def f():
+                import random
+
+                return random.random()
+            """,
+        )
+        assert [code for code, _ in findings] == ["LR009"]
+
+    def test_lr009_random_allowed_in_planner_and_datasets(self, tmp_path):
+        for relative in ("planner/stats.py", "datasets/gen2.py"):
+            assert lint_source(tmp_path, relative, "import random\n") == []
+
+    def test_lr009_cost_constants_outside_planner(self, tmp_path):
+        findings = lint_source(
+            tmp_path,
+            "backends/x.py",
+            """
+            SSD_COST_PARAMS = object()
+            """,
+        )
+        assert [code for code, _ in findings] == ["LR009"]
+        findings = lint_source(
+            tmp_path,
+            "relational/x.py",
+            "FLASH_COST_PARAMS: object = None\n",
+        )
+        assert [code for code, _ in findings] == ["LR009"]
+
+    def test_lr009_cost_constants_allowed_in_planner(self, tmp_path):
+        assert (
+            lint_source(
+                tmp_path,
+                "planner/cost.py",
+                "SSD_COST_PARAMS = object()\n",
+            )
+            == []
+        )
+
+    def test_lr009_importing_params_is_fine(self, tmp_path):
+        # consuming the cost model is the point; only defining forks it
+        assert (
+            lint_source(
+                tmp_path,
+                "backends/x.py",
+                """
+                def f():
+                    from repro.planner import params_for_backend
+
+                    return params_for_backend("disk")
+                """,
+            )
+            == []
+        )
+
+    def test_lr004_planner_layering(self, tmp_path):
+        findings = lint_source(
+            tmp_path,
+            "planner/x.py",
+            "from repro.engine import KeywordSearchEngine\n",
+        )
+        assert [code for code, _ in findings] == ["LR004"]
+        findings = lint_source(
+            tmp_path,
+            "relational/x.py",
+            "from repro.planner import Optimizer\n",
+        )
+        assert [code for code, _ in findings] == ["LR004"]
+
 
 class TestTree:
     def test_src_repro_is_clean(self):
